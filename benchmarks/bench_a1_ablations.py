@@ -1,0 +1,87 @@
+"""A1 — ablations of Algorithm 2's two design insights (§5.1).
+
+DESIGN.md calls out two load-bearing choices; each gets switched off:
+
+* **Commitment (§5.1.1)** — ``enable_commit=False``: nodes never drop
+  their degree estimate and never run LowDegreeMIS.  Expected effect:
+  the energy's Delta-dependence reappears (committed listening is pinned
+  to kappa*log n; uncommitted listening pays ceil(log Delta) slots).
+  At laptop scale the commit machinery's constant overhead (LowDegreeMIS
+  inside every phase) outweighs its absolute savings — the honest
+  measurable signature is the *growth rate in Delta*, not the level.
+* **Shallow checks (§5.1.2)** — ``shallow_iterations = C' log n``:
+  every loser deep-listens every phase.  Expected effect: a flat energy
+  surcharge at every Delta, with no correctness gain.
+
+All variants must stay correct — the ablations trade energy, not
+validity.
+"""
+
+from repro.analysis.runner import run_trials
+from repro.analysis.tables import render_table
+from repro.core import NoCDEnergyMISProtocol
+from repro.graphs import random_bounded_degree_graph
+from repro.radio import NO_CD
+
+N = 128
+DELTAS = (4, 16, 64)
+TRIALS = 5
+
+
+def _variants(constants):
+    deep = constants.deep_check_iterations(N)
+    return {
+        "default": NoCDEnergyMISProtocol(constants=constants),
+        "no-commit": NoCDEnergyMISProtocol(constants=constants, enable_commit=False),
+        "always-deep": NoCDEnergyMISProtocol(
+            constants=constants, shallow_iterations=deep
+        ),
+    }
+
+
+def _sweep(constants):
+    rows = {}
+    for name, protocol in _variants(constants).items():
+        series = []
+        failures = 0
+        for delta in DELTAS:
+            summary = run_trials(
+                lambda seed, d=delta: random_bounded_degree_graph(N, d, seed=seed),
+                protocol,
+                NO_CD,
+                seeds=range(TRIALS),
+            )
+            failures += summary.failures
+            series.append(summary.max_energy_summary().mean)
+        rows[name] = (series, failures)
+    return rows
+
+
+def test_a1_design_ablations(benchmark, constants, save_report):
+    rows = benchmark.pedantic(lambda: _sweep(constants), rounds=1, iterations=1)
+
+    default_series, default_failures = rows["default"]
+    no_commit_series, no_commit_failures = rows["no-commit"]
+    always_deep_series, always_deep_failures = rows["always-deep"]
+
+    # Ablations trade energy, never validity.
+    assert default_failures == no_commit_failures == always_deep_failures == 0
+
+    # §5.1.1: commitment flattens the Delta-dependence of energy.
+    default_growth = default_series[-1] / default_series[0]
+    no_commit_growth = no_commit_series[-1] / no_commit_series[0]
+    assert no_commit_growth > default_growth + 0.1
+
+    # §5.1.2: always-deep checking is a strict energy surcharge.
+    for always_deep, default in zip(always_deep_series, default_series):
+        assert always_deep > default
+
+    table = render_table(
+        ["variant", *(f"maxE(D={d})" for d in DELTAS), "growth D4->D64"],
+        [
+            (name, *series, series[-1] / series[0])
+            for name, (series, _) in rows.items()
+        ],
+        title=f"A1 Algorithm 2 design ablations (n={N})",
+    )
+    save_report("a1_ablations", table)

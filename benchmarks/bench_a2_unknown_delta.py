@@ -1,0 +1,89 @@
+"""A2 — the unknown-Delta scheme's overhead (§1.1 footnote).
+
+The footnote claims the doubly-exponential guess ladder costs an
+O(loglog n) factor in energy and O(1) in rounds over the known-Delta
+algorithm.  This bench measures both factors on workloads where the
+ladder genuinely undershoots (star: Delta = n-1 while guesses start at
+2), and checks correctness survives the undershooting epochs.
+"""
+
+from repro.analysis.runner import run_trials
+from repro.analysis.tables import render_table
+from repro.core import NoCDEnergyMISProtocol, UnknownDeltaMISProtocol, delta_guesses
+from repro.graphs import gnp_random_graph, star_graph
+from repro.radio import NO_CD
+
+N = 128
+TRIALS = 5
+
+
+def _measure(constants):
+    rows = []
+    for label, factory in (
+        ("gnp", lambda seed: gnp_random_graph(N, 8.0 / (N - 1), seed=seed)),
+        ("star", lambda seed: star_graph(N)),
+    ):
+        known = run_trials(
+            factory, NoCDEnergyMISProtocol(constants=constants), NO_CD,
+            seeds=range(TRIALS),
+        )
+        unknown = run_trials(
+            factory, UnknownDeltaMISProtocol(constants=constants), NO_CD,
+            seeds=range(TRIALS),
+        )
+        rows.append(
+            {
+                "workload": label,
+                "known_fail": known.failures,
+                "unknown_fail": unknown.failures,
+                "known_energy": known.max_energy_summary().mean,
+                "unknown_energy": unknown.max_energy_summary().mean,
+                "known_rounds": known.rounds_summary().mean,
+                "unknown_rounds": unknown.rounds_summary().mean,
+            }
+        )
+    return rows
+
+
+def test_a2_unknown_delta_overhead(benchmark, constants, save_report):
+    rows = benchmark.pedantic(lambda: _measure(constants), rounds=1, iterations=1)
+
+    guesses = delta_guesses(N)
+    epochs = len(guesses)
+    for row in rows:
+        # Correctness survives undershooting guesses.
+        assert row["known_fail"] == 0
+        assert row["unknown_fail"] == 0
+        energy_factor = row["unknown_energy"] / row["known_energy"]
+        rounds_factor = row["unknown_rounds"] / row["known_rounds"]
+        # Footnote: O(loglog n) energy overhead.  The ladder has
+        # `epochs` ~ loglog n rungs; the measured factor must stay near
+        # it (each rung costs at most one known-Delta pass).
+        assert energy_factor <= epochs + 1
+        # Rounds: the ladder sums geometrically-shorter passes, so the
+        # factor stays a small constant.
+        assert rounds_factor <= epochs + 1
+
+    table = render_table(
+        [
+            "workload", "knownE", "unknownE", "E factor",
+            "known rounds", "unknown rounds", "R factor",
+        ],
+        [
+            (
+                row["workload"],
+                row["known_energy"],
+                row["unknown_energy"],
+                row["unknown_energy"] / row["known_energy"],
+                row["known_rounds"],
+                row["unknown_rounds"],
+                row["unknown_rounds"] / row["known_rounds"],
+            )
+            for row in rows
+        ],
+        title=(
+            f"A2 unknown-Delta overhead (n={N}, ladder {guesses}, "
+            f"{epochs} epochs)"
+        ),
+    )
+    save_report("a2_unknown_delta", table)

@@ -1,0 +1,74 @@
+"""A3 — sensitivity to the synchronous wake-up assumption.
+
+The paper assumes all nodes wake simultaneously (Section 1.1, like
+[18, 36]) and cites a literature thread on asynchronous wake-up.  This
+bench quantifies what the assumption buys: Algorithm 1's failure rate as
+a function of wake-time skew.  With zero skew the algorithm is correct
+w.h.p.; with skew beyond a phase length, early winners terminate before
+late nodes wake, so the late nodes also join and independence collapses.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, run_protocol
+
+N = 96
+TRIALS = 12
+SKEWS = (0, 1, 4, 16, 64, 256)
+
+
+def _failure_rates(constants):
+    graph_factory = lambda seed: gnp_random_graph(N, 8.0 / (N - 1), seed=seed)  # noqa: E731
+    rates = []
+    for skew in SKEWS:
+        failures = 0
+        independence_failures = 0
+        for seed in range(TRIALS):
+            graph = graph_factory(seed)
+            rng_offsets = {
+                node: ((seed + 1) * 2654435761 * (node + 1)) % (skew + 1)
+                for node in graph.nodes
+            }
+            result = run_protocol(
+                graph,
+                CDMISProtocol(constants=constants),
+                CD,
+                seed=seed,
+                wake_schedule=rng_offsets,
+            )
+            if not result.is_valid_mis():
+                failures += 1
+            if not graph.is_independent_set(result.mis):
+                independence_failures += 1
+        rates.append(
+            {
+                "skew": skew,
+                "failure_rate": failures / TRIALS,
+                "independence_failure_rate": independence_failures / TRIALS,
+            }
+        )
+    return rates
+
+
+def test_a3_async_wake_sensitivity(benchmark, constants, save_report):
+    rates = benchmark.pedantic(lambda: _failure_rates(constants), rounds=1, iterations=1)
+
+    by_skew = {row["skew"]: row for row in rates}
+    # Synchronous wake-up: correct.
+    assert by_skew[0]["failure_rate"] == 0.0
+    # Large skew: essentially always broken.
+    assert by_skew[SKEWS[-1]]["failure_rate"] >= 0.8
+    # Failure is monotone-ish in skew: the largest skew is at least as
+    # bad as the smallest nonzero one.
+    assert by_skew[SKEWS[-1]]["failure_rate"] >= by_skew[SKEWS[1]]["failure_rate"]
+
+    table = render_table(
+        ["max skew (rounds)", "failure rate", "independence failures"],
+        [
+            (row["skew"], row["failure_rate"], row["independence_failure_rate"])
+            for row in rates
+        ],
+        title=f"A3 Algorithm 1 vs wake-up skew (n={N}, {TRIALS} trials)",
+    )
+    save_report("a3_async_wake", table)

@@ -1,0 +1,88 @@
+"""A5 — the "radio tax": what collisions cost versus reliable broadcast.
+
+The same Luby process runs on both substrates:
+
+* message-passing CONGEST (`repro.msgpass`): reliable broadcast, ranks
+  exchanged in one round — 2 rounds per phase;
+* radio CD (`repro.core.CDMISProtocol`): ranks must be compared
+  bit-by-bit through a collision channel — ``beta log n + 1`` rounds per
+  phase.
+
+The per-phase round ratio is the price of the radio model's contention,
+and it is exactly the Theta(log n) factor separating the CONGEST and
+radio-CD MIS round complexities (O(log n) vs O(log^2 n)).  Phase counts
+themselves coincide (both are Luby processes), which this bench also
+checks.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph
+from repro.msgpass import DistributedLubyProtocol, run_message_passing
+from repro.radio import CD, run_protocol
+
+N = 256
+TRIALS = 8
+
+
+def _measure(constants):
+    rows = []
+    for seed in range(TRIALS):
+        graph = gnp_random_graph(N, 8.0 / (N - 1), seed=seed)
+
+        msg_result = run_message_passing(
+            graph, DistributedLubyProtocol(constants=constants), seed=seed
+        )
+        msg_phases = max(
+            info["phases_participated"] for info in msg_result.node_info
+        )
+
+        radio_result = run_protocol(
+            graph, CDMISProtocol(constants=constants), CD, seed=seed
+        )
+        phase_length = constants.rank_bits(N) + 1
+        radio_phases = radio_result.rounds // phase_length
+
+        rows.append(
+            {
+                "seed": seed,
+                "msg_valid": msg_result.is_valid_mis(),
+                "radio_valid": radio_result.is_valid_mis(),
+                "msg_rounds": msg_result.rounds,
+                "radio_rounds": radio_result.rounds,
+                "msg_phases": msg_phases,
+                "radio_phases": radio_phases,
+            }
+        )
+    return rows
+
+
+def test_a5_radio_tax(benchmark, constants, save_report):
+    rows = benchmark.pedantic(lambda: _measure(constants), rounds=1, iterations=1)
+
+    assert all(row["msg_valid"] and row["radio_valid"] for row in rows)
+    mean_msg_phases = sum(row["msg_phases"] for row in rows) / len(rows)
+    mean_radio_phases = sum(row["radio_phases"] for row in rows) / len(rows)
+    # Same Luby process: phase counts in the same ballpark.
+    assert abs(mean_msg_phases - mean_radio_phases) <= 3.0
+    # The tax: rounds per phase blow up by ~(beta log n + 1) / 2.
+    tax = (
+        sum(row["radio_rounds"] for row in rows)
+        / max(1, sum(row["msg_rounds"] for row in rows))
+    )
+    expected_tax = (constants.rank_bits(N) + 1) / 2.0
+    assert 0.4 * expected_tax <= tax <= 2.5 * expected_tax
+
+    table = render_table(
+        ["seed", "msg rounds", "radio rounds", "msg phases", "radio phases"],
+        [
+            (row["seed"], row["msg_rounds"], row["radio_rounds"],
+             row["msg_phases"], row["radio_phases"])
+            for row in rows
+        ],
+        title=(
+            f"A5 radio tax (n={N}): measured round ratio "
+            f"{tax:.1f}x vs (beta log n + 1)/2 = {expected_tax:.1f}x"
+        ),
+    )
+    save_report("a5_radio_tax", table)

@@ -1,0 +1,85 @@
+"""A6 — what sender-side collision detection buys (§1.4 contrast).
+
+The paper's related work: with sender-side CD the beeping model admits
+an optimal O(log n)-round MIS [28], whereas the radio model (no
+sender-side CD) pays the bit-by-bit competition — O(log^2 n) rounds for
+Algorithm 1.  Both models give O(log n)-ish *energy* here (the beeping
+algorithm is awake every round but finishes fast).
+
+The sweep shows the round gap widening ~log n and the fitted exponents
+separating by about one log power.
+"""
+
+from repro.analysis.sweep import run_size_sweep
+from repro.analysis.tables import render_table
+from repro.baselines import SenderCDBeepingMISProtocol
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph
+from repro.radio import BEEPING_SENDER_CD, CD
+
+SIZES = (64, 128, 256, 512, 1024)
+TRIALS = 6
+
+
+def _graph_factory(n, seed):
+    return gnp_random_graph(n, 8.0 / max(1, n - 1), seed=seed)
+
+
+def _measure(constants):
+    sender_cd = run_size_sweep(
+        SIZES,
+        _graph_factory,
+        lambda n: SenderCDBeepingMISProtocol(constants=constants),
+        BEEPING_SENDER_CD,
+        trials=TRIALS,
+    )
+    receiver_cd = run_size_sweep(
+        SIZES,
+        _graph_factory,
+        lambda n: CDMISProtocol(constants=constants),
+        CD,
+        trials=TRIALS,
+    )
+    return sender_cd, receiver_cd
+
+
+def test_a6_sender_cd_round_gap(benchmark, constants, save_report):
+    sender_cd, receiver_cd = benchmark.pedantic(
+        lambda: _measure(constants), rounds=1, iterations=1
+    )
+
+    # Both correct throughout the sweep.
+    assert all(point.failure_rate == 0.0 for point in sender_cd.points)
+    assert all(point.failure_rate <= 0.2 for point in receiver_cd.points)
+
+    # The round gap: receiver-CD pays a growing multiple.
+    gaps = [
+        receiver.rounds_mean / sender.rounds_mean
+        for sender, receiver in zip(sender_cd.points, receiver_cd.points)
+    ]
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] >= 3.0
+
+    # Fitted exponents separate (log n vs log^2 n shapes).
+    sender_fit = sender_cd.fit("rounds_mean")
+    receiver_fit = receiver_cd.fit("rounds_mean")
+    assert receiver_fit.exponent > sender_fit.exponent
+
+    rows = [
+        (
+            sender.n,
+            sender.rounds_mean,
+            receiver.rounds_mean,
+            receiver.rounds_mean / sender.rounds_mean,
+        )
+        for sender, receiver in zip(sender_cd.points, receiver_cd.points)
+    ]
+    table = render_table(
+        ["n", "sender-CD rounds", "receiver-CD rounds", "gap"],
+        rows,
+        title=(
+            "A6 sender-side CD gap: fitted round exponents "
+            f"{sender_fit.exponent:.2f} vs {receiver_fit.exponent:.2f}"
+        ),
+    )
+    save_report("a6_sender_cd_gap", table)

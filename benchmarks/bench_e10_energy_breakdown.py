@@ -1,0 +1,30 @@
+"""E10 — Algorithm 2's per-component energy ledger (Figure 2's classes).
+
+Figure 2 color-codes the algorithm's stages by energy class.  The
+instrumented protocol tags every awake round; this bench aggregates the
+ledger and checks the orderings the classes imply at laptop scale:
+competition listening and LowDegreeMIS dominate, shallow checks are
+near-free, deep checks sit in between.
+"""
+
+from repro.analysis.experiments import run_energy_breakdown
+from repro.graphs import gnp_random_graph
+
+
+def test_e10_energy_breakdown(benchmark, constants, save_report):
+    graphs = [gnp_random_graph(192, 0.05, seed=s) for s in (1, 2)]
+    report = benchmark.pedantic(
+        lambda: run_energy_breakdown(graphs, seeds=range(3), constants=constants),
+        rounds=1,
+        iterations=1,
+    )
+
+    worst = {row.component: row.worst_node_rounds for row in report.rows}
+    # The two O(log^2 n ...) classes dominate the per-node worst case.
+    heavy = max(worst["competition-listen"], worst["low-degree-mis"])
+    assert heavy >= worst["deep-check"]
+    assert worst["deep-check"] > worst["shallow-check"]
+    # Shallow announces are O(1) per phase: tiny next to everything else.
+    assert worst["mis-announce-shallow"] * 10 <= report.worst_total
+
+    save_report("e10_energy_breakdown", report.to_table())

@@ -1,0 +1,33 @@
+"""E1 — the headline complexity table (Section 1.3 / Theorems 2 and 10).
+
+Regenerates the paper's summary-of-results as measurements at a
+reference size: every algorithm's worst-case energy and rounds, next to
+its claimed asymptotic, plus the improvement factors the paper
+advertises (Algorithm 1 vs naive CD Luby on energy; Algorithm 2's energy
+below the naive no-CD bill).
+"""
+
+from repro.analysis.experiments import run_headline_table
+
+
+def test_e1_headline_table(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_headline_table(n=128, trials=4, constants=constants),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row.protocol: row for row in report.rows}
+
+    # Shape checks (who wins): Algorithm 1 beats naive Luby on energy,
+    # ties it on rounds; Algorithm 2 beats the naive no-CD bill.
+    assert (
+        by_name["cd-mis"].max_energy_mean < by_name["naive-cd-luby"].max_energy_mean
+    )
+    assert (
+        by_name["nocd-energy-mis"].max_energy_mean
+        < by_name["naive-backoff-mis"].max_energy_mean
+    )
+    # The beeping variant matches the CD algorithm exactly.
+    assert by_name["beeping-mis"].max_energy_mean == by_name["cd-mis"].max_energy_mean
+
+    save_report("e1_headline", report.to_table())

@@ -1,0 +1,42 @@
+"""E3 — CD-model round scaling: O(log^2 n) (Theorem 2).
+
+Both Algorithm 1 and the naive baseline share the same phase structure,
+so their round complexities coincide at O(log^2 n); the sweep checks the
+polylog shape and that the two curves agree.
+"""
+
+from repro.analysis.experiments.scaling import (
+    cd_protocol_suite,
+    run_scaling_comparison,
+)
+from repro.radio import CD
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+
+
+def test_e3_cd_round_scaling(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_scaling_comparison(
+            SIZES, cd_protocol_suite(constants), CD, trials=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    fit = report.sweeps["cd-mis"].fit("rounds_mean")
+    # Polylog, not polynomial: at n=2048 a linear dependence would give
+    # rounds in the thousands; log^2 stays in the hundreds.
+    last = report.sweeps["cd-mis"].points[-1]
+    assert last.rounds_mean < last.n
+    assert fit.exponent < 3.0
+    # Hard upper bound: phases * (bits + 1) with the profile's constants.
+    for point in report.sweeps["cd-mis"].points:
+        ceiling = constants.luby_phases(point.n) * (constants.rank_bits(point.n) + 1)
+        assert point.rounds_max <= ceiling
+
+    text = (
+        report.metric_table("rounds_mean", "rounds")
+        + "\n\n"
+        + report.fits_table("rounds_mean")
+    )
+    save_report("e3_cd_rounds", text)

@@ -1,0 +1,49 @@
+"""E4 — no-CD energy comparison (Theorem 10 vs §4.2 vs §5.1 strawman).
+
+Sweeps n for Algorithm 2, the Davies-style round-efficient baseline, and
+the naive backoff simulation.  The decisive shape: the naive strawman's
+energy exceeds both by a wide and widening margin, and Algorithm 2's
+energy grows with a smaller fitted log-power than the naive curve.
+
+At laptop sizes Algorithm 2's *absolute* energy can exceed the
+Davies-style baseline — its committed-mode savings replace log Delta
+with loglog n, which only pays off at degree scales a laptop sweep can't
+reach on G(n, p); the Delta-sweep (E11) shows the same effect at fixed
+n, where it is measurable.  EXPERIMENTS.md discusses this honestly.
+"""
+
+from repro.analysis.experiments.scaling import (
+    nocd_protocol_suite,
+    run_scaling_comparison,
+)
+from repro.radio import NO_CD
+
+SIZES = (32, 64, 128, 256)
+
+
+def test_e4_nocd_energy_scaling(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_scaling_comparison(
+            SIZES, nocd_protocol_suite(constants), NO_CD, trials=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    algo2 = report.sweeps["nocd-energy-mis"]
+    naive = report.sweeps["naive-backoff-mis"]
+    # The naive bill dominates Algorithm 2 at every size.
+    for efficient_point, naive_point in zip(algo2.points, naive.points):
+        assert naive_point.max_energy_mean > efficient_point.max_energy_mean
+    # And the gap widens with n.
+    ratios = report.ratio_series("naive-backoff-mis", "nocd-energy-mis")
+    assert ratios[-1] > ratios[0]
+
+    text = (
+        report.metric_table("max_energy_mean", "worst-case energy")
+        + "\n\n"
+        + report.fits_table("max_energy_mean")
+        + "\n\nnaive/algorithm-2 energy ratios by n: "
+        + ", ".join(f"{r:.2f}" for r in ratios)
+    )
+    save_report("e4_nocd_energy", text)

@@ -1,0 +1,41 @@
+"""E5 — no-CD round scaling (Theorem 10 vs §4.2).
+
+Rounds: Algorithm 2 pays O(log^3 n log Delta) for its energy savings,
+an extra ~log n factor over the Davies-style O(log^2 n log Delta)
+baseline — the round-vs-energy trade the paper states explicitly.  The
+naive simulation sits at O(log^4 n)-ish.
+"""
+
+from repro.analysis.experiments.scaling import (
+    nocd_protocol_suite,
+    run_scaling_comparison,
+)
+from repro.radio import NO_CD
+
+SIZES = (32, 64, 128, 256)
+
+
+def test_e5_nocd_round_scaling(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_scaling_comparison(
+            SIZES, nocd_protocol_suite(constants), NO_CD, trials=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    algo2 = report.sweeps["nocd-energy-mis"]
+    davies = report.sweeps["davies-low-degree-mis"]
+    # Algorithm 2 pays more rounds than the round-efficient baseline...
+    for algo2_point, davies_point in zip(algo2.points, davies.points):
+        assert algo2_point.rounds_mean > davies_point.rounds_mean
+    # ...but its energy stays far below its own rounds (the sleep share).
+    for point in algo2.points:
+        assert point.max_energy_mean * 5 < point.rounds_mean
+
+    text = (
+        report.metric_table("rounds_mean", "rounds")
+        + "\n\n"
+        + report.fits_table("rounds_mean")
+    )
+    save_report("e5_nocd_rounds", text)

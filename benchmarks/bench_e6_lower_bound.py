@@ -1,0 +1,65 @@
+"""E6 — the Omega(log n) energy lower bound (Theorem 1).
+
+Budget-sweeps two strategy families on the hard instance (n/4 disjoint
+edges + n/2 isolated nodes): the proof's synchronized-coin family and
+the paper's own Algorithm 1 truncated to a budget.  Checks that the
+empirical failure curve (i) always dominates the theorem's analytic
+lower bound, (ii) tracks the coin strategy's exact law, and (iii)
+collapses only once b clears ~log n.
+"""
+
+from repro.analysis.tables import render_table
+from repro.lowerbound import (
+    EnergyCappedCDMIS,
+    SynchronizedCoinStrategy,
+    run_lower_bound_experiment,
+)
+
+N = 256
+BUDGETS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
+TRIALS = 80
+
+
+def _rows(report):
+    return [
+        (r["b"], r["empirical"], r["coin_exact"], r["thm1_bound"])
+        for r in report.rows()
+    ]
+
+
+def test_e6_lower_bound(benchmark, constants, save_report):
+    def run_both():
+        coin = run_lower_bound_experiment(
+            N, BUDGETS, SynchronizedCoinStrategy, trials=TRIALS
+        )
+        capped = run_lower_bound_experiment(
+            N,
+            BUDGETS,
+            lambda b: EnergyCappedCDMIS(b, constants=constants),
+            trials=TRIALS,
+        )
+        return coin, capped
+
+    coin, capped = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    for report in (coin, capped):
+        # Budgets are hard caps.
+        for point in report.points:
+            assert point.max_energy_seen <= point.budget
+        # Empirical failure dominates the analytic lower bound, modulo
+        # sampling noise (allow 3 sigma ~ 0.17 at 80 trials).
+        for point in report.points:
+            assert point.empirical_failure >= point.analytic_lower_bound - 0.17
+        # The curve collapses once b clears ~log n.
+        assert report.points[0].empirical_failure > 0.9
+        assert report.points[-1].empirical_failure < 0.2
+
+    headers = ["b", "empirical fail", "coin exact law", "Thm 1 bound"]
+    text = (
+        render_table(headers, _rows(coin), title=f"E6 coin strategy (n={N})")
+        + "\n\n"
+        + render_table(
+            headers, _rows(capped), title=f"E6 energy-capped Algorithm 1 (n={N})"
+        )
+    )
+    save_report("e6_lower_bound", text)

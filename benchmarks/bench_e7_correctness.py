@@ -1,0 +1,27 @@
+"""E7 — failure probability batteries (Theorems 2 and 10 claim <= 1/n).
+
+Runs Algorithm 1 (CD) and Algorithm 2 (no-CD) across eight topology
+families and many seeds; reports failure rates with Wilson intervals and
+the failure-kind breakdown.  With the practical constants profile the
+observed failure rate must stay small (the paper's 1 - 1/n guarantee
+needs the full paper constants, which are also available via
+ConstantsProfile.paper()).
+"""
+
+from repro.analysis.experiments import run_correctness_battery
+
+
+def test_e7_correctness_battery(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_correctness_battery(n=64, trials=15, constants=constants),
+        rounds=1,
+        iterations=1,
+    )
+
+    # No cell may fail often; the battery-wide worst rate stays low.
+    assert report.worst_rate <= 0.2
+    total_trials = sum(cell.trials for cell in report.cells)
+    total_failures = sum(cell.failures for cell in report.cells)
+    assert total_failures / total_trials <= 0.03
+
+    save_report("e7_correctness", report.to_table())

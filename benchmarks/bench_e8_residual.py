@@ -1,0 +1,29 @@
+"""E8 — residual-graph shrinkage per Luby phase (Lemmas 5 and 20).
+
+Measures |E_i| / |E_{i-1}| across phases for Algorithm 1 (residual =
+undecided nodes), Algorithm 2 (residual = non-OUT nodes, Definition 18),
+and idealized Luby as the reference process.  Lemma 5 claims expected
+ratio <= 1/2 for the CD algorithm; Lemma 20 claims <= 63/64 for the
+no-CD algorithm.
+"""
+
+from repro.analysis.experiments import run_residual_shrinkage
+from repro.graphs import gnp_random_graph
+
+
+def test_e8_residual_shrinkage(benchmark, constants, save_report):
+    graphs = [gnp_random_graph(192, 0.05, seed=s) for s in (1, 2, 3)]
+    report = benchmark.pedantic(
+        lambda: run_residual_shrinkage(graphs, seeds=range(4), constants=constants),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Lemma 5: mean per-phase edge ratio <= 1/2 (+ sampling slack).
+    assert report.mean_ratio("cd-mis") <= 0.55
+    assert report.mean_ratio("luby-ideal") <= 0.55
+    # Lemma 20: strict expected contraction for Algorithm 2's residual.
+    nocd_ratio = report.mean_ratio("nocd-energy-mis")
+    assert 0.0 < nocd_ratio <= 63.0 / 64.0 + 0.02
+
+    save_report("e8_residual", report.to_table())

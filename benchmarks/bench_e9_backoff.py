@@ -1,0 +1,38 @@
+"""E9 — the backoff primitives' guarantees (Lemmas 8 and 9).
+
+Sweeps (k, sender-count) on a star: receiver hearing rate must dominate
+Lemma 9's 1 - (7/8)^k at every cell, sender energy must equal exactly k
+(Lemma 8's asymmetry), and receiver energy must stay within the
+k * ceil(log Delta_est) envelope.
+"""
+
+from repro.analysis.experiments import run_backoff_experiment
+from repro.core.backoff import backoff_slots
+
+DELTA = 64
+
+
+def test_e9_backoff_guarantees(benchmark, constants, save_report):
+    report = benchmark.pedantic(
+        lambda: run_backoff_experiment(
+            delta=DELTA,
+            k_values=(1, 2, 4, 8, 16, 32),
+            sender_counts=(1, 8, 32, 64),
+            trials=150,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for point in report.points:
+        # Lemma 9 with 3-sigma sampling slack at 150 trials (~0.12).
+        assert point.heard_rate >= point.lemma9_bound - 0.12
+        # Lemma 8: sender awake exactly k rounds.
+        assert point.sender_energy == point.k
+        # Receiver awake at most k * slots rounds.
+        assert point.receiver_energy <= point.k * backoff_slots(DELTA)
+    # A lone sender is heard essentially always (no collisions possible).
+    lone = [p for p in report.points if p.senders == 1]
+    assert all(p.heard_rate >= 0.99 for p in lone)
+
+    save_report("e9_backoff", report.to_table())

@@ -1,0 +1,74 @@
+"""Simulator throughput micro-benchmarks.
+
+Unlike the experiment benches (single pedantic runs of full studies),
+these measure the engine's hot path repeatedly, so regressions in the
+event loop show up as timing changes:
+
+* dense awake traffic (every node transmits/listens every round) —
+  stresses collision resolution;
+* sparse awake traffic with huge sleeps — stresses the fast-forward
+  scheduler (cost must track awake events, not elapsed rounds);
+* a full Algorithm 1 run — the end-to-end common case.
+"""
+
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, Listen, Protocol, Sleep, Transmit, run_protocol
+
+
+class DenseTraffic(Protocol):
+    """Every node alternates transmit/listen for ``rounds`` rounds."""
+
+    name = "dense-traffic"
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def run(self, ctx):
+        for index in range(self.rounds):
+            if (index + ctx.node) % 2:
+                yield Transmit()
+            else:
+                yield Listen()
+
+
+class SparseTraffic(Protocol):
+    """Each node wakes ``beats`` times, sleeping 10^5 rounds between."""
+
+    name = "sparse-traffic"
+
+    def __init__(self, beats: int):
+        self.beats = beats
+
+    def run(self, ctx):
+        for _ in range(self.beats):
+            yield Sleep(100_000)
+            yield Listen()
+
+
+def test_perf_dense_collision_resolution(benchmark):
+    graph = gnp_random_graph(200, 0.1, seed=1)
+    protocol = DenseTraffic(rounds=50)
+
+    result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=1))
+    assert result.rounds == 50
+    # 200 nodes x 50 awake rounds, all accounted.
+    assert result.total_energy == 200 * 50
+
+
+def test_perf_sleep_fast_forward(benchmark):
+    graph = gnp_random_graph(100, 0.1, seed=2)
+    protocol = SparseTraffic(beats=20)
+
+    result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=2))
+    # 2 million simulated rounds, only 20 awake each.
+    assert result.rounds == 20 * 100_001
+    assert result.max_energy == 20
+
+
+def test_perf_algorithm1_end_to_end(benchmark, constants):
+    graph = gnp_random_graph(256, 8.0 / 255.0, seed=3)
+    protocol = CDMISProtocol(constants=constants)
+
+    result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=3))
+    assert result.is_valid_mis()

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each benchmark regenerates one experiment from DESIGN.md's index (the
+paper is a theory-only brief announcement, so the "tables and figures"
+are its quantitative claims).  Every bench:
+
+* times the underlying experiment via pytest-benchmark, and
+* prints + persists the regenerated table under ``benchmarks/results/``
+  so EXPERIMENTS.md can cite the exact output.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.constants import ConstantsProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def constants():
+    """All benchmarks use the practical profile (recorded in outputs)."""
+    return ConstantsProfile.practical()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Energy survey: who should you deploy, and when?
+
+Compares every algorithm in the library across network sizes and both
+collision models, printing the energy/round trade-off tables a
+practitioner would consult:
+
+* CD model — Algorithm 1 vs naive Luby (Theta(log n) vs Theta(log^2 n)),
+* no-CD model — Algorithm 2 vs the Davies-style round-efficient
+  algorithm vs the naive backoff simulation,
+* the Delta-dependence at fixed n, where Algorithm 2's advantage shows:
+  its listening cost is pinned to the committed degree estimate
+  kappa*log n while the baselines pay log Delta everywhere.
+
+Run:  python examples/energy_survey.py          (takes ~a minute)
+"""
+
+from repro import ConstantsProfile
+from repro.analysis.experiments import run_delta_sweep, run_scaling_comparison
+from repro.analysis.experiments.scaling import (
+    cd_protocol_suite,
+    nocd_protocol_suite,
+)
+from repro.radio import CD, NO_CD
+
+
+def main() -> None:
+    constants = ConstantsProfile.practical()
+
+    print("== CD model: energy-optimal vs naive ==")
+    report = run_scaling_comparison(
+        sizes=(64, 128, 256, 512),
+        suite=cd_protocol_suite(constants),
+        model=CD,
+        trials=5,
+    )
+    print(report.metric_table("max_energy_mean", "worst-case energy"))
+    print()
+    print(report.fits_table("max_energy_mean"))
+    ratios = report.ratio_series("naive-cd-luby", "cd-mis")
+    print(
+        "\nnaive/optimal energy ratio by n: "
+        + ", ".join(f"{ratio:.2f}" for ratio in ratios)
+        + "   (grows ~log n, as Theorem 2 predicts)"
+    )
+
+    print("\n== no-CD model: Algorithm 2 vs Davies-style vs naive ==")
+    report = run_scaling_comparison(
+        sizes=(32, 64, 128),
+        suite=nocd_protocol_suite(constants),
+        model=NO_CD,
+        trials=3,
+    )
+    print(report.metric_table("max_energy_mean", "worst-case energy"))
+    print()
+    print(report.metric_table("rounds_mean", "rounds"))
+
+    print("\n== Delta sweep at fixed n: where the energy win lives ==")
+    delta_report = run_delta_sweep(
+        n=96, deltas=(4, 8, 16, 32), trials=3, constants=constants
+    )
+    print(delta_report.to_table())
+    print(
+        "\nAlgorithm 2's energy should stay nearly flat in Delta while the\n"
+        "round-efficient baseline's grows with log Delta — the asymmetry\n"
+        "that buys the paper its O(log^2 n loglog n) energy bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

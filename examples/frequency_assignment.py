@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Frequency assignment by iterated MIS — a classic downstream use.
+
+Interference-free scheduling in a radio network is graph coloring:
+nodes sharing an edge must not use the same frequency.  The textbook
+distributed route is iterated MIS — color class k is an MIS of the
+still-uncolored subgraph — which needs at most ``Delta + 1``
+frequencies.  Here each MIS is computed by the paper's energy-optimal
+Algorithm 1, so even the *construction* of the schedule is
+battery-friendly.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from collections import Counter
+
+from repro import CD, CDMISProtocol, ConstantsProfile
+from repro.applications import (
+    is_proper_coloring,
+    iterated_mis_coloring,
+    radio_mis_solver,
+)
+from repro.graphs import random_geometric_graph
+
+
+def main() -> None:
+    n = 200
+    radius = 0.12
+    graph = random_geometric_graph(n, radius, seed=23)
+    constants = ConstantsProfile.practical()
+    print(
+        f"network: {n} transmitters, range {radius}, "
+        f"{graph.num_edges} interference edges, max degree {graph.max_degree()}"
+    )
+
+    solver = radio_mis_solver(lambda: CDMISProtocol(constants=constants), CD)
+    colors = iterated_mis_coloring(graph, solver, seed=23)
+
+    assert is_proper_coloring(graph, colors)
+    frequency_count = max(colors.values()) + 1
+    print(
+        f"\nassigned {frequency_count} frequencies "
+        f"(upper bound Delta+1 = {graph.max_degree() + 1})"
+    )
+
+    histogram = Counter(colors.values())
+    print("transmitters per frequency:")
+    for frequency in sorted(histogram):
+        bar = "#" * (histogram[frequency] // 2)
+        print(f"  f{frequency:<2} {histogram[frequency]:>4}  {bar}")
+
+    # Each frequency class is an independent set: all of its members can
+    # transmit simultaneously without interference.
+    largest = max(histogram.values())
+    print(
+        f"\nlargest simultaneous transmission group: {largest} nodes "
+        f"({100.0 * largest / n:.0f}% of the network in one slot)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Theorem 1, live: why MIS needs Omega(log n) energy.
+
+Runs energy-budgeted strategies on the hard instance — n/4 disjoint
+edges plus n/2 isolated nodes — and shows the failure probability
+collapsing only once the per-node budget passes ~log n awake rounds,
+exactly as the lower bound dictates.  Also truncates the paper's own
+Algorithm 1 to a budget to show a *real* algorithm hitting the same
+wall.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.lowerbound import (
+    EnergyCappedCDMIS,
+    SynchronizedCoinStrategy,
+    min_budget_for_success,
+    run_lower_bound_experiment,
+)
+
+
+def main() -> None:
+    n = 256
+    budgets = [1, 2, 3, 4, 5, 6, 8, 10, 12, 16]
+    trials = 80
+
+    print(f"hard instance: n={n} ({n // 4} matched pairs, {n // 2} isolated)")
+    print(
+        f"Theorem 1: beating failure 1-e^(-1/4) needs b >= (1/2) log2 n = "
+        f"{0.5 * (n.bit_length() - 1):.0f}; "
+        f"the bound's own crossover is b = {min_budget_for_success(n)}"
+    )
+
+    print("\n-- synchronized coin strategy (the proof's strategy family) --")
+    report = run_lower_bound_experiment(
+        n, budgets, SynchronizedCoinStrategy, trials=trials
+    )
+    rows = [
+        (
+            r["b"],
+            r["empirical"],
+            r["coin_exact"],
+            r["thm1_bound"],
+        )
+        for r in report.rows()
+    ]
+    print(
+        render_table(
+            ["budget b", "empirical fail", "exact coin law", "Thm 1 lower bound"],
+            rows,
+        )
+    )
+    print(
+        "empirical failure tracks the strategy's exact law and always sits\n"
+        "above the theorem's lower bound, as it must."
+    )
+
+    print("\n-- Algorithm 1, truncated to an energy budget --")
+    report = run_lower_bound_experiment(
+        n, budgets, lambda b: EnergyCappedCDMIS(b), trials=trials
+    )
+    rows = [
+        (r["b"], r["empirical"], r["thm1_bound"]) for r in report.rows()
+    ]
+    print(
+        render_table(
+            ["budget b", "empirical fail", "Thm 1 lower bound"], rows
+        )
+    )
+    print(
+        "even the energy-optimal algorithm fails on the hard instance until\n"
+        "its budget clears ~log n — the lower bound is not an artifact of a\n"
+        "weak strategy."
+    )
+
+
+if __name__ == "__main__":
+    main()

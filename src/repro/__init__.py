@@ -1,0 +1,71 @@
+"""repro — Energy-efficient maximal independent sets in radio networks.
+
+A full reproduction of *"Energy-Efficient Maximal Independent Sets in
+Radio Networks"* (PODC 2025): a synchronous radio-network simulator with
+exact energy accounting (CD / no-CD / beeping collision semantics), the
+paper's Algorithms 1-4, the baselines they are compared against, the
+Theorem 1 lower-bound experiment, and a benchmark harness regenerating
+every quantitative claim.
+
+Quickstart
+----------
+>>> from repro import CDMISProtocol, CD, run_protocol
+>>> from repro.graphs import gnp_random_graph
+>>> graph = gnp_random_graph(128, 0.05, seed=1)
+>>> result = run_protocol(graph, CDMISProtocol(), CD, seed=7)
+>>> result.is_valid_mis()
+True
+"""
+
+from .constants import ConstantsProfile
+from .core import (
+    BeepingMISProtocol,
+    CDMISProtocol,
+    LowDegreeMISProtocol,
+    NoCDEnergyMISProtocol,
+)
+from .errors import (
+    ConfigurationError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from .graphs import Graph
+from .radio import (
+    BEEPING,
+    CD,
+    NO_CD,
+    Decision,
+    Protocol,
+    RunResult,
+    TraceRecorder,
+    run_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantsProfile",
+    "BeepingMISProtocol",
+    "CDMISProtocol",
+    "LowDegreeMISProtocol",
+    "NoCDEnergyMISProtocol",
+    "ConfigurationError",
+    "GraphError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "ValidationError",
+    "Graph",
+    "BEEPING",
+    "CD",
+    "NO_CD",
+    "Decision",
+    "Protocol",
+    "RunResult",
+    "TraceRecorder",
+    "run_protocol",
+    "__version__",
+]

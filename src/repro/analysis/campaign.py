@@ -1,0 +1,214 @@
+"""Declarative experiment campaigns.
+
+A *campaign* is a JSON-serializable description of a protocol ×
+workload × size grid — the thing every ad-hoc study script rewrites.
+`run_campaign` executes the grid deterministically and returns a
+:class:`CampaignResult` that renders as a table and exports as CSV, so a
+study is one JSON file instead of one more script:
+
+    {
+      "name": "cd-vs-naive",
+      "protocols": ["cd-mis", "naive-cd-luby"],
+      "workloads": ["gnp", "udg"],
+      "sizes": [64, 128],
+      "trials": 5,
+      "profile": "practical",
+      "seed": 0
+    }
+
+Protocol names resolve through the same registry as the CLI; workload
+names through :mod:`repro.analysis.workloads`; models default to each
+protocol's natural model (overridable per campaign with ``"model"``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..constants import ConstantsProfile
+from ..errors import ConfigurationError
+from ..radio.models import model_by_name
+from .runner import TrialSummary, run_trials
+from .tables import render_table
+from .workloads import get_workload
+
+__all__ = ["CampaignSpec", "CampaignCell", "CampaignResult", "run_campaign",
+           "load_campaign"]
+
+_PROFILES = {
+    "paper": ConstantsProfile.paper,
+    "practical": ConstantsProfile.practical,
+    "fast": ConstantsProfile.fast,
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Validated campaign description."""
+
+    name: str
+    protocols: tuple
+    workloads: tuple
+    sizes: tuple
+    trials: int = 5
+    profile: str = "practical"
+    seed: int = 0
+    model: Optional[str] = None  # override every protocol's default model
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSpec":
+        try:
+            spec = cls(
+                name=str(data["name"]),
+                protocols=tuple(data["protocols"]),
+                workloads=tuple(data["workloads"]),
+                sizes=tuple(int(size) for size in data["sizes"]),
+                trials=int(data.get("trials", 5)),
+                profile=str(data.get("profile", "practical")),
+                seed=int(data.get("seed", 0)),
+                model=data.get("model"),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"campaign missing required key: {exc}") from exc
+        if not spec.protocols or not spec.workloads or not spec.sizes:
+            raise ConfigurationError(
+                "campaign needs at least one protocol, workload, and size"
+            )
+        if spec.trials < 1:
+            raise ConfigurationError(f"trials must be positive, got {spec.trials}")
+        if spec.profile not in _PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {spec.profile!r}; choose from {sorted(_PROFILES)}"
+            )
+        return spec
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Aggregates for one (protocol, workload, size) grid cell."""
+
+    protocol: str
+    model: str
+    workload: str
+    n: int
+    trials: int
+    failure_rate: float
+    max_energy_mean: float
+    mean_energy_mean: float
+    rounds_mean: float
+    mis_size_mean: float
+
+
+@dataclass
+class CampaignResult:
+    """Executed campaign grid."""
+
+    spec: CampaignSpec
+    cells: List[CampaignCell] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        headers = [
+            "protocol", "workload", "n", "fail%", "maxE", "meanE", "rounds", "|MIS|",
+        ]
+        rows = [
+            (
+                cell.protocol,
+                cell.workload,
+                cell.n,
+                100.0 * cell.failure_rate,
+                cell.max_energy_mean,
+                cell.mean_energy_mean,
+                cell.rounds_mean,
+                cell.mis_size_mean,
+            )
+            for cell in self.cells
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"campaign {self.spec.name!r} "
+                f"(profile {self.spec.profile}, {self.spec.trials} trials/cell)"
+            ),
+        )
+
+    def to_csv(self) -> str:
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "protocol", "model", "workload", "n", "trials", "failure_rate",
+                "max_energy_mean", "mean_energy_mean", "rounds_mean",
+                "mis_size_mean",
+            ]
+        )
+        for cell in self.cells:
+            writer.writerow(
+                [
+                    cell.protocol, cell.model, cell.workload, cell.n, cell.trials,
+                    cell.failure_rate, cell.max_energy_mean, cell.mean_energy_mean,
+                    cell.rounds_mean, cell.mis_size_mean,
+                ]
+            )
+        return buffer.getvalue()
+
+    @property
+    def total_failures(self) -> int:
+        return sum(
+            round(cell.failure_rate * cell.trials) for cell in self.cells
+        )
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignSpec:
+    """Load and validate a campaign JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"campaign file is not valid JSON: {exc}") from exc
+    return CampaignSpec.from_dict(data)
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Execute the campaign grid deterministically."""
+    # Imported here to avoid a cli <-> analysis import cycle at load time.
+    from ..cli import _DEFAULT_MODEL, make_protocol
+
+    constants = _PROFILES[spec.profile]()
+    result = CampaignResult(spec=spec)
+    for protocol_name in spec.protocols:
+        protocol = make_protocol(protocol_name, constants)
+        model_name = spec.model or _DEFAULT_MODEL[protocol_name]
+        model = model_by_name(model_name)
+        for workload_name in spec.workloads:
+            workload = get_workload(workload_name)
+            for n in spec.sizes:
+                seeds = [
+                    spec.seed + 7_919 * trial + n for trial in range(spec.trials)
+                ]
+                summary: TrialSummary = run_trials(
+                    lambda seed, w=workload, n=n: w.build(n, seed),
+                    protocol,
+                    model,
+                    seeds,
+                )
+                result.cells.append(
+                    CampaignCell(
+                        protocol=protocol_name,
+                        model=model_name,
+                        workload=workload_name,
+                        n=n,
+                        trials=summary.trials,
+                        failure_rate=summary.failure_rate,
+                        max_energy_mean=summary.max_energy_summary().mean,
+                        mean_energy_mean=summary.mean_energy_summary().mean,
+                        rounds_mean=summary.rounds_summary().mean,
+                        mis_size_mean=summary.mis_size_summary().mean,
+                    )
+                )
+    return result

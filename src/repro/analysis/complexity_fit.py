@@ -1,0 +1,105 @@
+"""Fit measured complexities against polylogarithmic models.
+
+The paper's claims are asymptotic (``O(log n)``, ``O(log^2 n)``, ...),
+so the sweep experiments need a principled way to say *which* log power
+a measured curve follows.  We fit ``y ~= c * (log2 n)^p`` for candidate
+exponents ``p`` by least squares on ``log y`` vs ``log log n`` and pick
+the exponent minimizing residual error; we also report the continuous
+least-squares exponent, which is the slope of that regression.
+
+This is deliberately simple — with n spanning a few doublings the
+continuous exponent carries noise, so experiments report both the best
+integer/half-integer exponent and the raw slope, and EXPERIMENTS.md
+compares *algorithms against each other* (ratios, crossovers) rather
+than leaning on any single fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["LogPowerFit", "fit_log_power", "doubling_ratios"]
+
+
+@dataclass(frozen=True)
+class LogPowerFit:
+    """Result of fitting ``y = c * (log2 n)^p``."""
+
+    exponent: float  # continuous least-squares exponent
+    coefficient: float  # matching c
+    best_integer_exponent: float  # best p among the candidate grid
+    residual: float  # rms residual (log space) at the continuous fit
+    candidates: Tuple[Tuple[float, float], ...]  # (p, rms residual) grid
+
+    def predict(self, n: int) -> float:
+        """Model value at ``n`` using the continuous fit."""
+        return self.coefficient * math.log2(max(2, n)) ** self.exponent
+
+
+def fit_log_power(
+    sizes: Sequence[int],
+    values: Sequence[float],
+    candidate_exponents: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+) -> LogPowerFit:
+    """Fit measured ``values`` at network ``sizes`` to ``c * (log2 n)^p``."""
+    if len(sizes) != len(values):
+        raise ConfigurationError("sizes and values must have equal length")
+    if len(sizes) < 2:
+        raise ConfigurationError("need at least two points to fit")
+    if any(size < 2 for size in sizes):
+        raise ConfigurationError("sizes must be at least 2")
+    if any(value <= 0 for value in values):
+        raise ConfigurationError("values must be positive to fit a log-power model")
+
+    xs = [math.log(math.log2(size)) for size in sizes]
+    ys = [math.log(value) for value in values]
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    ss_xx = sum((x - mean_x) ** 2 for x in xs)
+    if ss_xx == 0:
+        raise ConfigurationError("all sizes have the same log-log abscissa")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / ss_xx
+    intercept = mean_y - slope * mean_x
+    residual = math.sqrt(
+        sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)) / count
+    )
+
+    candidates: List[Tuple[float, float]] = []
+    for p in candidate_exponents:
+        # Best c for fixed p minimizes sum (y - p x - log c)^2.
+        log_c = sum(y - p * x for x, y in zip(xs, ys)) / count
+        rms = math.sqrt(
+            sum((y - (log_c + p * x)) ** 2 for x, y in zip(xs, ys)) / count
+        )
+        candidates.append((p, rms))
+    best_p = min(candidates, key=lambda item: item[1])[0]
+
+    return LogPowerFit(
+        exponent=slope,
+        coefficient=math.exp(intercept),
+        best_integer_exponent=best_p,
+        residual=residual,
+        candidates=tuple(candidates),
+    )
+
+
+def doubling_ratios(sizes: Sequence[int], values: Sequence[float]) -> List[float]:
+    """``value(2n) / value(n)`` for consecutive doubling sizes.
+
+    For ``y = c log^p n`` the ratio tends to ``((log 2n)/(log n))^p`` —
+    close to 1 and decreasing; for polynomial growth it stays bounded
+    away from 1.  A quick sanity check alongside the formal fit.
+    """
+    if len(sizes) != len(values):
+        raise ConfigurationError("sizes and values must have equal length")
+    ratios = []
+    for i in range(1, len(sizes)):
+        if values[i - 1] <= 0:
+            raise ConfigurationError("values must be positive")
+        ratios.append(values[i] / values[i - 1])
+    return ratios

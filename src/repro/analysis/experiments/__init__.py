@@ -1,0 +1,37 @@
+"""Per-experiment harnesses (see DESIGN.md's experiment index).
+
+Every module regenerates one of the paper's quantitative claims and
+returns a structured report plus a rendered table, shared between the
+benchmarks in ``benchmarks/`` and the CLI.
+"""
+
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from .scaling import (
+    cd_protocol_suite,
+    nocd_protocol_suite,
+    run_scaling_comparison,
+)
+from .headline import run_headline_table
+from .correctness import run_correctness_battery
+from .residual import run_residual_shrinkage
+from .backoff_probe import BackoffProbe, run_backoff_experiment
+from .energy_breakdown import run_energy_breakdown
+from .delta_sweep import run_delta_sweep
+from .luby_phase_props import run_luby_phase_properties
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "cd_protocol_suite",
+    "nocd_protocol_suite",
+    "run_scaling_comparison",
+    "run_headline_table",
+    "run_correctness_battery",
+    "run_residual_shrinkage",
+    "BackoffProbe",
+    "run_backoff_experiment",
+    "run_energy_breakdown",
+    "run_delta_sweep",
+    "run_luby_phase_properties",
+]

@@ -1,0 +1,137 @@
+"""Experiment E7: failure probability batteries (Theorems 2 and 10).
+
+Both theorems claim success probability at least ``1 - 1/n``.  The
+battery runs each algorithm across a spread of topologies and many
+seeds, reporting failure rates with Wilson intervals and the breakdown
+by failure kind (undecided / independence / domination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...constants import ConstantsProfile
+from ...core import CDMISProtocol, NoCDEnergyMISProtocol
+from ...graphs.graph import Graph
+from ...radio.models import CD, NO_CD, CollisionModel
+from ...radio.node import Protocol
+from ..runner import TrialSummary, run_trials
+from ..tables import render_table
+
+__all__ = ["CorrectnessCell", "CorrectnessReport", "run_correctness_battery",
+           "default_topology_suite"]
+
+
+def default_topology_suite(n: int) -> Dict[str, Callable[[int], Graph]]:
+    """Topology families for the battery, each a ``seed -> Graph`` factory.
+
+    Drawn from the shared workload catalog so battery names match CLI
+    names everywhere.
+    """
+    from ..workloads import get_workload
+
+    names = ("gnp", "gnp-dense", "udg", "tree", "grid", "path", "star", "hard")
+    return {
+        name: (lambda seed, spec=get_workload(name): spec.build(n, seed))
+        for name in names
+    }
+
+
+@dataclass(frozen=True)
+class CorrectnessCell:
+    """Failure measurements for one (protocol, topology) pair."""
+
+    protocol: str
+    model: str
+    topology: str
+    trials: int
+    failures: int
+    failure_rate: float
+    interval: Tuple[float, float]
+    kind_counts: Dict[str, int]
+
+
+@dataclass
+class CorrectnessReport:
+    """E7 output."""
+
+    n: int
+    cells: List[CorrectnessCell]
+
+    def to_table(self) -> str:
+        headers = [
+            "protocol",
+            "topology",
+            "trials",
+            "failures",
+            "rate",
+            "95% CI",
+            "kinds",
+        ]
+        rows = []
+        for cell in self.cells:
+            low, high = cell.interval
+            kinds = (
+                ",".join(f"{kind}:{count}" for kind, count in cell.kind_counts.items())
+                or "-"
+            )
+            rows.append(
+                (
+                    cell.protocol,
+                    cell.topology,
+                    cell.trials,
+                    cell.failures,
+                    cell.failure_rate,
+                    f"[{low:.3f},{high:.3f}]",
+                    kinds,
+                )
+            )
+        return render_table(
+            headers, rows, title=f"E7 correctness battery (n={self.n})"
+        )
+
+    @property
+    def worst_rate(self) -> float:
+        return max((cell.failure_rate for cell in self.cells), default=0.0)
+
+
+def run_correctness_battery(
+    n: int = 64,
+    trials: int = 20,
+    constants: Optional[ConstantsProfile] = None,
+    topologies: Optional[Dict[str, Callable[[int], Graph]]] = None,
+    protocols: Optional[Sequence[Tuple[Protocol, CollisionModel]]] = None,
+    base_seed: int = 0,
+) -> CorrectnessReport:
+    """Run the failure-rate battery."""
+    constants = constants or ConstantsProfile.practical()
+    topologies = topologies or default_topology_suite(n)
+    if protocols is None:
+        protocols = [
+            (CDMISProtocol(constants=constants), CD),
+            (NoCDEnergyMISProtocol(constants=constants), NO_CD),
+        ]
+
+    cells: List[CorrectnessCell] = []
+    for protocol, model in protocols:
+        for topology_name, factory in topologies.items():
+            seeds = [base_seed + 31 * trial + 1 for trial in range(trials)]
+            summary: TrialSummary = run_trials(factory, protocol, model, seeds)
+            kind_counts: Dict[str, int] = {}
+            for outcome in summary.outcomes:
+                for kind in outcome.failure_kinds:
+                    kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            cells.append(
+                CorrectnessCell(
+                    protocol=protocol.name,
+                    model=model.name,
+                    topology=topology_name,
+                    trials=summary.trials,
+                    failures=summary.failures,
+                    failure_rate=summary.failure_rate,
+                    interval=summary.failure_rate_interval(),
+                    kind_counts=kind_counts,
+                )
+            )
+    return CorrectnessReport(n=n, cells=cells)

@@ -1,0 +1,141 @@
+"""Multi-trial experiment runner.
+
+Wraps :func:`repro.radio.engine.run_protocol` with the bookkeeping every
+experiment repeats: run a protocol many times (different seeds, and
+optionally a fresh random topology per trial), validate each output, and
+aggregate energy/round/failure statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from ..radio.engine import run_protocol
+from ..radio.metrics import RunResult
+from ..radio.models import CollisionModel
+from ..radio.node import Protocol
+from .stats import Summary, summarize, wilson_interval
+from .validation import ValidationReport, validate_run
+
+__all__ = ["TrialOutcome", "TrialSummary", "run_trials"]
+
+GraphFactory = Callable[[int], Graph]  # seed -> graph
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's headline numbers (the full RunResult is optional)."""
+
+    seed: int
+    valid: bool
+    mis_size: int
+    rounds: int
+    max_energy: int
+    mean_energy: float
+    failure_kinds: Tuple[str, ...]
+
+
+@dataclass
+class TrialSummary:
+    """Aggregated statistics over a battery of trials."""
+
+    protocol_name: str
+    model_name: str
+    graph_name: str
+    outcomes: List[TrialOutcome]
+    results: List[RunResult] = field(default_factory=list)  # kept if requested
+
+    @property
+    def trials(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.valid)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+    def failure_rate_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson interval on the failure rate."""
+        return wilson_interval(self.failures, max(1, self.trials), z)
+
+    def max_energy_summary(self) -> Summary:
+        """Distribution of per-run worst-case energy."""
+        return summarize([outcome.max_energy for outcome in self.outcomes])
+
+    def mean_energy_summary(self) -> Summary:
+        """Distribution of per-run node-averaged energy."""
+        return summarize([outcome.mean_energy for outcome in self.outcomes])
+
+    def rounds_summary(self) -> Summary:
+        """Distribution of per-run round complexity."""
+        return summarize([outcome.rounds for outcome in self.outcomes])
+
+    def mis_size_summary(self) -> Summary:
+        """Distribution of output MIS sizes (valid and invalid runs)."""
+        return summarize([outcome.mis_size for outcome in self.outcomes])
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        energy = self.max_energy_summary()
+        rounds = self.rounds_summary()
+        low, high = self.failure_rate_interval()
+        return (
+            f"{self.protocol_name}@{self.model_name} on {self.graph_name}: "
+            f"{self.trials} trials, {self.failures} failures "
+            f"(rate {self.failure_rate:.3f}, 95% CI [{low:.3f}, {high:.3f}])\n"
+            f"  max-energy {energy}\n"
+            f"  rounds     {rounds}"
+        )
+
+
+def run_trials(
+    graph: Graph | GraphFactory,
+    protocol: Protocol,
+    model: CollisionModel,
+    seeds: Sequence[int],
+    keep_results: bool = False,
+    max_rounds: Optional[int] = None,
+) -> TrialSummary:
+    """Run ``protocol`` for every seed and aggregate.
+
+    ``graph`` may be a fixed :class:`~repro.graphs.graph.Graph` or a
+    factory ``seed -> Graph`` for fresh-topology-per-trial batteries.
+    """
+    outcomes: List[TrialOutcome] = []
+    kept: List[RunResult] = []
+    graph_name = None
+    model_name = model.name
+
+    for seed in seeds:
+        current_graph = graph(seed) if callable(graph) else graph
+        graph_name = graph_name or current_graph.name
+        result = run_protocol(
+            current_graph, protocol, model, seed=seed, max_rounds=max_rounds
+        )
+        report: ValidationReport = validate_run(result)
+        outcomes.append(
+            TrialOutcome(
+                seed=seed,
+                valid=report.valid,
+                mis_size=report.mis_size,
+                rounds=result.rounds,
+                max_energy=result.max_energy,
+                mean_energy=result.mean_energy,
+                failure_kinds=tuple(report.failure_kinds),
+            )
+        )
+        if keep_results:
+            kept.append(result)
+
+    return TrialSummary(
+        protocol_name=protocol.name,
+        model_name=model_name,
+        graph_name=graph_name or "graph",
+        outcomes=outcomes,
+        results=kept,
+    )

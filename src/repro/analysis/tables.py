@@ -1,0 +1,74 @@
+"""Plain-text table and series rendering for experiment reports.
+
+Benchmarks print their regenerated "tables/figures" through these
+helpers so EXPERIMENTS.md, the CLI, and the bench output all share one
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    string_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in string_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    xs: Sequence,
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render a one-series ASCII bar chart (log-friendly for energies)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    peak = max((y for y in ys), default=0.0)
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    label_width = max([len(str(x)) for x in xs] + [len(x_label)])
+    parts.append(f"{x_label.rjust(label_width)} | {y_label}")
+    for x, y in zip(xs, ys):
+        bar_length = 0 if peak <= 0 else int(round(width * y / peak))
+        parts.append(
+            f"{str(x).rjust(label_width)} | {'#' * bar_length} {format_cell(float(y))}"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Trace-based timeline analytics.
+
+Turns a :class:`~repro.radio.trace.TraceRecorder`'s event log into the
+time-domain views the experiments and debugging sessions ask for:
+channel utilization (simultaneous transmissions per round — collision
+pressure), per-node activity spans, and cumulative energy curves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..radio.trace import TraceRecorder
+
+__all__ = [
+    "channel_utilization",
+    "busiest_rounds",
+    "activity_span",
+    "cumulative_energy",
+    "duty_cycle",
+    "collision_pressure",
+]
+
+
+def channel_utilization(trace: TraceRecorder) -> Dict[int, int]:
+    """round -> number of simultaneous transmissions (rounds with none
+    are omitted)."""
+    counts: Counter = Counter()
+    for event in trace.transmissions():
+        counts[event.round] += 1
+    return dict(counts)
+
+
+def busiest_rounds(trace: TraceRecorder, top: int = 5) -> List[Tuple[int, int]]:
+    """The ``top`` rounds with the most transmissions, as
+    ``(round, transmissions)`` sorted busiest-first."""
+    utilization = channel_utilization(trace)
+    return sorted(utilization.items(), key=lambda item: (-item[1], item[0]))[:top]
+
+
+def activity_span(trace: TraceRecorder, node: int) -> Tuple[int, int]:
+    """(first, last) awake round of ``node``; ``(-1, -1)`` if never awake."""
+    rounds = [event.round for event in trace.for_node(node)]
+    if not rounds:
+        return (-1, -1)
+    return (min(rounds), max(rounds))
+
+
+def cumulative_energy(trace: TraceRecorder, node: int) -> List[Tuple[int, int]]:
+    """Step curve of ``node``'s cumulative awake rounds: sorted
+    ``(round, total_awake_so_far)`` points, one per awake round."""
+    rounds = sorted(event.round for event in trace.for_node(node))
+    return [(round_index, count + 1) for count, round_index in enumerate(rounds)]
+
+
+def duty_cycle(trace: TraceRecorder, node: int, total_rounds: int) -> float:
+    """Fraction of the run's rounds that ``node`` spent awake."""
+    if total_rounds <= 0:
+        return 0.0
+    return len(trace.for_node(node)) / total_rounds
+
+
+def collision_pressure(trace: TraceRecorder) -> Dict[int, int]:
+    """Histogram: simultaneous-transmitter count -> number of rounds.
+
+    ``pressure[1]`` counts clean rounds; keys >= 2 are rounds in which a
+    listener with all transmitters as neighbors would see a collision
+    (CD) or silence (no-CD).  Global, not per-listener — a coarse but
+    useful congestion indicator.
+    """
+    histogram: Counter = Counter()
+    for count in channel_utilization(trace).values():
+        histogram[count] += 1
+    return dict(histogram)

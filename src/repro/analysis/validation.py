@@ -1,0 +1,85 @@
+"""MIS validation with diagnostics.
+
+The paper's correctness statements are "the output is an MIS with
+probability at least 1 - 1/n".  A *failure* therefore has three possible
+shapes, which experiments want separated: undecided nodes, independence
+violations, and domination violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ValidationError
+from ..graphs.graph import Graph
+from ..graphs.properties import domination_violations, independence_violations
+from ..radio.metrics import RunResult
+
+__all__ = ["ValidationReport", "validate_mis", "validate_run"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Structured verdict on a candidate MIS."""
+
+    valid: bool
+    mis_size: int
+    undecided: Tuple[int, ...] = ()
+    independence_violations: Tuple[Tuple[int, int], ...] = ()
+    domination_violations: Tuple[int, ...] = ()
+
+    @property
+    def failure_kinds(self) -> List[str]:
+        """Names of the violated properties (empty when valid)."""
+        kinds = []
+        if self.undecided:
+            kinds.append("undecided")
+        if self.independence_violations:
+            kinds.append("independence")
+        if self.domination_violations:
+            kinds.append("domination")
+        return kinds
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        if self.valid:
+            return f"valid MIS of size {self.mis_size}"
+        parts = []
+        if self.undecided:
+            parts.append(f"{len(self.undecided)} undecided")
+        if self.independence_violations:
+            parts.append(f"{len(self.independence_violations)} adjacent MIS pairs")
+        if self.domination_violations:
+            parts.append(f"{len(self.domination_violations)} undominated nodes")
+        return "INVALID: " + ", ".join(parts)
+
+
+def validate_mis(graph: Graph, mis, undecided=()) -> ValidationReport:
+    """Validate a candidate MIS set against ``graph``."""
+    mis_set = set(mis)
+    undecided_tuple = tuple(sorted(undecided))
+    independence = tuple(independence_violations(graph, mis_set))
+    domination = tuple(domination_violations(graph, mis_set))
+    return ValidationReport(
+        valid=not undecided_tuple and not independence and not domination,
+        mis_size=len(mis_set),
+        undecided=undecided_tuple,
+        independence_violations=independence,
+        domination_violations=domination,
+    )
+
+
+def validate_run(result: RunResult, strict: bool = False) -> ValidationReport:
+    """Validate a :class:`~repro.radio.metrics.RunResult`.
+
+    With ``strict=True`` an invalid output raises
+    :class:`~repro.errors.ValidationError` instead of returning.
+    """
+    report = validate_mis(result.graph, result.mis, result.undecided)
+    if strict and not report.valid:
+        raise ValidationError(
+            f"{result.protocol_name} on {result.graph.name} "
+            f"(seed={result.seed}): {report.describe()}"
+        )
+    return report

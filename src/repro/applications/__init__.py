@@ -1,0 +1,12 @@
+"""Downstream applications of MIS: backbones and coloring."""
+
+from .backbone import Backbone, build_backbone
+from .coloring import is_proper_coloring, iterated_mis_coloring, radio_mis_solver
+
+__all__ = [
+    "Backbone",
+    "build_backbone",
+    "is_proper_coloring",
+    "iterated_mis_coloring",
+    "radio_mis_solver",
+]

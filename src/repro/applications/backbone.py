@@ -1,0 +1,151 @@
+"""Communication backbones from an MIS — the paper's motivating use.
+
+The introduction motivates MIS as the first step of coordinating an ad
+hoc radio network: MIS nodes become *cluster heads*, every other node
+attaches to an adjacent head, and heads are bridged through shared
+*gateway* nodes to form a connected overlay.  This module turns a
+computed MIS into that structure and validates its properties.
+
+The construction is purely combinatorial (it runs on the already-known
+output); computing the MIS itself is the distributed part, done by any
+protocol in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..errors import ValidationError
+from ..graphs.graph import Graph
+
+__all__ = ["Backbone", "build_backbone"]
+
+
+@dataclass
+class Backbone:
+    """Cluster structure derived from an MIS.
+
+    Attributes
+    ----------
+    heads:
+        The MIS — one head per cluster.
+    membership:
+        node -> its head (heads map to themselves).
+    bridges:
+        ``(head_a, head_b) -> gateway path`` (a 1- or 2-node tuple) for
+        every pair of heads within two or three hops of each other.
+        Three hops is the classical connected-dominating-set radius: MIS
+        heads of a connected graph are always within three hops of some
+        other head, so these bridges make the overlay connected per
+        component.  Two-hop bridges (a single shared gateway) are
+        preferred when both exist.
+    """
+
+    graph: Graph
+    heads: FrozenSet[int]
+    membership: Dict[int, int]
+    bridges: Dict[Tuple[int, int], Tuple[int, ...]]
+
+    @property
+    def clusters(self) -> Dict[int, List[int]]:
+        """head -> sorted member list (including the head)."""
+        result: Dict[int, List[int]] = {head: [] for head in self.heads}
+        for node, head in self.membership.items():
+            result[head].append(node)
+        return {head: sorted(members) for head, members in result.items()}
+
+    def cluster_radius_is_one(self) -> bool:
+        """Every member is its head or adjacent to it."""
+        return all(
+            node == head or self.graph.has_edge(node, head)
+            for node, head in self.membership.items()
+        )
+
+    def overlay_graph(self) -> Graph:
+        """The head-level overlay: heads as nodes, bridges as edges."""
+        index = {head: i for i, head in enumerate(sorted(self.heads))}
+        edges = [
+            (index[a], index[b]) for (a, b) in self.bridges
+        ]
+        return Graph(len(index), edges, name=f"{self.graph.name}-overlay")
+
+    def overlay_connected_within_components(self) -> bool:
+        """The overlay connects heads that share a connected component.
+
+        Standard fact: MIS heads of a connected graph are linked by
+        2-hop bridges, so the overlay has exactly one overlay-component
+        per graph component that contains a head.
+        """
+        overlay = self.overlay_graph()
+        heads_sorted = sorted(self.heads)
+        head_component: Dict[int, int] = {}
+        for comp_index, component in enumerate(self.graph.connected_components()):
+            for node in component:
+                if node in self.heads:
+                    head_component[node] = comp_index
+        overlay_components = overlay.connected_components()
+        for overlay_component in overlay_components:
+            base_components = {
+                head_component[heads_sorted[i]] for i in overlay_component
+            }
+            if len(base_components) != 1:
+                return False
+        # Same number of overlay components as base components with heads.
+        return len(overlay_components) == len(set(head_component.values()))
+
+
+def build_backbone(
+    graph: Graph,
+    mis: Iterable[int],
+    strict: bool = True,
+) -> Backbone:
+    """Build the cluster/backbone structure from an MIS.
+
+    Members attach to their smallest adjacent head (deterministic).
+    With ``strict`` (default), a non-MIS input raises
+    :class:`~repro.errors.ValidationError` — a backbone built on an
+    invalid MIS would silently have orphan nodes or adjacent heads.
+    """
+    heads = frozenset(mis)
+    if strict and not graph.is_maximal_independent_set(heads):
+        raise ValidationError(
+            "backbone requires a valid MIS; got an invalid head set"
+        )
+
+    membership: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node in heads:
+            membership[node] = node
+            continue
+        adjacent_heads = [h for h in graph.neighbors(node) if h in heads]
+        if not adjacent_heads:
+            if strict:
+                raise ValidationError(f"node {node} has no adjacent head")
+            continue
+        membership[node] = min(adjacent_heads)
+
+    # 3-hop bridges first (via an edge of gateways), then overwrite with
+    # the preferred single-gateway 2-hop bridges where they exist.
+    bridges: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    for x, y in graph.edges:
+        if x in heads or y in heads:
+            continue
+        heads_x = [h for h in graph.neighbors(x) if h in heads]
+        heads_y = [h for h in graph.neighbors(y) if h in heads]
+        for head_a in heads_x:
+            for head_b in heads_y:
+                if head_a == head_b:
+                    continue
+                key = (head_a, head_b) if head_a < head_b else (head_b, head_a)
+                gateway = (x, y) if key == (head_a, head_b) else (y, x)
+                bridges.setdefault(key, gateway)
+    for node in graph.nodes:
+        if node in heads:
+            continue
+        adjacent_heads = sorted(h for h in graph.neighbors(node) if h in heads)
+        for i, head_a in enumerate(adjacent_heads):
+            for head_b in adjacent_heads[i + 1 :]:
+                bridges[(head_a, head_b)] = (node,)
+
+    return Backbone(graph=graph, heads=heads, membership=membership, bridges=bridges)

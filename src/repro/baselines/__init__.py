@@ -1,0 +1,42 @@
+"""Baselines the paper's algorithms are measured against.
+
+Radio baselines (energy-oblivious):
+
+* :class:`NaiveCDLubyProtocol` — Algorithm 1 without early sleep;
+  O(log^2 n) energy in the CD model (Section 1.3 strawman).
+* :class:`NaiveBackoffMISProtocol` — traditional-backoff simulation of
+  Algorithm 1 in no-CD; O(log^4 n)-ish energy and rounds (Section 5.1
+  strawman).
+* :class:`~repro.core.low_degree_mis.LowDegreeMISProtocol` (re-exported)
+  with ``degree_bound=Delta`` — our stand-in for the improved Davies
+  algorithm of Section 4.2: round-efficient, energy-oblivious.
+
+Idealized (message-passing) references:
+
+* :func:`luby_mis` — classical Luby; ground truth for residual-edge
+  halving (Lemma 5).
+* :func:`ghaffari_mis` — Ghaffari [SODA'16]; the process Davies
+  simulates over radio.
+* :func:`~repro.graphs.properties.greedy_mis` (re-exported) — the
+  centralized sequential reference.
+"""
+
+from ..core.low_degree_mis import LowDegreeMISProtocol
+from ..graphs.properties import greedy_mis
+from .backoff_sim_mis import NaiveBackoffMISProtocol
+from .beep_sender_cd_mis import SenderCDBeepingMISProtocol
+from .ghaffari import GhaffariResult, ghaffari_mis
+from .luby import LubyResult, luby_mis
+from .naive_cd_luby import NaiveCDLubyProtocol
+
+__all__ = [
+    "LowDegreeMISProtocol",
+    "greedy_mis",
+    "NaiveBackoffMISProtocol",
+    "SenderCDBeepingMISProtocol",
+    "GhaffariResult",
+    "ghaffari_mis",
+    "LubyResult",
+    "luby_mis",
+    "NaiveCDLubyProtocol",
+]

@@ -1,0 +1,118 @@
+"""Idealized Ghaffari MIS [SODA'16] in message-passing CONGEST.
+
+Davies' radio algorithm — the paper's primary comparison point — is a
+radio simulation of this process, so we keep a faithful idealized copy
+as ground truth for its round dynamics:
+
+* every undecided node ``v`` holds a desire level ``p_v`` (initially
+  1/2),
+* each round ``v`` *marks* itself with probability ``p_v``; marks are
+  exchanged reliably with neighbors,
+* a marked node with no marked neighbor joins the MIS; its neighbors
+  retire dominated,
+* desire update: if the *effective degree* ``sum of p_u over undecided
+  neighbors u`` is at least 2, ``p_v`` halves, otherwise it doubles
+  (capped at 1/2).
+
+Ghaffari proves each node is decided within ``O(log deg + log 1/eps)``
+rounds with probability ``1 - eps``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import SimulationError
+from ..graphs.graph import Graph
+
+__all__ = ["GhaffariResult", "ghaffari_mis"]
+
+
+@dataclass
+class GhaffariResult:
+    """Output of an idealized Ghaffari run."""
+
+    mis: Set[int]
+    rounds_used: int
+    residual_nodes: List[int] = field(default_factory=list)
+    #: Round at which each node decided (in or out).
+    decided_round: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return self.residual_nodes[-1] == 0 if self.residual_nodes else True
+
+
+def ghaffari_mis(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> GhaffariResult:
+    """Run idealized Ghaffari's MIS until every node decides."""
+    if rng is None:
+        rng = random.Random(seed)
+    n = max(2, graph.num_nodes)
+    if max_rounds is None:
+        max_rounds = max(64, 40 * n.bit_length())
+
+    undecided: Set[int] = set(graph.nodes)
+    desire: Dict[int, float] = {node: 0.5 for node in graph.nodes}
+    mis: Set[int] = set()
+    residual_nodes = [graph.num_nodes]
+    decided_round: Dict[int, int] = {}
+
+    round_index = 0
+    while undecided:
+        if round_index >= max_rounds:
+            raise SimulationError(
+                f"idealized Ghaffari exceeded {max_rounds} rounds on {graph.name} "
+                f"({len(undecided)} nodes still undecided)"
+            )
+        round_index += 1
+        marked = {node for node in undecided if rng.random() < desire[node]}
+
+        joiners = [
+            node
+            for node in marked
+            if not any(
+                neighbor in marked for neighbor in graph.neighbors(node)
+            )
+        ]
+        retired: Set[int] = set()
+        for joiner in joiners:
+            mis.add(joiner)
+            retired.add(joiner)
+            retired.update(
+                neighbor
+                for neighbor in graph.neighbors(joiner)
+                if neighbor in undecided
+            )
+        for node in retired:
+            decided_round[node] = round_index
+        undecided -= retired
+
+        # Desire update on the survivors (uses pre-update desires).
+        effective: Dict[int, float] = {}
+        for node in undecided:
+            effective[node] = sum(
+                desire[neighbor]
+                for neighbor in graph.neighbors(node)
+                if neighbor in undecided
+            )
+        for node in undecided:
+            if effective[node] >= 2.0:
+                desire[node] = desire[node] / 2.0
+            else:
+                desire[node] = min(0.5, desire[node] * 2.0)
+
+        residual_nodes.append(len(undecided))
+
+    return GhaffariResult(
+        mis=mis,
+        rounds_used=round_index,
+        residual_nodes=residual_nodes,
+        decided_round=decided_round,
+    )

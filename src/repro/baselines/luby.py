@@ -1,0 +1,125 @@
+"""Idealized Luby's algorithm (message-passing, no radio constraints).
+
+The ground truth for residual-graph dynamics: in the classical CONGEST
+reading, every node exchanges its random rank with all neighbors
+reliably each phase, local maxima join, and MIS nodes plus their
+neighbors retire.  Lemma 5 of the paper compares Algorithm 1's
+phase-by-phase edge shrinkage against this process (expected halving of
+residual edges), so the simulator records ``|E_i|`` after every phase.
+
+Two rank variants are provided: continuous uniform ranks (the textbook
+version — ties have probability zero) and ``beta log n``-bit ranks (the
+paper's discretization, where ties are possible but rare).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..constants import ConstantsProfile
+from ..errors import SimulationError
+from ..graphs.graph import Graph
+
+__all__ = ["LubyResult", "luby_mis"]
+
+
+@dataclass
+class LubyResult:
+    """Output of an idealized Luby run."""
+
+    mis: Set[int]
+    phases_used: int
+    #: ``residual_edges[i]`` is ``|E_i|`` — edges among still-undecided
+    #: nodes after phase ``i`` (index 0 is ``|E_0|``, before any phase).
+    residual_edges: List[int] = field(default_factory=list)
+    #: Same, but counting undecided nodes.
+    residual_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        """True iff every node decided within the phase budget."""
+        return self.residual_nodes[-1] == 0 if self.residual_nodes else True
+
+
+def luby_mis(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    max_phases: Optional[int] = None,
+    rank_bits: Optional[int] = None,
+    constants: Optional[ConstantsProfile] = None,
+) -> LubyResult:
+    """Run idealized Luby's MIS; local maxima join each phase.
+
+    Parameters
+    ----------
+    rank_bits:
+        When set, ranks are ``rank_bits``-bit uniform integers (the
+        paper's discretization; adjacent ties simply mean neither node
+        is a local maximum that phase).  When ``None``, ranks are
+        continuous uniforms.
+    max_phases:
+        Defaults to ``C log n`` from ``constants`` (practical profile),
+        with a generous floor; exceeding it raises — Luby converging in
+        O(log n) phases w.h.p. is itself one of the checked claims.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    constants = constants or ConstantsProfile.practical()
+    if max_phases is None:
+        max_phases = max(32, 4 * constants.luby_phases(max(2, graph.num_nodes)))
+
+    undecided: Set[int] = set(graph.nodes)
+    mis: Set[int] = set()
+    residual_edges = [graph.num_edges]
+    residual_nodes = [graph.num_nodes]
+
+    phase = 0
+    while undecided:
+        if phase >= max_phases:
+            raise SimulationError(
+                f"idealized Luby exceeded {max_phases} phases on {graph.name} "
+                f"({len(undecided)} nodes still undecided)"
+            )
+        phase += 1
+        if rank_bits is None:
+            ranks = {node: rng.random() for node in undecided}
+        else:
+            ranks = {node: rng.getrandbits(rank_bits) for node in undecided}
+
+        winners = [
+            node
+            for node in undecided
+            if all(
+                ranks[neighbor] < ranks[node]
+                for neighbor in graph.neighbors(node)
+                if neighbor in undecided
+            )
+        ]
+        retired = set(winners)
+        for winner in winners:
+            mis.add(winner)
+            retired.update(
+                neighbor
+                for neighbor in graph.neighbors(winner)
+                if neighbor in undecided
+            )
+        undecided -= retired
+
+        residual_nodes.append(len(undecided))
+        residual_edges.append(
+            sum(
+                1
+                for u, v in graph.edges
+                if u in undecided and v in undecided
+            )
+        )
+
+    return LubyResult(
+        mis=mis,
+        phases_used=phase,
+        residual_edges=residual_edges,
+        residual_nodes=residual_nodes,
+    )

@@ -1,0 +1,324 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mis``.
+
+Subcommands
+-----------
+``run``         — run one algorithm on one topology and print the summary.
+``sweep``       — size sweep for one algorithm (energy/rounds vs n).
+``lowerbound``  — the Theorem 1 budget sweep on the hard instance.
+``experiment``  — run a registered experiment (E1..E12) at quick scale.
+``list``        — list algorithms, models, topologies, experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis.experiments.registry import EXPERIMENTS, get_experiment
+from .analysis.runner import run_trials
+from .analysis.sweep import run_size_sweep
+from .baselines import (
+    LowDegreeMISProtocol,
+    NaiveBackoffMISProtocol,
+    NaiveCDLubyProtocol,
+    SenderCDBeepingMISProtocol,
+)
+from .constants import ConstantsProfile
+from .core import (
+    BeepingMISProtocol,
+    CDMISProtocol,
+    NoCDEnergyMISProtocol,
+    UnknownDeltaMISProtocol,
+)
+from .graphs.graph import Graph
+from .lowerbound import SynchronizedCoinStrategy, run_lower_bound_experiment
+from .radio.models import model_by_name
+from .radio.node import Protocol
+
+__all__ = ["main", "build_parser", "make_protocol", "make_graph"]
+
+_PROTOCOLS: Dict[str, Callable[[ConstantsProfile], Protocol]] = {
+    "cd-mis": lambda constants: CDMISProtocol(constants=constants),
+    "beeping-mis": lambda constants: BeepingMISProtocol(constants=constants),
+    "naive-cd-luby": lambda constants: NaiveCDLubyProtocol(constants=constants),
+    "nocd-energy-mis": lambda constants: NoCDEnergyMISProtocol(constants=constants),
+    "davies-low-degree-mis": lambda constants: LowDegreeMISProtocol(
+        constants=constants
+    ),
+    "naive-backoff-mis": lambda constants: NaiveBackoffMISProtocol(
+        constants=constants
+    ),
+    "unknown-delta-mis": lambda constants: UnknownDeltaMISProtocol(
+        constants=constants
+    ),
+    "sender-cd-beep-mis": lambda constants: SenderCDBeepingMISProtocol(
+        constants=constants
+    ),
+}
+
+_DEFAULT_MODEL = {
+    "cd-mis": "cd",
+    "beeping-mis": "beep",
+    "naive-cd-luby": "cd",
+    "nocd-energy-mis": "no-cd",
+    "davies-low-degree-mis": "no-cd",
+    "naive-backoff-mis": "no-cd",
+    "unknown-delta-mis": "no-cd",
+    "sender-cd-beep-mis": "beep-sender-cd",
+}
+
+_PROFILES = {
+    "paper": ConstantsProfile.paper,
+    "practical": ConstantsProfile.practical,
+    "fast": ConstantsProfile.fast,
+}
+
+
+def make_protocol(name: str, constants: ConstantsProfile) -> Protocol:
+    """Instantiate a protocol by CLI name."""
+    try:
+        return _PROTOCOLS[name](constants)
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(_PROTOCOLS)}"
+        ) from None
+
+
+def make_graph(topology: str, n: int, seed: int) -> Graph:
+    """Instantiate a topology by CLI name (see the workload catalog)."""
+    from .analysis.workloads import build_workload
+    from .errors import ConfigurationError
+
+    try:
+        return build_workload(topology, n, seed)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description="Energy-efficient MIS in radio networks (PODC 2025 reproduction)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(_PROFILES),
+        default="practical",
+        help="constants profile (default: practical)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm once")
+    run_parser.add_argument("algorithm", choices=sorted(_PROTOCOLS))
+    run_parser.add_argument("--n", type=int, default=128)
+    run_parser.add_argument("--topology", default="gnp")
+    run_parser.add_argument("--model", default=None, help="cd | no-cd | beep")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--trials", type=int, default=1)
+
+    sweep_parser = subparsers.add_parser("sweep", help="size sweep for one algorithm")
+    sweep_parser.add_argument("algorithm", choices=sorted(_PROTOCOLS))
+    sweep_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 128, 256, 512]
+    )
+    sweep_parser.add_argument("--topology", default="gnp")
+    sweep_parser.add_argument("--model", default=None)
+    sweep_parser.add_argument("--trials", type=int, default=5)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--csv", default=None, metavar="PATH", help="also write the sweep as CSV"
+    )
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the sweep as JSON"
+    )
+
+    lb_parser = subparsers.add_parser(
+        "lowerbound", help="Theorem 1 budget sweep on the hard instance"
+    )
+    lb_parser.add_argument("--n", type=int, default=128)
+    lb_parser.add_argument(
+        "--budgets", type=int, nargs="+", default=[1, 2, 3, 4, 6, 8, 10]
+    )
+    lb_parser.add_argument("--trials", type=int, default=60)
+    lb_parser.add_argument("--seed", type=int, default=0)
+
+    exp_parser = subparsers.add_parser(
+        "experiment", help="run a registered experiment (quick scale)"
+    )
+    exp_parser.add_argument("id", help="experiment id, e.g. E8 (or 'all')")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run a declarative JSON campaign file"
+    )
+    campaign_parser.add_argument("path", help="path to the campaign JSON")
+    campaign_parser.add_argument(
+        "--csv", default=None, metavar="PATH", help="also write results as CSV"
+    )
+
+    apps_parser = subparsers.add_parser(
+        "apps", help="run a downstream application (backbone | coloring)"
+    )
+    apps_parser.add_argument("application", choices=("backbone", "coloring"))
+    apps_parser.add_argument("--n", type=int, default=128)
+    apps_parser.add_argument("--topology", default="udg")
+    apps_parser.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("list", help="list algorithms/models/experiments")
+    return parser
+
+
+def _command_run(args, constants: ConstantsProfile) -> int:
+    protocol = make_protocol(args.algorithm, constants)
+    model = model_by_name(args.model or _DEFAULT_MODEL[args.algorithm])
+    graph_factory = lambda seed: make_graph(args.topology, args.n, seed)  # noqa: E731
+    seeds = [args.seed + trial for trial in range(args.trials)]
+    summary = run_trials(graph_factory, protocol, model, seeds)
+    print(summary.describe())
+    return 0 if summary.failures == 0 else 1
+
+
+def _command_sweep(args, constants: ConstantsProfile) -> int:
+    protocol_name = args.algorithm
+    model = model_by_name(args.model or _DEFAULT_MODEL[protocol_name])
+    result = run_size_sweep(
+        args.sizes,
+        lambda n, seed: make_graph(args.topology, n, seed),
+        lambda n: make_protocol(protocol_name, constants),
+        model,
+        trials=args.trials,
+        base_seed=args.seed,
+    )
+    print(result.to_table())
+    if len(args.sizes) >= 2:
+        fit = result.fit("max_energy_mean")
+        print(
+            f"\nmax-energy log-power fit: exponent {fit.exponent:.2f} "
+            f"(closest grid power: {fit.best_integer_exponent:g})"
+        )
+    if args.csv or args.json:
+        from .analysis.export import save_text, sweep_to_csv, sweep_to_json
+
+        if args.csv:
+            save_text(sweep_to_csv(result), args.csv)
+            print(f"wrote {args.csv}")
+        if args.json:
+            save_text(sweep_to_json(result), args.json)
+            print(f"wrote {args.json}")
+    return 0
+
+
+def _command_lowerbound(args, constants: ConstantsProfile) -> int:
+    from .analysis.tables import render_table
+
+    report = run_lower_bound_experiment(
+        args.n,
+        args.budgets,
+        SynchronizedCoinStrategy,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    rows = [
+        (r["b"], r["empirical"], r["thm1_bound"], r["pair_bound"], r["coin_exact"])
+        for r in report.rows()
+    ]
+    print(
+        render_table(
+            ["b", "empirical fail", "Thm1 bound", "pair bound", "coin exact"],
+            rows,
+            title=f"Theorem 1 sweep (n={report.n}, {args.trials} trials/budget)",
+        )
+    )
+    return 0
+
+
+def _command_experiment(args, constants: ConstantsProfile) -> int:
+    ids = sorted(EXPERIMENTS) if args.id.lower() == "all" else [args.id]
+    for experiment_id in ids:
+        spec = get_experiment(experiment_id)
+        print(f"== {spec.experiment_id}: {spec.claim} ==")
+        print(spec.run())
+        print()
+    return 0
+
+
+def _command_campaign(args, constants: ConstantsProfile) -> int:
+    from .analysis.campaign import load_campaign, run_campaign
+
+    spec = load_campaign(args.path)
+    result = run_campaign(spec)
+    print(result.to_table())
+    if args.csv:
+        from .analysis.export import save_text
+
+        save_text(result.to_csv(), args.csv)
+        print(f"wrote {args.csv}")
+    return 0 if result.total_failures == 0 else 1
+
+
+def _command_apps(args, constants: ConstantsProfile) -> int:
+    from .analysis.validation import validate_run
+    from .radio.engine import run_protocol
+    from .radio.models import CD
+
+    graph = make_graph(args.topology, args.n, args.seed)
+    protocol = CDMISProtocol(constants=constants)
+    result = run_protocol(graph, protocol, CD, seed=args.seed)
+    report = validate_run(result)
+    print(f"MIS on {graph.name}: {report.describe()}")
+    if not report.valid:
+        return 1
+
+    if args.application == "backbone":
+        from .applications import build_backbone
+
+        backbone = build_backbone(graph, result.mis)
+        sizes = sorted(len(m) for m in backbone.clusters.values())
+        print(
+            f"backbone: {len(backbone.heads)} clusters "
+            f"(sizes {sizes[0]}..{sizes[-1]}), {len(backbone.bridges)} bridges, "
+            f"overlay connected: {backbone.overlay_connected_within_components()}"
+        )
+    else:
+        from .applications import iterated_mis_coloring, radio_mis_solver
+
+        solver = radio_mis_solver(lambda: CDMISProtocol(constants=constants), CD)
+        colors = iterated_mis_coloring(graph, solver, seed=args.seed)
+        print(
+            f"coloring: {max(colors.values()) + 1} colors "
+            f"(Delta+1 = {graph.max_degree() + 1})"
+        )
+    return 0
+
+
+def _command_list(args, constants: ConstantsProfile) -> int:
+    print("algorithms:")
+    for name in sorted(_PROTOCOLS):
+        print(f"  {name} (default model: {_DEFAULT_MODEL[name]})")
+    print("profiles:", ", ".join(sorted(_PROFILES)))
+    print("experiments:")
+    for spec in EXPERIMENTS.values():
+        print(f"  {spec.experiment_id}: {spec.claim}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    constants = _PROFILES[args.profile]()
+    handlers = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "lowerbound": _command_lowerbound,
+        "experiment": _command_experiment,
+        "campaign": _command_campaign,
+        "apps": _command_apps,
+        "list": _command_list,
+    }
+    return handlers[args.command](args, constants)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

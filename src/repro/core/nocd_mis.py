@@ -1,0 +1,318 @@
+"""Algorithm 2: energy-efficient MIS in the no-CD model (Theorem 10).
+
+Each of ``C log n`` Luby phases is a fixed ``T_L``-round schedule of
+four synchronized segments (Figure 2 of the paper):
+
+1. **Competition** (``T_C`` rounds) — undecided nodes run Algorithm 3;
+   nodes already in the MIS sleep.
+2. **Deep check #1** (``T_B(C' log n)`` rounds) — MIS nodes announce via
+   Snd-EBackoff; competition *winners* deep-listen: hearing an MIS
+   neighbor means they must not join (OUT_MIS, terminate), silence
+   promotes them to IN_MIS.  Everyone else sleeps.
+3. **Deep check #2 + LowDegreeMIS** (``T_B(C' log n) + T_G`` rounds) —
+   MIS nodes announce again (informing this phase's *committed* nodes),
+   then sleep; committed nodes deep-listen (hear -> OUT_MIS, terminate)
+   and the silent ones run LowDegreeMIS on the committed subgraph, whose
+   max degree is O(log n) w.h.p. (Corollary 13).
+4. **Shallow check** (``T_B(1)`` rounds) — MIS nodes send one backoff
+   iteration; all other survivors listen once: hearing means an MIS
+   neighbor exists (OUT_MIS, terminate), otherwise they reset to
+   undecided and continue.  The shallow check succeeds only with
+   constant probability per phase — that is the deliberate trade that
+   keeps per-phase listening cost O(log Delta) (Section 5.1.2).
+
+MIS nodes never terminate early; they keep announcing in every phase
+and decide IN_MIS after the last one.
+
+Energy: O(log^2 n log log n) w.h.p.; rounds: O(log^3 n log Delta).
+The optional deterministic energy cap from the proof of Theorem 10
+(sleep forever and decide arbitrarily once a threshold is exceeded) is
+available via ``energy_cap``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..constants import ConstantsProfile
+from ..errors import SynchronizationError
+from ..radio.actions import SleepUntil
+from ..radio.node import Decision, NodeContext, Protocol, ProtocolRun
+from .backoff import backoff_rounds, rec_ebackoff, snd_ebackoff
+from .competition import COMMIT, WIN, competition, competition_rounds
+from .low_degree_mis import DOMINATED, JOINED, low_degree_mis, low_degree_mis_rounds
+
+__all__ = ["NoCDEnergyMISProtocol", "LubyPhaseSchedule"]
+
+_UNDECIDED = "undecided"
+_IN_MIS = "in-mis"
+_OUT_MIS = "out-mis"
+
+
+class LubyPhaseSchedule:
+    """Round budgets of one Luby phase, shared by every node.
+
+    Exposed separately so tests and experiments can reason about the
+    barrier arithmetic (T_B, T_C, T_G, T_L of Section 5.2).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delta: int,
+        constants: ConstantsProfile,
+        shallow_iterations: int = 1,
+        enable_commit: bool = True,
+    ):
+        self.n = n
+        self.delta = max(1, delta)
+        self.constants = constants
+        self.shallow_iterations = max(1, shallow_iterations)
+        self.enable_commit = enable_commit
+        k_deep = constants.deep_check_iterations(n)
+        self.deep_iterations = k_deep
+        self.committed_degree = min(self.delta, constants.committed_degree(n))
+        self.tb_deep = backoff_rounds(k_deep, self.delta)
+        self.tb_shallow = backoff_rounds(self.shallow_iterations, self.delta)
+        self.tc = competition_rounds(n, self.delta, constants)
+        if enable_commit:
+            # Segment 3 (second deep check + LowDegreeMIS) only exists
+            # when commitment is on; the no-commit ablation drops it.
+            self.tg = low_degree_mis_rounds(n, self.committed_degree, constants)
+            self.tl = self.tc + 2 * self.tb_deep + self.tg + self.tb_shallow
+        else:
+            self.tg = 0
+            self.tl = self.tc + self.tb_deep + self.tb_shallow
+        self.phases = constants.luby_phases(n)
+
+    def phase_start(self, phase: int) -> int:
+        """Absolute round at which Luby phase ``phase`` (0-based) begins."""
+        return phase * self.tl
+
+    @property
+    def total_rounds(self) -> int:
+        """Worst-case rounds of the whole algorithm."""
+        return self.phases * self.tl
+
+    def __repr__(self) -> str:
+        return (
+            f"LubyPhaseSchedule(n={self.n}, delta={self.delta}, "
+            f"tc={self.tc}, tb_deep={self.tb_deep}, tg={self.tg}, "
+            f"tb_shallow={self.tb_shallow}, tl={self.tl}, phases={self.phases})"
+        )
+
+
+class NoCDEnergyMISProtocol(Protocol):
+    """The paper's Algorithm 2.
+
+    Parameters
+    ----------
+    constants:
+        Multiplier profile (defaults to ``practical``).
+    delta:
+        Override for the shared degree bound Delta; defaults to the
+        simulator-provided exact max degree.  Pass ``n`` to model the
+        "Delta unknown" regime the paper discusses.
+    instrument:
+        Record per-phase logs in ``ctx.info`` for the lemma experiments.
+    energy_cap:
+        Optional deterministic awake-round cap (proof of Theorem 10): a
+        node exceeding it at a phase boundary decides arbitrarily
+        (IN_MIS if it already holds MIS status, else OUT_MIS) and sleeps
+        forever.
+    """
+
+    name = "nocd-energy-mis"
+    compatible_models = ("no-cd", "cd")
+
+    def __init__(
+        self,
+        constants: Optional[ConstantsProfile] = None,
+        delta: Optional[int] = None,
+        instrument: bool = False,
+        energy_cap: Optional[int] = None,
+        mute_committed_on_hear: bool = False,
+        shallow_iterations: int = 1,
+        enable_commit: bool = True,
+    ):
+        self.constants = constants or ConstantsProfile.practical()
+        self.delta = delta
+        self.instrument = instrument
+        self.energy_cap = energy_cap
+        self.mute_committed_on_hear = mute_committed_on_hear
+        #: §5.1.2 ablation: set to the deep iteration count to replace
+        #: the cheap shallow checks with full deep checks every phase.
+        self.shallow_iterations = max(1, shallow_iterations)
+        #: §5.1.1 ablation: disable the commitment mechanism entirely.
+        self.enable_commit = enable_commit
+
+    def schedule_for(self, n: int, delta: int) -> LubyPhaseSchedule:
+        """The phase schedule this protocol uses on an (n, delta) network."""
+        effective_delta = self.delta if self.delta is not None else delta
+        return LubyPhaseSchedule(
+            n,
+            max(1, effective_delta),
+            self.constants,
+            shallow_iterations=self.shallow_iterations,
+            enable_commit=self.enable_commit,
+        )
+
+    def max_rounds_hint(self, n: int, delta: int) -> int:
+        return self.schedule_for(n, delta).total_rounds + 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, ctx: NodeContext) -> ProtocolRun:
+        schedule = self.schedule_for(ctx.n, ctx.delta)
+        status = yield from self.run_phases(ctx, schedule, base_round=0)
+        if status == _IN_MIS:
+            ctx.decide(Decision.IN_MIS)
+        elif status == _OUT_MIS:
+            ctx.decide(Decision.OUT_MIS)
+        # Otherwise the node stays UNDECIDED — a low-probability failure
+        # surfaced by RunResult.is_valid_mis().
+
+    def run_phases(self, ctx: NodeContext, schedule: LubyPhaseSchedule,
+                   base_round: int) -> "ProtocolRun":
+        """Execute the full Luby-phase loop starting at ``base_round``.
+
+        Returns the terminal status string (``in-mis`` / ``out-mis`` /
+        ``undecided``) instead of committing a decision, so the loop can
+        serve both the standalone protocol and wrappers such as the
+        unknown-Delta scheme, which runs it once per Delta guess and
+        decides only after verification.  A node that concludes
+        ``out-mis`` returns early (mid-epoch); callers needing round
+        alignment afterwards must SleepUntil their next barrier.
+        """
+        constants = self.constants
+        delta = schedule.delta
+        k_deep = schedule.deep_iterations
+        phase_log = []
+        if self.instrument:
+            ctx.info.setdefault("phase_log", phase_log)
+            phase_log = ctx.info["phase_log"]
+            ctx.info.setdefault("decided_phase", None)
+
+        status = _UNDECIDED
+        for phase in range(schedule.phases):
+            start = base_round + schedule.phase_start(phase)
+            if ctx.now != start:
+                raise SynchronizationError(
+                    f"node {ctx.node} entered phase {phase} at round {ctx.now}, "
+                    f"expected {start}"
+                )
+            if self.energy_cap is not None and self._spent(ctx) > self.energy_cap:
+                # Thresholding from the proof of Theorem 10.
+                self._log_decided(ctx, phase_log, phase, "energy-cap")
+                return _IN_MIS if status == _IN_MIS else _OUT_MIS
+            entry = {"phase": phase, "start_status": status}
+
+            # --- segment 1: competition -------------------------------
+            if status == _UNDECIDED:
+                outcome = yield from competition(
+                    ctx,
+                    delta,
+                    constants,
+                    schedule.committed_degree,
+                    mute_committed_on_hear=self.mute_committed_on_hear,
+                    enable_commit=schedule.enable_commit,
+                )
+                status = outcome.status
+                entry.update(
+                    rank=outcome.rank,
+                    committed=outcome.committed,
+                    commit_bit=outcome.commit_bit,
+                    competition_status=outcome.status,
+                )
+            else:
+                yield SleepUntil(start + schedule.tc)
+
+            # --- segment 2: deep check #1 -----------------------------
+            barrier2 = start + schedule.tc + schedule.tb_deep
+            if status == _IN_MIS:
+                ctx.set_component("mis-announce-deep")
+                yield from snd_ebackoff(ctx, k_deep, delta)
+            elif status == WIN:
+                ctx.set_component("deep-check")
+                heard = yield from rec_ebackoff(ctx, k_deep, delta)
+                if heard:
+                    self._log_decided(ctx, phase_log, phase, "win-heard-mis", entry)
+                    return _OUT_MIS
+                status = _IN_MIS
+            else:
+                yield SleepUntil(barrier2)
+
+            # --- segment 3: deep check #2 + LowDegreeMIS ---------------
+            # (absent entirely in the no-commit ablation)
+            barrier3 = barrier2
+            if schedule.enable_commit:
+                barrier3 = barrier2 + schedule.tb_deep + schedule.tg
+            if not schedule.enable_commit:
+                pass
+            elif status == _IN_MIS:
+                ctx.set_component("mis-announce-deep")
+                yield from snd_ebackoff(ctx, k_deep, delta)
+                yield SleepUntil(barrier3)
+            elif status == COMMIT:
+                ctx.set_component("deep-check")
+                heard = yield from rec_ebackoff(ctx, k_deep, delta)
+                if heard:
+                    self._log_decided(ctx, phase_log, phase, "commit-heard-mis", entry)
+                    return _OUT_MIS
+                ctx.set_component("low-degree-mis")
+                sub_outcome = yield from low_degree_mis(
+                    ctx, schedule.committed_degree, constants
+                )
+                entry["low_degree_outcome"] = sub_outcome
+                if sub_outcome == JOINED:
+                    status = _IN_MIS
+                elif sub_outcome == DOMINATED:
+                    self._log_decided(ctx, phase_log, phase, "low-degree-dominated", entry)
+                    return _OUT_MIS
+                else:
+                    # LowDegreeMIS failed to decide us (low probability):
+                    # stay safe and keep competing next phase.
+                    status = _UNDECIDED
+                yield SleepUntil(barrier3)
+            else:
+                yield SleepUntil(barrier3)
+
+            # --- segment 4: shallow check ------------------------------
+            if status == _IN_MIS:
+                ctx.set_component("mis-announce-shallow")
+                yield from snd_ebackoff(ctx, schedule.shallow_iterations, delta)
+            else:
+                ctx.set_component("shallow-check")
+                heard = yield from rec_ebackoff(ctx, schedule.shallow_iterations, delta)
+                if heard:
+                    self._log_decided(ctx, phase_log, phase, "shallow-heard-mis", entry)
+                    return _OUT_MIS
+                status = _UNDECIDED
+            if self.instrument:
+                entry["end_status"] = status
+                phase_log.append(entry)
+
+        if status == _IN_MIS and self.instrument:
+            ctx.info["decided_phase"] = schedule.phases - 1
+        return status if status == _IN_MIS else _UNDECIDED
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _spent(ctx: NodeContext) -> int:
+        return sum(ctx.energy_by_component.values())
+
+    def _log_decided(
+        self,
+        ctx: NodeContext,
+        phase_log: list,
+        phase: int,
+        reason: str,
+        entry: Optional[dict] = None,
+    ) -> None:
+        if not self.instrument:
+            return
+        record = dict(entry) if entry else {"phase": phase}
+        record["decision_reason"] = reason
+        phase_log.append(record)
+        ctx.info["decided_phase"] = phase

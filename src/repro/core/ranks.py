@@ -1,0 +1,83 @@
+"""Random rank bitstrings for the Luby-style competitions.
+
+Each Luby phase, every participating node draws a fresh uniform
+bitstring of ``beta * log n`` bits (its *rank*) and the bit-by-bit
+competition eliminates nodes that hear a transmission on one of their
+0-bits.  These helpers draw ranks, convert them to integers for
+analysis, and implement the "local maximum" predicate of Lemma 14.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "draw_rank",
+    "rank_to_int",
+    "int_to_rank",
+    "leading_ones",
+    "first_zero_index",
+    "is_local_maximum",
+    "local_maxima",
+]
+
+
+def draw_rank(rng: random.Random, bits: int) -> List[int]:
+    """Draw a uniform rank of ``bits`` independent fair bits (MSB first)."""
+    value = rng.getrandbits(bits) if bits > 0 else 0
+    return [(value >> (bits - 1 - position)) & 1 for position in range(bits)]
+
+
+def rank_to_int(rank: Sequence[int]) -> int:
+    """Interpret a bit sequence (MSB first) as an integer."""
+    value = 0
+    for bit in rank:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+def int_to_rank(value: int, bits: int) -> List[int]:
+    """Inverse of :func:`rank_to_int` for a fixed width."""
+    return [(value >> (bits - 1 - position)) & 1 for position in range(bits)]
+
+
+def leading_ones(rank: Sequence[int]) -> int:
+    """Number of leading 1-bits (the sender-energy driver in Theorem 10)."""
+    count = 0
+    for bit in rank:
+        if not bit:
+            break
+        count += 1
+    return count
+
+
+def first_zero_index(rank: Sequence[int]) -> int:
+    """Index of the first 0-bit, or ``len(rank)`` if the rank is all ones."""
+    for index, bit in enumerate(rank):
+        if not bit:
+            return index
+    return len(rank)
+
+
+def is_local_maximum(graph: Graph, node: int, ranks: Dict[int, int]) -> bool:
+    """Lemma 14's predicate: ``node``'s rank exceeds every *participating*
+    neighbor's rank.
+
+    ``ranks`` maps participating nodes to integer ranks; neighbors absent
+    from the map did not participate and are ignored.  Ties are *not*
+    local maxima (matching the strict comparison in Luby's analysis).
+    """
+    own = ranks[node]
+    return all(
+        ranks[neighbor] < own
+        for neighbor in graph.neighbors(node)
+        if neighbor in ranks
+    )
+
+
+def local_maxima(graph: Graph, ranks: Dict[int, int]) -> List[int]:
+    """All participating nodes whose rank is a strict local maximum."""
+    return [node for node in ranks if is_local_maximum(graph, node, ranks)]

@@ -1,0 +1,204 @@
+"""MIS without a degree bound: the doubly-exponential guessing scheme.
+
+Section 1.1's footnote sketches how to drop the assumption that nodes
+know Delta: "guess a series of increasing values for Delta ... using
+2^(2^i) as the i-th guess seems to work well, and carries an
+O(loglog n) factor overhead for energy and O(1) for rounds.  When the
+guesses are too small, portions of the output may fail to be
+independent, in which case affected vertices must detect this fact and
+repeat".  The paper omits the details; this module supplies a concrete,
+documented realization:
+
+**Epochs.**  For guesses Delta_i = min(n-1, 2^(2^i)) until the guess
+covers n-1, every not-yet-finalized node runs a full Algorithm 2 pass
+parametrized by Delta_i.  With a too-small guess the backoff budgets are
+too short, so the pass may emit *tentatively* conflicting MIS nodes —
+exactly the failure mode the footnote predicts.
+
+**Verification (our construction).**  Two k-repeated backoffs over a
+slot count derived from ``n`` (which *is* known — so verification never
+depends on the unknown Delta):
+
+1. *Conflict detection* — tentative MIS nodes contend via
+   :func:`~repro.core.backoff.snd_rec_ebackoff` while previously
+   finalized MIS nodes send; a tentative node that hears anything has an
+   adjacent MIS node and demotes itself back to undecided.  Since at
+   most n nodes transmit and the slot count covers n, Lemma 9's 1/8
+   per-iteration guarantee applies, so mutual misses vanish at
+   k = Theta(log n).
+2. *Finalize & announce* — surviving tentative nodes finalize IN and
+   announce together with the old finalized MIS; listeners that hear
+   finalize OUT (their dominator is now permanent — this ordering is
+   what makes OUT decisions irrevocably safe); silent listeners carry
+   over to the next epoch.
+
+Energy: each epoch costs one Algorithm 2 pass at Delta_i <= Delta
+(so at most the known-Delta energy) plus O(log^2 n) of verification;
+with O(loglog Delta) epochs this is the footnote's O(loglog n) factor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..constants import ConstantsProfile
+from ..radio.actions import SleepUntil
+from ..radio.node import Decision, NodeContext, Protocol, ProtocolRun
+from .backoff import backoff_rounds, rec_ebackoff, snd_ebackoff, snd_rec_ebackoff
+from .nocd_mis import LubyPhaseSchedule, NoCDEnergyMISProtocol
+
+__all__ = ["UnknownDeltaMISProtocol", "delta_guesses"]
+
+
+def delta_guesses(n: int) -> List[int]:
+    """The guess sequence ``min(n-1, 2^(2^i))`` until it covers ``n-1``.
+
+    For ``n <= 2`` a single guess of 1 suffices (max degree is at most 1).
+    """
+    ceiling = max(1, n - 1)
+    guesses: List[int] = []
+    exponent = 1  # 2^(2^0)
+    while True:
+        guess = min(ceiling, 2 ** exponent)
+        guesses.append(guess)
+        if guess >= ceiling:
+            return guesses
+        exponent *= 2
+
+
+class _EpochPlan:
+    """Round arithmetic for one guess epoch (shared by every node)."""
+
+    def __init__(
+        self,
+        start: int,
+        schedule: LubyPhaseSchedule,
+        verify_rounds: int,
+    ):
+        self.start = start
+        self.schedule = schedule
+        self.verify_a_start = start + schedule.total_rounds
+        self.verify_b_start = self.verify_a_start + verify_rounds
+        self.end = self.verify_b_start + verify_rounds
+
+
+class UnknownDeltaMISProtocol(Protocol):
+    """Algorithm 2 without a known Delta (Section 1.1 footnote scheme).
+
+    Wraps :class:`~repro.core.nocd_mis.NoCDEnergyMISProtocol`: one inner
+    pass per guess, then the two verification backoffs described in the
+    module docstring.  All epoch budgets derive from ``n`` and the guess
+    sequence, both shared knowledge, so nodes stay synchronized.
+    """
+
+    name = "unknown-delta-mis"
+    compatible_models = ("no-cd", "cd")
+
+    def __init__(
+        self,
+        constants: Optional[ConstantsProfile] = None,
+        instrument: bool = False,
+    ):
+        self.constants = constants or ConstantsProfile.practical()
+        self.instrument = instrument
+
+    # ------------------------------------------------------------------
+    # Shared epoch arithmetic
+    # ------------------------------------------------------------------
+
+    def _verify_iterations(self, n: int) -> int:
+        return self.constants.deep_check_iterations(n)
+
+    def _verify_delta(self, n: int) -> int:
+        # Slot count must cover every possible transmitter set; n does.
+        return max(2, n)
+
+    def plan(self, n: int) -> List[_EpochPlan]:
+        """All epoch plans for an n-node network."""
+        verify_rounds = backoff_rounds(
+            self._verify_iterations(n), self._verify_delta(n)
+        )
+        plans: List[_EpochPlan] = []
+        start = 0
+        for guess in delta_guesses(n):
+            schedule = LubyPhaseSchedule(n, guess, self.constants)
+            plan = _EpochPlan(start, schedule, verify_rounds)
+            plans.append(plan)
+            start = plan.end
+        return plans
+
+    def max_rounds_hint(self, n: int, delta: int) -> int:
+        return self.plan(n)[-1].end + 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, ctx: NodeContext) -> ProtocolRun:
+        n = ctx.n
+        k_verify = self._verify_iterations(n)
+        verify_delta = self._verify_delta(n)
+        inner = NoCDEnergyMISProtocol(
+            constants=self.constants, instrument=self.instrument
+        )
+        plans = self.plan(n)
+        if self.instrument:
+            ctx.info["epoch_log"] = []
+
+        finalized_in = False
+        for epoch_index, plan in enumerate(plans):
+            # --- inner Algorithm 2 pass at this epoch's guess ----------
+            if finalized_in:
+                status = "in-mis"
+                yield SleepUntil(plan.verify_a_start)
+            else:
+                status = yield from inner.run_phases(
+                    ctx, plan.schedule, base_round=plan.start
+                )
+                yield SleepUntil(plan.verify_a_start)
+
+            # --- verification 1: conflict detection --------------------
+            if finalized_in:
+                ctx.set_component("verify-announce")
+                yield from snd_ebackoff(ctx, k_verify, verify_delta)
+            elif status == "in-mis":
+                ctx.set_component("verify-conflict")
+                heard_conflict = yield from snd_rec_ebackoff(
+                    ctx, k_verify, verify_delta, verify_delta
+                )
+                if heard_conflict:
+                    # An adjacent (tentative or finalized) MIS node
+                    # exists: demote and retry with the next guess.
+                    status = "undecided"
+                yield SleepUntil(plan.verify_b_start)
+            else:
+                yield SleepUntil(plan.verify_b_start)
+
+            # --- verification 2: finalize & announce -------------------
+            if finalized_in or status == "in-mis":
+                finalized_in = True
+                ctx.set_component("verify-announce")
+                yield from snd_ebackoff(ctx, k_verify, verify_delta)
+            else:
+                ctx.set_component("verify-listen")
+                heard_mis = yield from rec_ebackoff(
+                    ctx, k_verify, verify_delta, verify_delta
+                )
+                if self.instrument:
+                    ctx.info["epoch_log"].append(
+                        {"epoch": epoch_index, "guess": plan.schedule.delta,
+                         "status": status, "heard_final_mis": heard_mis}
+                    )
+                if heard_mis:
+                    ctx.decide(Decision.OUT_MIS)
+                    return
+                status = "undecided"
+            if self.instrument and (finalized_in or status == "in-mis"):
+                ctx.info["epoch_log"].append(
+                    {"epoch": epoch_index, "guess": plan.schedule.delta,
+                     "status": "finalized-in"}
+                )
+            yield SleepUntil(plan.end)
+
+        if finalized_in:
+            ctx.decide(Decision.IN_MIS)
+        # Otherwise undecided: the guess ladder ended without this node
+        # being dominated or winning — a low-probability failure.

@@ -1,0 +1,266 @@
+"""Core immutable graph type used throughout the library.
+
+The radio model is defined on an arbitrary undirected graph whose
+topology is *unknown to the nodes*.  The simulator therefore needs a
+graph representation that is:
+
+* **indexed** — nodes are ``0..n-1`` so per-node state lives in lists,
+* **immutable** — a run must not mutate the topology it simulates,
+* **fast for neighborhood queries** — collision resolution intersects a
+  listener's neighborhood with the set of transmitters every round.
+
+``Graph`` stores both a tuple-of-tuples adjacency (ordered, cheap to
+iterate) and a tuple of frozensets (O(1) membership) and exposes helpers
+for the induced-subgraph reasoning the paper's analysis uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["Graph", "Edge"]
+
+Edge = Tuple[int, int]
+
+
+def _normalize_edge(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An immutable, simple, undirected graph on nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node identifiers are ``range(num_nodes)``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        edges (in either orientation) are collapsed.
+    name:
+        Optional label used in experiment reports.
+    """
+
+    __slots__ = ("_n", "_adjacency", "_neighbor_sets", "_edges", "name")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge] = (), name: str = "graph"):
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._n = num_nodes
+        adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
+        edge_set: Set[Edge] = set()
+        for u, v in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range for graph on {num_nodes} nodes"
+                )
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {u}) is not allowed")
+            edge_set.add(_normalize_edge(u, v))
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in adjacency
+        )
+        self._neighbor_sets: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(neighbors) for neighbors in adjacency
+        )
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges in the graph."""
+        return len(self._edges)
+
+    @property
+    def nodes(self) -> range:
+        """The node identifiers, always ``range(num_nodes)``."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """Sorted tuple of normalized ``(u, v)`` edges with ``u < v``."""
+        return self._edges
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``node``."""
+        self._check_node(node)
+        return self._adjacency[node]
+
+    def neighbor_set(self, node: int) -> FrozenSet[int]:
+        """Neighbors of ``node`` as a frozenset (O(1) membership)."""
+        self._check_node(node)
+        return self._neighbor_sets[node]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def max_degree(self) -> int:
+        """Maximum degree (Delta); 0 for an empty or edgeless graph."""
+        if self._n == 0:
+            return 0
+        return max(len(neighbors) for neighbors in self._adjacency)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._neighbor_sets[u]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, int) and 0 <= node < self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self.name!r}, n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derived graphs and set queries
+    # ------------------------------------------------------------------
+
+    def induced_subgraph_degrees(self, nodes: Iterable[int]) -> Dict[int, int]:
+        """Degrees of each node of ``nodes`` within the induced subgraph.
+
+        Used to check Corollary 13 (the committed set induces a
+        low-degree subgraph) without materializing the subgraph.
+        """
+        node_set = set(nodes)
+        for node in node_set:
+            self._check_node(node)
+        return {
+            node: sum(1 for neighbor in self._adjacency[node] if neighbor in node_set)
+            for node in node_set
+        }
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Return the induced subgraph and the old->new node index map."""
+        kept = sorted(set(nodes))
+        for node in kept:
+            self._check_node(node)
+        index = {node: i for i, node in enumerate(kept)}
+        sub_edges = [
+            (index[u], index[v])
+            for u, v in self._edges
+            if u in index and v in index
+        ]
+        return Graph(len(kept), sub_edges, name=f"{self.name}[{len(kept)}]"), index
+
+    def edges_within(self, nodes: Iterable[int]) -> List[Edge]:
+        """Edges with both endpoints in ``nodes`` (residual-graph edges)."""
+        node_set = set(nodes)
+        return [(u, v) for u, v in self._edges if u in node_set and v in node_set]
+
+    def closed_neighborhood(self, node: int) -> FrozenSet[int]:
+        """``N(v) ∪ {v}``."""
+        self._check_node(node)
+        return self._neighbor_sets[node] | {node}
+
+    def neighborhood_of_set(self, nodes: Iterable[int]) -> Set[int]:
+        """``N(S)`` — all nodes adjacent to at least one node of ``S``."""
+        result: Set[int] = set()
+        for node in nodes:
+            self._check_node(node)
+            result.update(self._adjacency[node])
+        return result
+
+    def is_independent_set(self, nodes: Iterable[int]) -> bool:
+        """True iff no two nodes of ``nodes`` are adjacent."""
+        node_list = sorted(set(nodes))
+        node_set = set(node_list)
+        for node in node_list:
+            self._check_node(node)
+            if self._neighbor_sets[node] & node_set:
+                return False
+        return True
+
+    def is_dominating_set(self, nodes: Iterable[int]) -> bool:
+        """True iff every node is in ``nodes`` or adjacent to it."""
+        node_set = set(nodes)
+        for node in node_set:
+            self._check_node(node)
+        return all(
+            node in node_set or self._neighbor_sets[node] & node_set
+            for node in range(self._n)
+        )
+
+    def is_maximal_independent_set(self, nodes: Iterable[int]) -> bool:
+        """True iff ``nodes`` is independent and dominating."""
+        node_set = set(nodes)
+        return self.is_independent_set(node_set) and self.is_dominating_set(node_set)
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as sorted node lists, largest-first ties by min node."""
+        seen = [False] * self._n
+        components: List[List[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self._adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        return components
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Sequence[Iterable[int]], name: str = "graph"
+    ) -> "Graph":
+        """Build a graph from an adjacency-list sequence.
+
+        The adjacency may be asymmetric on input; edges are symmetrized.
+        """
+        edges = [
+            (node, neighbor)
+            for node, neighbors in enumerate(adjacency)
+            for neighbor in neighbors
+        ]
+        return cls(len(adjacency), edges, name=name)
+
+    def relabeled(self, permutation: Sequence[int], name: str | None = None) -> "Graph":
+        """Return an isomorphic copy with node ``i`` renamed ``permutation[i]``."""
+        if sorted(permutation) != list(range(self._n)):
+            raise GraphError("permutation must be a bijection on the node set")
+        edges = [(permutation[u], permutation[v]) for u, v in self._edges]
+        return Graph(self._n, edges, name=name or f"{self.name}-relabeled")
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise GraphError(f"node {node} out of range for graph on {self._n} nodes")

@@ -1,0 +1,85 @@
+"""Closed-form curves for the Theorem 1 lower bound.
+
+The proof shows that for *any* energy-``b`` algorithm there exists a
+shared sequence ``x*`` that a matched pair both follow with probability
+at least ``4^-b``, in which case neither hears the other and both are
+forced to join.  With ``n/4`` independent pairs this gives
+
+    P(failure) >= 1 - (1 - 4^-b)^(n/4) >= 1 - e^{-n / 4^{b+1}},
+
+so success probability above ``e^{-1/4}`` forces ``b >= (1/2) log2 n``.
+These functions evaluate the bound and the exact failure law of the
+synchronized-coin strategy, which the E6 experiment overlays against
+empirical measurements.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "theorem1_failure_lower_bound",
+    "theorem1_exact_pair_bound",
+    "sync_coin_pair_failure",
+    "sync_coin_failure",
+    "min_budget_for_success",
+    "SUCCESS_THRESHOLD",
+]
+
+#: Theorem 1's success-probability threshold, e^{-1/4}.
+SUCCESS_THRESHOLD = math.exp(-0.25)
+
+
+def _check(n: int, budget: int) -> None:
+    if n <= 0 or n % 4 != 0:
+        raise ConfigurationError(f"n must be a positive multiple of 4, got {n}")
+    if budget < 0:
+        raise ConfigurationError(f"budget must be non-negative, got {budget}")
+
+
+def theorem1_failure_lower_bound(n: int, budget: int) -> float:
+    """The proof's closing bound ``1 - e^{-n / 4^{b+1}}``."""
+    _check(n, budget)
+    return 1.0 - math.exp(-n / (4.0 ** (budget + 1)))
+
+
+def theorem1_exact_pair_bound(n: int, budget: int) -> float:
+    """The sharper intermediate bound ``1 - (1 - 4^-b)^{n/4}``."""
+    _check(n, budget)
+    return 1.0 - (1.0 - 4.0 ** (-budget)) ** (n / 4.0)
+
+
+def sync_coin_pair_failure(budget: int) -> float:
+    """Per-pair failure of the synchronized coin strategy: ``2^-b``.
+
+    Each of the ``b`` shared awake rounds transfers a bit iff the two
+    coins differ (probability 1/2), independently across rounds.
+    """
+    if budget < 0:
+        raise ConfigurationError(f"budget must be non-negative, got {budget}")
+    return 2.0 ** (-budget)
+
+
+def sync_coin_failure(n: int, budget: int) -> float:
+    """Exact run-failure law of the synchronized coin strategy."""
+    _check(n, budget)
+    return 1.0 - (1.0 - sync_coin_pair_failure(budget)) ** (n / 4.0)
+
+
+def min_budget_for_success(n: int, target_failure: float = 1.0 - SUCCESS_THRESHOLD) -> int:
+    """Smallest ``b`` with ``theorem1_failure_lower_bound(n, b) <= target``.
+
+    For the theorem's own threshold this lands near ``(1/2) log2 n``.
+    """
+    if not 0.0 < target_failure < 1.0:
+        raise ConfigurationError(
+            f"target failure must be in (0, 1), got {target_failure}"
+        )
+    budget = 0
+    while theorem1_failure_lower_bound(n, budget) > target_failure:
+        budget += 1
+        if budget > 10_000:  # pragma: no cover - unreachable for sane inputs
+            raise ConfigurationError("no finite budget satisfies the target")
+    return budget

@@ -1,0 +1,114 @@
+"""The Theorem 1 experiment: failure probability vs energy budget.
+
+For a grid of budgets ``b`` the harness runs an energy-``b`` strategy on
+the hard instance many times, records the empirical failure rate and the
+realized worst-case energy, and lines the numbers up against the
+analytic curves from :mod:`repro.lowerbound.analytic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..radio.engine import run_protocol
+from ..radio.models import CD, CollisionModel
+from ..radio.node import Protocol
+from .analytic import (
+    sync_coin_failure,
+    theorem1_exact_pair_bound,
+    theorem1_failure_lower_bound,
+)
+from .hard_instance import classify_failure, hard_instance
+
+__all__ = ["BudgetPoint", "LowerBoundReport", "run_lower_bound_experiment"]
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Measurements for one energy budget."""
+
+    budget: int
+    trials: int
+    failures: int
+    both_joined_pairs: int  # total across trials (the Theorem 1 mode)
+    max_energy_seen: int
+    analytic_lower_bound: float  # 1 - e^{-n/4^{b+1}}
+    analytic_pair_bound: float  # 1 - (1 - 4^-b)^{n/4}
+    sync_coin_prediction: float  # exact law of the coin strategy
+
+    @property
+    def empirical_failure(self) -> float:
+        return self.failures / self.trials if self.trials else 0.0
+
+
+@dataclass
+class LowerBoundReport:
+    """Full sweep output for one strategy family."""
+
+    n: int
+    strategy_name: str
+    points: List[BudgetPoint]
+
+    def rows(self) -> List[dict]:
+        """Table rows for rendering/serialization."""
+        return [
+            {
+                "b": point.budget,
+                "empirical": point.empirical_failure,
+                "thm1_bound": point.analytic_lower_bound,
+                "pair_bound": point.analytic_pair_bound,
+                "coin_exact": point.sync_coin_prediction,
+                "max_energy": point.max_energy_seen,
+            }
+            for point in self.points
+        ]
+
+
+def run_lower_bound_experiment(
+    n: int,
+    budgets: Sequence[int],
+    strategy_factory: Callable[[int], Protocol],
+    trials: int = 50,
+    model: Optional[CollisionModel] = None,
+    seed: int = 0,
+) -> LowerBoundReport:
+    """Sweep energy budgets on the hard instance.
+
+    ``strategy_factory(b)`` must return an energy-``b`` protocol (e.g.
+    ``SynchronizedCoinStrategy``).  A trial *fails* if the output is not
+    a valid MIS of the hard instance.
+    """
+    graph = hard_instance(n)
+    model = model or CD
+    points: List[BudgetPoint] = []
+    strategy_name = "strategy"
+
+    for budget in budgets:
+        protocol = strategy_factory(budget)
+        strategy_name = protocol.name
+        failures = 0
+        both_joined_total = 0
+        max_energy_seen = 0
+        for trial in range(trials):
+            result = run_protocol(
+                graph, protocol, model, seed=seed * 1_000_003 + trial * 7_919 + budget
+            )
+            max_energy_seen = max(max_energy_seen, result.max_energy)
+            breakdown = classify_failure(graph, set(result.mis))
+            if result.undecided or not breakdown["valid"]:
+                failures += 1
+            both_joined_total += breakdown["both_joined_pairs"]
+        points.append(
+            BudgetPoint(
+                budget=budget,
+                trials=trials,
+                failures=failures,
+                both_joined_pairs=both_joined_total,
+                max_energy_seen=max_energy_seen,
+                analytic_lower_bound=theorem1_failure_lower_bound(n, budget),
+                analytic_pair_bound=theorem1_exact_pair_bound(n, budget),
+                sync_coin_prediction=sync_coin_failure(n, budget),
+            )
+        )
+    return LowerBoundReport(n=n, strategy_name=strategy_name, points=points)

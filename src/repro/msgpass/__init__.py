@@ -1,0 +1,25 @@
+"""Synchronous message-passing (CONGEST) substrate and node programs."""
+
+from .algorithms import (
+    DistributedGhaffariProtocol,
+    DistributedLubyProtocol,
+    DistributedMetivierProtocol,
+)
+from .engine import (
+    Broadcast,
+    MessagePassingProtocol,
+    MsgNodeContext,
+    MsgRunResult,
+    run_message_passing,
+)
+
+__all__ = [
+    "DistributedGhaffariProtocol",
+    "DistributedLubyProtocol",
+    "DistributedMetivierProtocol",
+    "Broadcast",
+    "MessagePassingProtocol",
+    "MsgNodeContext",
+    "MsgRunResult",
+    "run_message_passing",
+]

@@ -1,0 +1,71 @@
+"""Actions a protocol can take in a round.
+
+The radio model gives each node exactly three per-round choices —
+transmit, listen, or sleep (Section 1.1 of the paper).  Protocols are
+generator coroutines that *yield* one of these action objects per
+decision point and receive an :class:`~repro.radio.observations.Observation`
+back (``None`` for transmit/sleep, since a transmitting node cannot hear
+and a sleeping node's radio is off).
+
+``Sleep`` and ``SleepUntil`` may span many rounds: the engine
+fast-forwards them, which is what makes the paper's
+``O(log^3 n log Delta)``-round executions cheap to simulate — the
+simulation cost tracks *energy* (awake rounds), not wall-clock rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..errors import ProtocolError
+
+__all__ = ["Transmit", "Listen", "Sleep", "SleepUntil", "Action"]
+
+
+@dataclass(frozen=True)
+class Transmit:
+    """Transmit ``payload`` this round (the node cannot hear anything).
+
+    The paper's algorithms perform unary communication — they only ever
+    send the bit ``1`` — so ``payload`` defaults to ``1``.  The engine
+    can enforce a RADIO-CONGEST size budget on payloads.
+    """
+
+    payload: Any = 1
+
+
+@dataclass(frozen=True)
+class Listen:
+    """Listen this round; the observation depends on the collision model."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Sleep for ``rounds`` consecutive rounds (radio off, zero energy)."""
+
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ProtocolError(f"Sleep duration must be non-negative, got {self.rounds}")
+
+
+@dataclass(frozen=True)
+class SleepUntil:
+    """Sleep until the absolute round ``target`` (exclusive).
+
+    The node's next action executes exactly at round ``target``.  Used
+    by Algorithm 2 for its synchronization barriers ("sleep until round
+    (i-1)*T_L + T_C ...").  A target equal to the current round is a
+    zero-duration no-op, which makes barrier code uniform.
+    """
+
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ProtocolError(f"SleepUntil target must be non-negative, got {self.target}")
+
+
+Action = Union[Transmit, Listen, Sleep, SleepUntil]

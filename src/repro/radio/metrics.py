@@ -1,0 +1,174 @@
+"""Run statistics: the quantities the paper's theorems are about.
+
+*Energy complexity* is the maximum, over nodes, of rounds spent awake
+(transmitting or listening); *round complexity* is the number of rounds
+until every node has terminated.  :class:`RunResult` carries both plus
+per-node breakdowns and the instrumentation protocols recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Tuple
+
+from ..graphs.graph import Graph
+from .node import Decision
+
+__all__ = ["NodeStats", "RunResult"]
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node accounting for one run."""
+
+    node: int
+    transmit_rounds: int
+    listen_rounds: int
+    finish_round: int
+    decision: Decision
+    energy_by_component: Dict[str, int] = field(default_factory=dict)
+    #: True iff the node was crash-stopped by fault injection.
+    crashed: bool = False
+
+    @property
+    def awake_rounds(self) -> int:
+        """Energy spent by this node (transmit + listen rounds)."""
+        return self.transmit_rounds + self.listen_rounds
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one protocol on one graph.
+
+    ``rounds`` is the round complexity (rounds until the last node
+    terminated); ``max_energy`` / ``total_energy`` summarize the energy
+    ledger.  ``node_info`` holds each node's free-form instrumentation
+    dict (phase logs, statuses, ...), used by the lemma-validation
+    experiments.
+    """
+
+    graph: Graph
+    protocol_name: str
+    model_name: str
+    seed: int
+    rounds: int
+    node_stats: Tuple[NodeStats, ...]
+    node_info: Tuple[Dict[str, Any], ...]
+
+    # ------------------------------------------------------------------
+    # MIS output
+    # ------------------------------------------------------------------
+
+    @property
+    def mis(self) -> FrozenSet[int]:
+        """Nodes that decided ``IN_MIS``."""
+        return frozenset(
+            stats.node for stats in self.node_stats if stats.decision is Decision.IN_MIS
+        )
+
+    @property
+    def undecided(self) -> FrozenSet[int]:
+        """Nodes that never decided (should be empty on success)."""
+        return frozenset(
+            stats.node
+            for stats in self.node_stats
+            if stats.decision is Decision.UNDECIDED
+        )
+
+    def is_valid_mis(self) -> bool:
+        """True iff every node decided and the IN_MIS set is an MIS."""
+        return not self.undecided and self.graph.is_maximal_independent_set(self.mis)
+
+    # ------------------------------------------------------------------
+    # Fault-injection views
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed_nodes(self) -> FrozenSet[int]:
+        """Nodes crash-stopped by fault injection (empty without it)."""
+        return frozenset(stats.node for stats in self.node_stats if stats.crashed)
+
+    def surviving_mis_independent(self) -> bool:
+        """Is the IN_MIS set restricted to survivors independent?"""
+        survivors_in_mis = self.mis - self.crashed_nodes
+        return self.graph.is_independent_set(survivors_in_mis)
+
+    def surviving_coverage(self) -> float:
+        """Fraction of surviving nodes in, or adjacent to, surviving MIS.
+
+        The robustness metric for crash experiments: 1.0 means the
+        surviving output still dominates the surviving network.
+        """
+        crashed = self.crashed_nodes
+        survivors = [node for node in self.graph.nodes if node not in crashed]
+        if not survivors:
+            return 1.0
+        mis = self.mis - crashed
+        covered = sum(
+            1
+            for node in survivors
+            if node in mis or self.graph.neighbor_set(node) & mis
+        )
+        return covered / len(survivors)
+
+    # ------------------------------------------------------------------
+    # Energy / round summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def max_energy(self) -> int:
+        """Worst-case energy complexity: max awake rounds over nodes."""
+        if not self.node_stats:
+            return 0
+        return max(stats.awake_rounds for stats in self.node_stats)
+
+    @property
+    def total_energy(self) -> int:
+        """Sum of awake rounds over all nodes."""
+        return sum(stats.awake_rounds for stats in self.node_stats)
+
+    @property
+    def mean_energy(self) -> float:
+        """Node-averaged awake complexity."""
+        if not self.node_stats:
+            return 0.0
+        return self.total_energy / len(self.node_stats)
+
+    def energy_percentile(self, q: float) -> int:
+        """The ``q``-th percentile (0..100) of per-node awake rounds."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.node_stats:
+            return 0
+        ordered = sorted(stats.awake_rounds for stats in self.node_stats)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def energy_by_component(self) -> Dict[str, int]:
+        """Aggregate energy ledger over all nodes, by component label."""
+        totals: Dict[str, int] = {}
+        for stats in self.node_stats:
+            for component, rounds in stats.energy_by_component.items():
+                totals[component] = totals.get(component, 0) + rounds
+        return totals
+
+    def max_energy_by_component(self) -> Dict[str, int]:
+        """Per-component maximum over nodes (worst-case breakdown)."""
+        totals: Dict[str, int] = {}
+        for stats in self.node_stats:
+            for component, rounds in stats.energy_by_component.items():
+                totals[component] = max(totals.get(component, 0), rounds)
+        return totals
+
+    def decisions(self) -> Dict[int, Decision]:
+        """Map node -> terminal decision."""
+        return {stats.node: stats.decision for stats in self.node_stats}
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "MIS-OK" if self.is_valid_mis() else "INVALID"
+        return (
+            f"{self.protocol_name}@{self.model_name} on {self.graph.name}: "
+            f"{verdict} |MIS|={len(self.mis)} rounds={self.rounds} "
+            f"max_energy={self.max_energy} mean_energy={self.mean_energy:.1f}"
+        )

@@ -1,0 +1,141 @@
+"""Collision-handling models: CD, no-CD, and beeping.
+
+A model answers one question: *given how many of a listener's neighbors
+transmitted this round (and, if exactly one, what it sent), what does
+the listener observe?*  (Section 1.1 of the paper.)
+
+* **CD** — silence / message / collision are all distinguishable.
+* **no-CD** — a collision is indistinguishable from silence; the only
+  informative outcome is a lone transmitter's message.
+* **beeping** — payloads carry no information; any number >= 1 of
+  transmitting neighbors reads as a single beep.  (Receiver-side CD
+  only: the paper's radio model never grants sender-side detection, and
+  the engine enforces that by construction — a transmitting node gets
+  no observation.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from .observations import BEEP, COLLISION, Observation, SILENCE, message
+
+__all__ = [
+    "CollisionModel",
+    "CDModel",
+    "NoCDModel",
+    "BeepModel",
+    "SenderCDBeepModel",
+    "CD",
+    "NO_CD",
+    "BEEPING",
+    "BEEPING_SENDER_CD",
+    "model_by_name",
+]
+
+
+class CollisionModel(ABC):
+    """Strategy object mapping transmitter counts to observations."""
+
+    #: Short name used in reports and the CLI.
+    name: str = "abstract"
+
+    #: Whether a listener can distinguish collision from silence.
+    detects_collisions: bool = False
+
+    #: Whether message payloads are delivered (False for beeping).
+    carries_payloads: bool = True
+
+    #: Whether a *transmitting* node also perceives neighbors' beeps.
+    #: False in the paper's radio model ("a node can only send or
+    #: receive in any round; if they do both, they will not hear
+    #: anything" — Section 1.4); True only for the sender-side-CD
+    #: beeping variant used by prior beeping-model MIS work [28].
+    sender_side_detection: bool = False
+
+    @abstractmethod
+    def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
+        """Observation for a listener with ``transmitter_count`` transmitting
+        neighbors; ``lone_payload`` is meaningful only when the count is 1."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CDModel(CollisionModel):
+    """Radio model with collision detection."""
+
+    name = "cd"
+    detects_collisions = True
+    carries_payloads = True
+
+    def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
+        if transmitter_count == 0:
+            return SILENCE
+        if transmitter_count == 1:
+            return message(lone_payload)
+        return COLLISION
+
+
+class NoCDModel(CollisionModel):
+    """Radio model without collision detection: collisions read as silence."""
+
+    name = "no-cd"
+    detects_collisions = False
+    carries_payloads = True
+
+    def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
+        if transmitter_count == 1:
+            return message(lone_payload)
+        return SILENCE
+
+
+class BeepModel(CollisionModel):
+    """Beeping model: >= 1 transmitting neighbor reads as one beep."""
+
+    name = "beep"
+    detects_collisions = True  # a beep reveals that someone transmitted
+    carries_payloads = False
+
+    def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
+        if transmitter_count == 0:
+            return SILENCE
+        return BEEP
+
+
+class SenderCDBeepModel(BeepModel):
+    """Beeping with sender-side collision detection (Section 1.4).
+
+    Identical to :class:`BeepModel` for listeners, but a beeping node
+    additionally hears whether at least one *neighbor* beeped in the
+    same round.  This is the stronger model assumed by the best beeping
+    MIS algorithms (e.g. Jeavons-Scott-Xu [28]), which the paper
+    explicitly contrasts with the radio model; implemented here so that
+    contrast can be measured (experiment A6).
+    """
+
+    name = "beep-sender-cd"
+    sender_side_detection = True
+
+
+#: Shared stateless singletons — models carry no per-run state.
+CD = CDModel()
+NO_CD = NoCDModel()
+BEEPING = BeepModel()
+BEEPING_SENDER_CD = SenderCDBeepModel()
+
+_MODELS = {model.name: model for model in (CD, NO_CD, BEEPING, BEEPING_SENDER_CD)}
+_MODELS["nocd"] = NO_CD
+_MODELS["beeping"] = BEEPING
+_MODELS["sender-cd"] = BEEPING_SENDER_CD
+
+
+def model_by_name(name: str) -> CollisionModel:
+    """Look up a model by its short name (``cd``, ``no-cd``, ``beep``)."""
+    try:
+        return _MODELS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown collision model {name!r}; choose from {sorted(_MODELS)}"
+        ) from None

@@ -1,0 +1,69 @@
+"""What a listening node perceives in a round.
+
+The three collision-handling variants the paper studies (Section 1.1)
+map the number of simultaneously transmitting neighbors to an
+observation differently; :mod:`repro.radio.models` implements the
+mapping, this module defines the observation vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+__all__ = ["ObservationKind", "Observation", "SILENCE", "COLLISION", "BEEP"]
+
+
+class ObservationKind(Enum):
+    """Perceptual categories available to a listener."""
+
+    SILENCE = "silence"
+    MESSAGE = "message"
+    COLLISION = "collision"
+    BEEP = "beep"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A single round's perception for a listening node.
+
+    ``payload`` is populated only for :attr:`ObservationKind.MESSAGE`
+    (exactly one neighbor transmitted and the channel delivered its
+    payload intact).
+    """
+
+    kind: ObservationKind
+    payload: Any = None
+
+    @property
+    def heard_something(self) -> bool:
+        """True iff the listener can tell *some* neighbor transmitted.
+
+        This is the predicate the paper's CD algorithm uses ("heard 1 or
+        collision") and the beeping algorithm's "heard a beep".  In the
+        no-CD model collisions read as silence, so this is True only for
+        a successfully received message.
+        """
+        return self.kind is not ObservationKind.SILENCE
+
+    @property
+    def is_message(self) -> bool:
+        """True iff exactly one neighbor transmitted (payload delivered)."""
+        return self.kind is ObservationKind.MESSAGE
+
+    def __str__(self) -> str:
+        if self.kind is ObservationKind.MESSAGE:
+            return f"message({self.payload!r})"
+        return self.kind.value
+
+
+#: Shared immutable observations for the payload-free cases.
+SILENCE = Observation(ObservationKind.SILENCE)
+COLLISION = Observation(ObservationKind.COLLISION)
+BEEP = Observation(ObservationKind.BEEP)
+
+
+def message(payload: Any) -> Observation:
+    """Convenience constructor for a delivered message observation."""
+    return Observation(ObservationKind.MESSAGE, payload)

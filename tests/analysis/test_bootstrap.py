@@ -1,0 +1,52 @@
+"""Tests for the bootstrap confidence interval helper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import bootstrap_ci, percentile
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapCI:
+    def test_contains_truth_for_symmetric_sample(self):
+        low, high = bootstrap_ci(list(range(1, 101)), seed=1)
+        assert low < 50.5 < high
+        assert high - low < 15  # n=100 mean CI is tight
+
+    def test_constant_sample_degenerate(self):
+        assert bootstrap_ci([7.0] * 10) == (7.0, 7.0)
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 5.0, 9.0, 2.0, 8.0]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+    def test_custom_statistic(self):
+        values = list(range(100))
+        low, high = bootstrap_ci(
+            values, statistic=lambda sample: percentile(sample, 90.0), seed=2
+        )
+        assert 75 <= low <= high <= 99
+
+    def test_confidence_widens_interval(self):
+        values = [float(v) for v in range(30)]
+        narrow = bootstrap_ci(values, confidence=0.5, seed=4)
+        wide = bootstrap_ci(values, confidence=0.99, seed=4)
+        assert (wide[1] - wide[0]) >= (narrow[1] - narrow[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], resamples=0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=30),
+           st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_within_sample_range_for_mean(self, values, seed):
+        low, high = bootstrap_ci(values, resamples=200, seed=seed)
+        # Resample means can drift a few ulp past the sample range.
+        slack = 1e-9 * max(1.0, max(abs(v) for v in values))
+        assert min(values) - slack <= low <= high <= max(values) + slack

@@ -1,0 +1,141 @@
+"""Tests for the declarative campaign runner."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignSpec,
+    load_campaign,
+    run_campaign,
+)
+from repro.errors import ConfigurationError
+
+
+def small_spec(**overrides):
+    data = {
+        "name": "test-campaign",
+        "protocols": ["cd-mis"],
+        "workloads": ["gnp", "path"],
+        "sizes": [16, 24],
+        "trials": 2,
+        "profile": "fast",
+        "seed": 1,
+    }
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        spec = small_spec()
+        assert spec.name == "test-campaign"
+        assert spec.sizes == (16, 24)
+
+    def test_missing_key(self):
+        with pytest.raises(ConfigurationError, match="missing required key"):
+            CampaignSpec.from_dict({"name": "x", "protocols": ["cd-mis"]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(protocols=[])
+        with pytest.raises(ConfigurationError):
+            small_spec(sizes=[])
+
+    def test_bad_profile(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(profile="turbo")
+
+    def test_bad_trials(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(trials=0)
+
+
+class TestExecution:
+    def test_grid_shape(self):
+        result = run_campaign(small_spec())
+        assert len(result.cells) == 1 * 2 * 2  # protocols x workloads x sizes
+        assert {cell.workload for cell in result.cells} == {"gnp", "path"}
+        assert {cell.n for cell in result.cells} == {16, 24}
+
+    def test_all_cells_succeed(self):
+        result = run_campaign(small_spec())
+        assert result.total_failures == 0
+        for cell in result.cells:
+            assert cell.mis_size_mean >= 1
+
+    def test_deterministic(self):
+        a = run_campaign(small_spec())
+        b = run_campaign(small_spec())
+        assert a.cells == b.cells
+
+    def test_model_override(self):
+        spec = small_spec(model="beep")
+        result = run_campaign(spec)
+        assert all(cell.model == "beep" for cell in result.cells)
+
+    def test_table_and_csv(self):
+        result = run_campaign(small_spec())
+        table = result.to_table()
+        assert "test-campaign" in table
+        csv_text = result.to_csv()
+        assert csv_text.splitlines()[0].startswith("protocol,model,workload")
+        assert len(csv_text.strip().splitlines()) == 1 + len(result.cells)
+
+
+class TestLoadFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "file-campaign",
+                    "protocols": ["cd-mis"],
+                    "workloads": ["path"],
+                    "sizes": [12],
+                }
+            )
+        )
+        spec = load_campaign(path)
+        assert spec.name == "file-campaign"
+        assert spec.trials == 5  # default
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_campaign(path)
+
+    def test_example_campaign_file_is_valid(self):
+        from pathlib import Path
+
+        example = (
+            Path(__file__).parents[2] / "examples" / "campaign_cd_vs_naive.json"
+        )
+        spec = load_campaign(example)
+        assert spec.name == "cd-vs-naive"
+        assert "cd-mis" in spec.protocols
+
+
+class TestCLICampaign:
+    def test_cli_runs_campaign(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-campaign",
+                    "protocols": ["cd-mis"],
+                    "workloads": ["path"],
+                    "sizes": [12],
+                    "trials": 2,
+                    "profile": "fast",
+                }
+            )
+        )
+        csv_path = tmp_path / "out.csv"
+        code = main(["campaign", str(path), "--csv", str(csv_path)])
+        assert code == 0
+        assert "cli-campaign" in capsys.readouterr().out
+        assert csv_path.exists()

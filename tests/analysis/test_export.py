@@ -1,0 +1,80 @@
+"""Tests for CSV/JSON export of experiment outputs."""
+
+import csv
+import io
+import json
+
+from repro.analysis import run_trials, run_size_sweep
+from repro.analysis.export import (
+    run_result_to_dict,
+    save_text,
+    sweep_to_csv,
+    sweep_to_json,
+    sweep_to_rows,
+    trials_to_csv,
+    trials_to_rows,
+)
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph, path_graph
+from repro.radio import CD, run_protocol
+
+
+def make_sweep(fast_constants):
+    return run_size_sweep(
+        (16, 32),
+        lambda n, seed: gnp_random_graph(n, 0.2, seed=seed),
+        lambda n: CDMISProtocol(constants=fast_constants),
+        CD,
+        trials=2,
+    )
+
+
+class TestSweepExport:
+    def test_rows(self, fast_constants):
+        rows = sweep_to_rows(make_sweep(fast_constants))
+        assert len(rows) == 2
+        assert rows[0]["n"] == 16
+        assert rows[0]["protocol"] == "cd-mis"
+        assert 0.0 <= rows[0]["failure_rate"] <= 1.0
+
+    def test_csv_parses_back(self, fast_constants):
+        text = sweep_to_csv(make_sweep(fast_constants))
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[1]["n"] == "32"
+
+    def test_json_parses_back(self, fast_constants):
+        data = json.loads(sweep_to_json(make_sweep(fast_constants)))
+        assert [row["n"] for row in data] == [16, 32]
+
+
+class TestTrialsExport:
+    def test_rows_and_csv(self, fast_constants):
+        summary = run_trials(
+            path_graph(8), CDMISProtocol(constants=fast_constants), CD, seeds=range(3)
+        )
+        rows = trials_to_rows(summary)
+        assert len(rows) == 3
+        assert all(row["valid"] for row in rows)
+        parsed = list(csv.DictReader(io.StringIO(trials_to_csv(summary))))
+        assert len(parsed) == 3
+        assert parsed[0]["graph"] == "path(n=8)"
+
+
+class TestRunResultExport:
+    def test_dict_is_json_serializable(self, fast_constants):
+        result = run_protocol(
+            path_graph(8), CDMISProtocol(constants=fast_constants), CD, seed=1
+        )
+        data = run_result_to_dict(result)
+        text = json.dumps(data)
+        assert json.loads(text)["valid"] is True
+        assert data["n"] == 8
+        assert isinstance(data["energy_by_component"], dict)
+
+
+class TestSaveText:
+    def test_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "out.csv"
+        save_text("a,b\n1,2\n", target)
+        assert target.read_text().startswith("a,b")

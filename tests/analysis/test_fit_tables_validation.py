@@ -1,0 +1,128 @@
+"""Tests for complexity fitting, table rendering, and MIS validation."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity_fit import doubling_ratios, fit_log_power
+from repro.analysis.tables import format_cell, render_series, render_table
+from repro.analysis.validation import validate_mis, validate_run
+from repro.errors import ConfigurationError, ValidationError
+from repro.graphs import path_graph
+
+
+class TestLogPowerFit:
+    @pytest.mark.parametrize("true_p", [1.0, 2.0, 3.0])
+    def test_recovers_exact_exponent(self, true_p):
+        sizes = [64, 128, 256, 512, 1024, 2048]
+        values = [3.0 * math.log2(n) ** true_p for n in sizes]
+        fit = fit_log_power(sizes, values)
+        assert fit.exponent == pytest.approx(true_p, abs=0.01)
+        assert fit.best_integer_exponent == true_p
+        assert fit.coefficient == pytest.approx(3.0, rel=0.05)
+
+    def test_predict(self):
+        sizes = [64, 256, 1024]
+        values = [2.0 * math.log2(n) for n in sizes]
+        fit = fit_log_power(sizes, values)
+        assert fit.predict(512) == pytest.approx(2.0 * math.log2(512), rel=0.05)
+
+    def test_noise_tolerance(self):
+        sizes = [64, 128, 256, 512, 1024]
+        values = [
+            5.0 * math.log2(n) ** 2 * (1.1 if i % 2 else 0.9)
+            for i, n in enumerate(sizes)
+        ]
+        fit = fit_log_power(sizes, values)
+        assert fit.best_integer_exponent == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_log_power([64], [1.0])
+        with pytest.raises(ConfigurationError):
+            fit_log_power([64, 128], [1.0])
+        with pytest.raises(ConfigurationError):
+            fit_log_power([64, 128], [1.0, -2.0])
+        with pytest.raises(ConfigurationError):
+            fit_log_power([1, 128], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            fit_log_power([64, 64], [1.0, 2.0])
+
+    def test_doubling_ratios(self):
+        assert doubling_ratios([64, 128], [10.0, 12.0]) == [pytest.approx(1.2)]
+        with pytest.raises(ConfigurationError):
+            doubling_ratios([64], [10.0, 12.0])
+        with pytest.raises(ConfigurationError):
+            doubling_ratios([64, 128], [0.0, 12.0])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+    def test_render_table_aligned(self):
+        table = render_table(["a", "bb"], [(1, 2), (30, 400)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+        assert "400" in table
+
+    def test_render_series(self):
+        chart = render_series([1, 2], [1.0, 2.0], x_label="n", y_label="E")
+        assert "####" in chart
+        assert "n" in chart.splitlines()[0]
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1.0, 2.0])
+
+    def test_render_series_all_zero(self):
+        chart = render_series([1, 2], [0.0, 0.0])
+        assert "#" not in chart
+
+
+class TestValidation:
+    def test_valid_report(self):
+        graph = path_graph(5)
+        report = validate_mis(graph, {0, 2, 4})
+        assert report.valid
+        assert report.mis_size == 3
+        assert report.failure_kinds == []
+        assert "valid MIS" in report.describe()
+
+    def test_invalid_reports_kinds(self):
+        graph = path_graph(5)
+        report = validate_mis(graph, {0, 1}, undecided=[4])
+        assert not report.valid
+        assert set(report.failure_kinds) == {"undecided", "independence", "domination"}
+        assert "INVALID" in report.describe()
+
+    def test_validate_run_strict_raises(self, fast_constants):
+        from repro.core import CDMISProtocol
+        from repro.radio import CD, run_protocol
+        from repro.radio.metrics import RunResult
+
+        graph = path_graph(5)
+        result = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=0
+        )
+        report = validate_run(result, strict=True)  # should be valid
+        assert report.valid
+        # Build a corrupted result to exercise the strict path.
+        bad = RunResult(
+            graph=graph,
+            protocol_name="bad",
+            model_name="cd",
+            seed=0,
+            rounds=1,
+            node_stats=(),
+            node_info=(),
+        )
+        # Empty stats -> empty MIS -> domination violations.
+        with pytest.raises(ValidationError):
+            validate_run(bad, strict=True)

@@ -1,0 +1,90 @@
+"""Tests for trace-based timeline analytics."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    activity_span,
+    busiest_rounds,
+    channel_utilization,
+    collision_pressure,
+    cumulative_energy,
+    duty_cycle,
+)
+from repro.core import CDMISProtocol
+from repro.graphs import gnp_random_graph, path_graph, star_graph
+from repro.radio import CD, Listen, Sleep, TraceRecorder, Transmit, run_protocol
+from tests.radio.test_engine import ScriptProtocol
+
+
+@pytest.fixture
+def scripted_trace():
+    trace = TraceRecorder()
+    protocol = ScriptProtocol(
+        {
+            0: [Transmit(), Sleep(1), Transmit()],
+            1: [Transmit(), Listen(), Listen()],
+            2: [Listen(), Listen()],
+        }
+    )
+    run_protocol(star_graph(3), protocol, CD, seed=0, trace=trace)
+    return trace
+
+
+class TestChannelUtilization:
+    def test_counts_per_round(self, scripted_trace):
+        utilization = channel_utilization(scripted_trace)
+        assert utilization == {0: 2, 2: 1}
+
+    def test_busiest_rounds(self, scripted_trace):
+        assert busiest_rounds(scripted_trace, top=1) == [(0, 2)]
+        assert busiest_rounds(scripted_trace, top=5) == [(0, 2), (2, 1)]
+
+    def test_collision_pressure(self, scripted_trace):
+        assert collision_pressure(scripted_trace) == {2: 1, 1: 1}
+
+
+class TestPerNodeViews:
+    def test_activity_span(self, scripted_trace):
+        assert activity_span(scripted_trace, 0) == (0, 2)
+        assert activity_span(scripted_trace, 2) == (0, 1)
+
+    def test_activity_span_sleeper(self):
+        trace = TraceRecorder()
+        run_protocol(
+            path_graph(2), ScriptProtocol({0: [Sleep(3)]}), CD, seed=0, trace=trace
+        )
+        assert activity_span(trace, 0) == (-1, -1)
+
+    def test_cumulative_energy(self, scripted_trace):
+        curve = cumulative_energy(scripted_trace, 0)
+        assert curve == [(0, 1), (2, 2)]
+
+    def test_duty_cycle(self, scripted_trace):
+        assert duty_cycle(scripted_trace, 1, total_rounds=3) == pytest.approx(1.0)
+        assert duty_cycle(scripted_trace, 0, total_rounds=3) == pytest.approx(2 / 3)
+        assert duty_cycle(scripted_trace, 0, total_rounds=0) == 0.0
+
+
+class TestOnRealAlgorithm:
+    def test_curves_match_energy_accounting(self, fast_constants):
+        graph = gnp_random_graph(24, 0.2, seed=3)
+        trace = TraceRecorder()
+        result = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=3, trace=trace
+        )
+        for stats in result.node_stats:
+            curve = cumulative_energy(trace, stats.node)
+            total = curve[-1][1] if curve else 0
+            assert total == stats.awake_rounds
+
+    def test_mis_algorithm_has_low_duty_cycle(self, fast_constants):
+        # The whole point of the paper: nodes are mostly asleep.
+        graph = gnp_random_graph(48, 0.12, seed=5)
+        trace = TraceRecorder()
+        result = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=5, trace=trace
+        )
+        cycles = [
+            duty_cycle(trace, node, result.rounds) for node in graph.nodes
+        ]
+        assert sum(cycles) / len(cycles) < 0.6

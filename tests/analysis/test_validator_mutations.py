@@ -1,0 +1,78 @@
+"""Mutation tests: every way of corrupting a valid MIS must be caught.
+
+Property-based adversarial check on the validators: start from a valid
+MIS (greedy), apply a random corruption, and assert the validation
+report flags exactly the right violation class.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import validate_mis
+from repro.graphs import gnp_random_graph, greedy_mis
+
+
+graph_strategy = st.tuples(
+    st.integers(4, 40), st.integers(0, 50)
+).map(lambda t: gnp_random_graph(t[0], 0.25, seed=t[1]))
+
+
+class TestMutationDetection:
+    @given(graph_strategy, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_mis_passes(self, graph, seed):
+        mis = greedy_mis(graph, rng=random.Random(seed))
+        report = validate_mis(graph, mis)
+        assert report.valid
+        assert report.mis_size == len(mis)
+
+    @given(graph_strategy, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_neighbor_breaks_independence(self, graph, seed):
+        rng = random.Random(seed)
+        mis = greedy_mis(graph, rng=rng)
+        # Find a node outside the MIS adjacent to it (exists unless the
+        # MIS is the whole node set, i.e. the graph is edgeless).
+        candidates = [
+            node
+            for node in graph.nodes
+            if node not in mis and graph.neighbor_set(node) & mis
+        ]
+        assume(candidates)
+        corrupted = set(mis) | {rng.choice(candidates)}
+        report = validate_mis(graph, corrupted)
+        assert not report.valid
+        assert report.independence_violations
+
+    @given(graph_strategy, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_member_breaks_domination(self, graph, seed):
+        rng = random.Random(seed)
+        mis = sorted(greedy_mis(graph, rng=rng))
+        victim = rng.choice(mis)
+        corrupted = set(mis) - {victim}
+        report = validate_mis(graph, corrupted)
+        # The removed node is no longer dominated (its neighbors are all
+        # outside the MIS, since it was a member of an independent set).
+        assert not report.valid
+        assert victim in report.domination_violations
+
+    @given(graph_strategy, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_undecided_nodes_always_flagged(self, graph, seed):
+        rng = random.Random(seed)
+        mis = greedy_mis(graph, rng=rng)
+        undecided_node = rng.randrange(graph.num_nodes)
+        report = validate_mis(graph, mis, undecided=[undecided_node])
+        assert not report.valid
+        assert "undecided" in report.failure_kinds
+
+    @given(graph_strategy, st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_set_caught_unless_graph_empty(self, graph, seed):
+        report = validate_mis(graph, set())
+        if graph.num_nodes:
+            assert not report.valid
+            assert len(report.domination_violations) == graph.num_nodes

@@ -1,0 +1,54 @@
+"""Tests for the shared workload catalog."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    WORKLOADS,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_names_sorted_and_nonempty(self):
+        names = workload_names()
+        assert names == sorted(names)
+        assert "gnp" in names and "hard" in names
+
+    def test_every_workload_builds(self):
+        for name in workload_names():
+            graph = build_workload(name, 24, seed=1)
+            assert graph.num_nodes >= 4, name
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            get_workload("nonexistent")
+
+    def test_randomized_flag_honest(self):
+        for name, spec in WORKLOADS.items():
+            a = spec.build(24, 1)
+            b = spec.build(24, 2)
+            if not spec.randomized:
+                assert a == b, f"{name} claims deterministic but differs by seed"
+
+    def test_randomized_families_vary(self):
+        # At a size where variation is overwhelming.
+        for name in ("gnp", "udg", "tree", "bounded", "planted"):
+            spec = WORKLOADS[name]
+            assert spec.build(64, 1) != spec.build(64, 2), name
+
+    def test_seed_determinism(self):
+        for name in workload_names():
+            spec = WORKLOADS[name]
+            assert spec.build(24, 7) == spec.build(24, 7), name
+
+    def test_structural_constraints_respected(self):
+        assert build_workload("hard", 30, 0).num_nodes % 4 == 0
+        hypercube = build_workload("hypercube", 20, 0)
+        assert hypercube.num_nodes >= 20
+        assert (hypercube.num_nodes & (hypercube.num_nodes - 1)) == 0
+
+    def test_descriptions_present(self):
+        assert all(spec.description for spec in WORKLOADS.values())

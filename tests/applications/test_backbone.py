@@ -1,0 +1,118 @@
+"""Tests for backbone construction from an MIS."""
+
+import pytest
+
+from repro.applications import build_backbone
+from repro.core import CDMISProtocol
+from repro.errors import ValidationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    grid_graph,
+    greedy_mis,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+)
+from repro.radio import CD, run_protocol
+
+
+class TestConstruction:
+    def test_path_clusters(self):
+        graph = path_graph(5)
+        backbone = build_backbone(graph, {0, 2, 4})
+        assert backbone.heads == frozenset({0, 2, 4})
+        assert backbone.membership[1] == 0  # smallest adjacent head
+        assert backbone.membership[3] == 2
+        clusters = backbone.clusters
+        assert clusters[0] == [0, 1]
+        assert clusters[4] == [4]
+
+    def test_cluster_radius(self):
+        graph = gnp_random_graph(40, 0.15, seed=2)
+        backbone = build_backbone(graph, greedy_mis(graph))
+        assert backbone.cluster_radius_is_one()
+
+    def test_invalid_mis_rejected(self):
+        graph = path_graph(4)
+        with pytest.raises(ValidationError):
+            build_backbone(graph, {0, 1})  # adjacent heads
+        with pytest.raises(ValidationError):
+            build_backbone(graph, {0})  # not dominating
+
+    def test_non_strict_tolerates_orphans(self):
+        graph = path_graph(4)
+        backbone = build_backbone(graph, {0}, strict=False)
+        assert 3 not in backbone.membership
+
+    def test_isolated_heads(self):
+        graph = empty_graph(3)
+        backbone = build_backbone(graph, {0, 1, 2})
+        assert backbone.clusters == {0: [0], 1: [1], 2: [2]}
+        assert backbone.bridges == {}
+
+
+class TestBridges:
+    def test_two_hop_bridge_preferred(self):
+        graph = path_graph(3)  # heads 0 and 2, gateway 1
+        backbone = build_backbone(graph, {0, 2})
+        assert backbone.bridges == {(0, 2): (1,)}
+
+    def test_three_hop_bridge(self):
+        graph = path_graph(4)  # heads 0 and 3 at distance 3
+        backbone = build_backbone(graph, {0, 3})
+        assert backbone.bridges == {(0, 3): (1, 2)}
+
+    def test_gateway_order_matches_head_order(self):
+        graph = path_graph(4)
+        backbone = build_backbone(graph, {0, 3})
+        x, y = backbone.bridges[(0, 3)]
+        assert graph.has_edge(0, x) and graph.has_edge(y, 3)
+
+    def test_overlay_connected_on_connected_graphs(self):
+        for graph in (
+            path_graph(11),
+            cycle_graph(9),
+            grid_graph(4, 5),
+            gnp_random_graph(50, 0.12, seed=3),
+        ):
+            if len(graph.connected_components()) != 1:
+                continue
+            backbone = build_backbone(graph, greedy_mis(graph))
+            assert backbone.overlay_connected_within_components(), graph.name
+
+    def test_overlay_per_component(self):
+        from repro.graphs import Graph
+
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        backbone = build_backbone(graph, greedy_mis(graph))
+        assert backbone.overlay_connected_within_components()
+
+    def test_single_cluster_overlay(self):
+        backbone = build_backbone(star_graph(6), {0})
+        overlay = backbone.overlay_graph()
+        assert overlay.num_nodes == 1
+        assert overlay.num_edges == 0
+
+
+class TestWithDistributedMIS:
+    def test_backbone_from_radio_mis(self, fast_constants):
+        graph = random_geometric_graph(80, 0.2, seed=7)
+        result = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=7
+        )
+        assert result.is_valid_mis()
+        backbone = build_backbone(graph, result.mis)
+        assert backbone.cluster_radius_is_one()
+        assert backbone.overlay_connected_within_components()
+
+    def test_clique_single_head(self, fast_constants):
+        graph = complete_graph(9)
+        result = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=1
+        )
+        backbone = build_backbone(graph, result.mis)
+        assert len(backbone.heads) == 1
+        assert len(backbone.clusters[next(iter(backbone.heads))]) == 9

@@ -1,0 +1,106 @@
+"""Tests for iterated-MIS coloring."""
+
+import random
+
+import pytest
+
+from repro.applications import (
+    is_proper_coloring,
+    iterated_mis_coloring,
+    radio_mis_solver,
+)
+from repro.core import CDMISProtocol
+from repro.errors import SimulationError, ValidationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    greedy_mis,
+    path_graph,
+)
+from repro.radio import CD
+
+
+def greedy_solver(graph, seed):
+    return greedy_mis(graph, rng=random.Random(seed))
+
+
+class TestProperColoringPredicate:
+    def test_accepts_proper(self):
+        graph = path_graph(4)
+        assert is_proper_coloring(graph, {0: 0, 1: 1, 2: 0, 3: 1})
+
+    def test_rejects_monochromatic_edge(self):
+        graph = path_graph(3)
+        assert not is_proper_coloring(graph, {0: 0, 1: 0, 2: 1})
+
+    def test_rejects_partial(self):
+        graph = path_graph(3)
+        assert not is_proper_coloring(graph, {0: 0, 1: 1})
+
+
+class TestIteratedColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper_on_random_graphs(self, seed):
+        graph = gnp_random_graph(40, 0.15, seed=seed)
+        colors = iterated_mis_coloring(graph, greedy_solver, seed=seed)
+        assert is_proper_coloring(graph, colors)
+
+    def test_color_count_within_delta_plus_one(self):
+        graph = gnp_random_graph(40, 0.2, seed=4)
+        colors = iterated_mis_coloring(graph, greedy_solver, seed=4)
+        assert max(colors.values()) + 1 <= graph.max_degree() + 1
+
+    def test_empty_graph_single_color(self):
+        colors = iterated_mis_coloring(empty_graph(5), greedy_solver)
+        assert set(colors.values()) == {0}
+
+    def test_clique_uses_n_colors(self):
+        graph = complete_graph(6)
+        colors = iterated_mis_coloring(graph, greedy_solver)
+        assert sorted(colors.values()) == list(range(6))
+
+    def test_cycle_uses_at_most_three(self):
+        colors = iterated_mis_coloring(cycle_graph(9), greedy_solver)
+        assert max(colors.values()) + 1 <= 3
+
+    def test_zero_node_graph(self):
+        from repro.graphs import Graph
+
+        assert iterated_mis_coloring(Graph(0), greedy_solver) == {}
+
+    def test_broken_solver_detected(self):
+        def dependent_solver(graph, seed):
+            return set(graph.nodes)  # not independent on any edge
+
+        with pytest.raises(ValidationError):
+            iterated_mis_coloring(path_graph(3), dependent_solver)
+
+    def test_empty_solver_detected(self):
+        def empty_solver(graph, seed):
+            return set()
+
+        with pytest.raises(ValidationError):
+            iterated_mis_coloring(path_graph(3), empty_solver)
+
+    def test_non_maximal_solver_hits_watchdog(self):
+        def lazy_solver(graph, seed):
+            # Always a single node: independent but far from maximal.
+            return {0}
+
+        with pytest.raises(SimulationError):
+            iterated_mis_coloring(
+                empty_graph(50), lazy_solver, max_colors=10
+            )
+
+
+class TestRadioColoring:
+    def test_coloring_with_algorithm1(self, fast_constants):
+        graph = gnp_random_graph(32, 0.15, seed=6)
+        solver = radio_mis_solver(
+            lambda: CDMISProtocol(constants=fast_constants), CD
+        )
+        colors = iterated_mis_coloring(graph, solver, seed=6)
+        assert is_proper_coloring(graph, colors)
+        assert max(colors.values()) + 1 <= graph.max_degree() + 1

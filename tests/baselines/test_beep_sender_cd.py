@@ -1,0 +1,141 @@
+"""Tests for the sender-side-CD beeping model and MIS baseline."""
+
+import pytest
+
+from repro.baselines import SenderCDBeepingMISProtocol
+from repro.core import CDMISProtocol
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.radio import (
+    BEEPING,
+    BEEPING_SENDER_CD,
+    CD,
+    Listen,
+    Protocol,
+    Transmit,
+    model_by_name,
+    run_protocol,
+)
+
+
+class BeepProbe(Protocol):
+    """Node 0 and 1 both beep; each records what it perceived."""
+
+    name = "beep-probe"
+    compatible_models = ("beep-sender-cd", "beep")
+
+    def run(self, ctx):
+        if ctx.node <= 1:
+            observation = yield Transmit(1)
+        else:
+            observation = yield Listen()
+        ctx.info["obs"] = None if observation is None else str(observation)
+
+
+class TestSenderCDModel:
+    def test_lookup(self):
+        assert model_by_name("beep-sender-cd") is BEEPING_SENDER_CD
+        assert model_by_name("sender-cd") is BEEPING_SENDER_CD
+
+    def test_beeper_hears_adjacent_beeper(self):
+        result = run_protocol(path_graph(2), BeepProbe(), BEEPING_SENDER_CD, seed=0)
+        assert result.node_info[0]["obs"] == "beep"
+        assert result.node_info[1]["obs"] == "beep"
+
+    def test_beeper_does_not_hear_itself(self):
+        # Lone beeper: no neighbors beeping -> silence, not its own beep.
+        result = run_protocol(empty_graph(2), BeepProbe(), BEEPING_SENDER_CD, seed=0)
+        assert result.node_info[0]["obs"] == "silence"
+
+    def test_non_adjacent_beepers_unheard(self):
+        from repro.graphs import Graph
+
+        graph = Graph(3, [(0, 2)])  # 0 and 1 beep, but are not adjacent
+        result = run_protocol(graph, BeepProbe(), BEEPING_SENDER_CD, seed=0)
+        assert result.node_info[0]["obs"] == "silence"
+        assert result.node_info[1]["obs"] == "silence"
+        assert result.node_info[2]["obs"] == "beep"
+
+    def test_plain_beeping_gives_senders_nothing(self):
+        result = run_protocol(path_graph(2), BeepProbe(), BEEPING, seed=0)
+        assert result.node_info[0]["obs"] is None
+
+
+class TestSenderCDBeepingMIS:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, fast_constants, seed):
+        graph = gnp_random_graph(48, 0.12, seed=seed)
+        result = run_protocol(
+            graph,
+            SenderCDBeepingMISProtocol(constants=fast_constants),
+            BEEPING_SENDER_CD,
+            seed=seed,
+        )
+        assert result.is_valid_mis()
+
+    def test_structures(self, fast_constants):
+        for graph in (
+            empty_graph(4),
+            path_graph(11),
+            star_graph(9),
+            complete_graph(10),
+        ):
+            result = run_protocol(
+                graph,
+                SenderCDBeepingMISProtocol(constants=fast_constants),
+                BEEPING_SENDER_CD,
+                seed=4,
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_independence_is_deterministic(self, fast_constants):
+        # Exact lone-beeper detection: adjacent joins are impossible,
+        # so even *invalid* runs can only fail by leaving undecided.
+        graph = complete_graph(12)
+        for seed in range(30):
+            result = run_protocol(
+                graph,
+                SenderCDBeepingMISProtocol(constants=fast_constants),
+                BEEPING_SENDER_CD,
+                seed=seed,
+            )
+            assert graph.is_independent_set(result.mis)
+
+    def test_rounds_much_lower_than_algorithm1(self, fast_constants):
+        graph = gnp_random_graph(256, 8.0 / 255.0, seed=7)
+        beep = run_protocol(
+            graph,
+            SenderCDBeepingMISProtocol(constants=fast_constants),
+            BEEPING_SENDER_CD,
+            seed=7,
+        )
+        radio = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=7
+        )
+        assert beep.is_valid_mis() and radio.is_valid_mis()
+        assert beep.rounds * 2 < radio.rounds
+
+    def test_refuses_weaker_models(self, fast_constants):
+        with pytest.raises(SimulationError):
+            run_protocol(
+                path_graph(4),
+                SenderCDBeepingMISProtocol(constants=fast_constants),
+                CD,
+                seed=0,
+            )
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            SenderCDBeepingMISProtocol(iterations_factor=0)
+
+    def test_round_hint_respected(self, fast_constants):
+        graph = gnp_random_graph(32, 0.2, seed=2)
+        protocol = SenderCDBeepingMISProtocol(constants=fast_constants)
+        result = run_protocol(graph, protocol, BEEPING_SENDER_CD, seed=2)
+        assert result.rounds <= protocol.max_rounds_hint(32, graph.max_degree())

@@ -1,0 +1,136 @@
+"""Tests for the idealized message-passing baselines (Luby, Ghaffari)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ghaffari_mis, greedy_mis, luby_mis
+from repro.errors import SimulationError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    is_valid_mis,
+    path_graph,
+    star_graph,
+)
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, seed):
+        graph = gnp_random_graph(60, 0.1, seed=seed)
+        result = luby_mis(graph, seed=seed)
+        assert is_valid_mis(graph, result.mis)
+        assert result.converged
+
+    def test_empty_graph_one_phase(self):
+        result = luby_mis(empty_graph(5), seed=0)
+        assert result.mis == set(range(5))
+        assert result.phases_used == 1
+
+    def test_zero_node_graph(self):
+        from repro.graphs import Graph
+
+        result = luby_mis(Graph(0), seed=0)
+        assert result.mis == set()
+        assert result.phases_used == 0
+
+    def test_residual_series_shape(self):
+        graph = gnp_random_graph(60, 0.1, seed=3)
+        result = luby_mis(graph, seed=3)
+        assert result.residual_edges[0] == graph.num_edges
+        assert result.residual_edges[-1] == 0
+        assert result.residual_nodes[-1] == 0
+        assert len(result.residual_edges) == result.phases_used + 1
+
+    def test_residual_edges_monotone(self):
+        graph = gnp_random_graph(60, 0.15, seed=4)
+        result = luby_mis(graph, seed=4)
+        for before, after in zip(result.residual_edges, result.residual_edges[1:]):
+            assert after <= before
+
+    def test_expected_halving_statistically(self):
+        # Lemma 5's reference process: first-phase shrinkage averaged
+        # over seeds must be at most ~1/2 (generous margin 0.6).
+        graph = gnp_random_graph(80, 0.1, seed=5)
+        ratios = []
+        for seed in range(30):
+            result = luby_mis(graph, seed=seed)
+            if result.residual_edges[0]:
+                ratios.append(result.residual_edges[1] / result.residual_edges[0])
+        assert sum(ratios) / len(ratios) <= 0.6
+
+    def test_discrete_ranks_variant(self):
+        graph = gnp_random_graph(40, 0.15, seed=6)
+        result = luby_mis(graph, seed=6, rank_bits=24)
+        assert is_valid_mis(graph, result.mis)
+
+    def test_phase_budget_enforced(self):
+        graph = complete_graph(30)
+        with pytest.raises(SimulationError):
+            luby_mis(graph, seed=0, max_phases=0)
+
+    def test_phases_logarithmic(self):
+        graph = gnp_random_graph(200, 0.05, seed=7)
+        result = luby_mis(graph, seed=7)
+        assert result.phases_used <= 20
+
+    @given(st.integers(1, 30), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_on_random_graphs(self, n, seed):
+        graph = gnp_random_graph(n, 0.2, seed=seed)
+        result = luby_mis(graph, seed=seed)
+        assert is_valid_mis(graph, result.mis)
+
+
+class TestGhaffari:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, seed):
+        graph = gnp_random_graph(60, 0.1, seed=seed)
+        result = ghaffari_mis(graph, seed=seed)
+        assert is_valid_mis(graph, result.mis)
+        assert result.converged
+
+    def test_structures(self):
+        for graph in (path_graph(15), cycle_graph(10), star_graph(12), complete_graph(9)):
+            result = ghaffari_mis(graph, seed=2)
+            assert is_valid_mis(graph, result.mis), graph.name
+
+    def test_decided_rounds_recorded(self):
+        graph = gnp_random_graph(30, 0.2, seed=3)
+        result = ghaffari_mis(graph, seed=3)
+        assert set(result.decided_round) == set(graph.nodes)
+        assert all(1 <= r <= result.rounds_used for r in result.decided_round.values())
+
+    def test_round_budget_enforced(self):
+        with pytest.raises(SimulationError):
+            ghaffari_mis(complete_graph(20), seed=0, max_rounds=0)
+
+    def test_rounds_logarithmic(self):
+        graph = gnp_random_graph(200, 0.05, seed=4)
+        result = ghaffari_mis(graph, seed=4)
+        assert result.rounds_used <= 60
+
+    def test_residual_series(self):
+        graph = gnp_random_graph(50, 0.1, seed=5)
+        result = ghaffari_mis(graph, seed=5)
+        assert result.residual_nodes[0] == 50
+        assert result.residual_nodes[-1] == 0
+
+
+class TestAgreementAcrossAlgorithms:
+    def test_mis_sizes_comparable(self):
+        # Different MIS algorithms give different sets, but sizes live
+        # within a small band on the same graph.
+        graph = gnp_random_graph(80, 0.1, seed=9)
+        sizes = {
+            "greedy": len(greedy_mis(graph, rng=random.Random(1))),
+            "luby": len(luby_mis(graph, seed=1).mis),
+            "ghaffari": len(ghaffari_mis(graph, seed=1).mis),
+        }
+        low, high = min(sizes.values()), max(sizes.values())
+        assert high <= 1.6 * low

@@ -1,0 +1,119 @@
+"""Tests for the radio baselines (naive CD Luby, naive no-CD backoff)."""
+
+import pytest
+
+from repro.baselines import NaiveBackoffMISProtocol, NaiveCDLubyProtocol
+from repro.core import CDMISProtocol
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.radio import BEEPING, CD, NO_CD, run_protocol
+
+
+class TestNaiveCDLuby:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid(self, fast_constants, seed):
+        graph = gnp_random_graph(32, 0.15, seed=seed)
+        result = run_protocol(
+            graph, NaiveCDLubyProtocol(constants=fast_constants), CD, seed=seed
+        )
+        assert result.is_valid_mis()
+
+    def test_valid_on_structures(self, fast_constants):
+        for graph in (empty_graph(4), path_graph(9), star_graph(8), complete_graph(6)):
+            result = run_protocol(
+                graph, NaiveCDLubyProtocol(constants=fast_constants), CD, seed=2
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_works_in_beeping_model(self, fast_constants):
+        result = run_protocol(
+            path_graph(8), NaiveCDLubyProtocol(constants=fast_constants), BEEPING, seed=1
+        )
+        assert result.is_valid_mis()
+
+    def test_same_output_law_as_algorithm1(self, fast_constants):
+        # Same seed => identical rank draws => identical MIS, because
+        # extra listening has no algorithmic effect.
+        graph = gnp_random_graph(24, 0.2, seed=5)
+        optimal = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=9
+        )
+        naive = run_protocol(
+            graph, NaiveCDLubyProtocol(constants=fast_constants), CD, seed=9
+        )
+        assert optimal.mis == naive.mis
+        assert optimal.rounds == naive.rounds
+
+    def test_energy_strictly_higher_than_algorithm1(self, fast_constants):
+        graph = gnp_random_graph(48, 0.12, seed=6)
+        optimal = run_protocol(
+            graph, CDMISProtocol(constants=fast_constants), CD, seed=7
+        )
+        naive = run_protocol(
+            graph, NaiveCDLubyProtocol(constants=fast_constants), CD, seed=7
+        )
+        assert naive.max_energy > optimal.max_energy
+        assert naive.total_energy > optimal.total_energy
+
+    def test_energy_equals_attendance(self, fast_constants):
+        # A naive node is awake for every round of every phase it
+        # attends: its awake count equals its finish round.
+        graph = complete_graph(8)
+        result = run_protocol(
+            graph, NaiveCDLubyProtocol(constants=fast_constants), CD, seed=3
+        )
+        for stats in result.node_stats:
+            assert stats.awake_rounds == stats.finish_round
+
+
+class TestNaiveBackoffMIS:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid(self, fast_constants, seed):
+        graph = gnp_random_graph(24, 0.15, seed=seed)
+        result = run_protocol(
+            graph, NaiveBackoffMISProtocol(constants=fast_constants), NO_CD, seed=seed
+        )
+        assert result.is_valid_mis()
+
+    def test_valid_on_structures(self, fast_constants):
+        for graph in (empty_graph(4), path_graph(8), star_graph(6)):
+            result = run_protocol(
+                graph, NaiveBackoffMISProtocol(constants=fast_constants), NO_CD, seed=4
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_round_hint_respected(self, fast_constants):
+        graph = gnp_random_graph(24, 0.15, seed=2)
+        protocol = NaiveBackoffMISProtocol(constants=fast_constants)
+        result = run_protocol(graph, protocol, NO_CD, seed=2)
+        assert result.rounds <= protocol.max_rounds_hint(24, graph.max_degree())
+
+    def test_energy_equals_attendance(self, fast_constants):
+        graph = path_graph(6)
+        result = run_protocol(
+            graph, NaiveBackoffMISProtocol(constants=fast_constants), NO_CD, seed=1
+        )
+        for stats in result.node_stats:
+            assert stats.awake_rounds == stats.finish_round
+
+    def test_costs_more_energy_than_algorithm2(self, fast_constants):
+        from repro.core import NoCDEnergyMISProtocol
+
+        graph = gnp_random_graph(32, 0.15, seed=8)
+        efficient = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=fast_constants), NO_CD, seed=8
+        )
+        naive = run_protocol(
+            graph, NaiveBackoffMISProtocol(constants=fast_constants), NO_CD, seed=8
+        )
+        assert naive.max_energy > efficient.max_energy
+
+    def test_delta_override(self, fast_constants):
+        protocol = NaiveBackoffMISProtocol(constants=fast_constants, delta=2)
+        result = run_protocol(path_graph(8), protocol, NO_CD, seed=3)
+        assert result.is_valid_mis()

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Tests of randomized algorithms fix seeds: a test asserts behaviour of a
+*specific* reproducible run (or a statistical property over many seeded
+runs with generous margins), never of an unseeded one.
+"""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def fast_constants():
+    """Cheap constants for unit tests (see ConstantsProfile.fast)."""
+    return ConstantsProfile.fast()
+
+
+@pytest.fixture(scope="session")
+def practical_constants():
+    return ConstantsProfile.practical()
+
+
+@pytest.fixture(scope="session")
+def small_graphs():
+    """A spread of small topologies exercising extremal shapes."""
+    return [
+        empty_graph(6),
+        path_graph(9),
+        cycle_graph(8),
+        star_graph(10),
+        complete_graph(7),
+        grid_graph(3, 4),
+        random_tree(12, seed=3),
+        gnp_random_graph(24, 0.2, seed=5),
+    ]
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """One medium random graph for integration-level checks."""
+    return gnp_random_graph(64, 0.1, seed=1)

@@ -1,0 +1,242 @@
+"""Tests for the backoff primitives (Algorithm 4, Lemmas 8-9)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff import (
+    backoff_rounds,
+    backoff_slots,
+    geometric_slot,
+    rec_ebackoff,
+    snd_ebackoff,
+    snd_rec_ebackoff,
+    traditional_decay_receiver,
+    traditional_decay_sender,
+)
+from repro.errors import ProtocolError
+from repro.graphs import path_graph, star_graph
+from repro.radio import CD, NO_CD, Protocol, Sleep, run_protocol
+
+
+class RoleBackoffProtocol(Protocol):
+    """Run one backoff subroutine per node according to a role map.
+
+    Roles: ``snd``/``rec``/``snd_rec``/``decay_snd``/``decay_rec``/``sleep``.
+    Records the subroutine's return value and exact round consumption in
+    ``ctx.info``.
+    """
+
+    name = "role-backoff"
+    compatible_models = ("cd", "no-cd", "beep")
+
+    def __init__(self, roles, k, delta, delta_est=None):
+        self.roles = roles
+        self.k = k
+        self.delta = delta
+        self.delta_est = delta_est
+
+    def run(self, ctx):
+        role = self.roles.get(ctx.node, "sleep")
+        start = ctx.now
+        if role == "snd":
+            outcome = yield from snd_ebackoff(ctx, self.k, self.delta)
+        elif role == "rec":
+            outcome = yield from rec_ebackoff(ctx, self.k, self.delta, self.delta_est)
+        elif role == "snd_rec":
+            outcome = yield from snd_rec_ebackoff(
+                ctx, self.k, self.delta, self.delta_est
+            )
+        elif role == "decay_snd":
+            outcome = yield from traditional_decay_sender(ctx, self.k, self.delta)
+        elif role == "decay_rec":
+            outcome = yield from traditional_decay_receiver(ctx, self.k, self.delta)
+        else:
+            yield Sleep(backoff_rounds(self.k, self.delta))
+            outcome = None
+        ctx.info["result"] = outcome
+        ctx.info["rounds_used"] = ctx.now - start
+
+
+def run_roles(graph, roles, k, delta, delta_est=None, seed=0, model=NO_CD):
+    protocol = RoleBackoffProtocol(roles, k, delta, delta_est)
+    return run_protocol(graph, protocol, model, seed=seed)
+
+
+class TestBudgetArithmetic:
+    @pytest.mark.parametrize(
+        "delta,slots", [(0, 2), (1, 2), (2, 2), (3, 3), (4, 3), (8, 4), (9, 5), (100, 8)]
+    )
+    def test_backoff_slots(self, delta, slots):
+        assert backoff_slots(delta) == slots
+
+    @given(st.integers(0, 50), st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_backoff_rounds_formula(self, k, delta):
+        assert backoff_rounds(k, delta) == k * backoff_slots(delta)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ProtocolError):
+            backoff_rounds(-1, 4)
+
+
+class TestGeometricSlot:
+    @given(st.integers(0, 1000), st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_in_range(self, seed, slots):
+        assert 1 <= geometric_slot(random.Random(seed), slots) <= slots
+
+    def test_distribution_matches_geometric(self):
+        rng = random.Random(7)
+        counts = Counter(geometric_slot(rng, 5) for _ in range(20_000))
+        total = 20_000
+        assert counts[1] / total == pytest.approx(0.5, abs=0.02)
+        assert counts[2] / total == pytest.approx(0.25, abs=0.02)
+        # Cap absorbs the tail: P(5) = 2^-4.
+        assert counts[5] / total == pytest.approx(1 / 16, abs=0.01)
+
+    def test_single_slot_always_one(self):
+        rng = random.Random(1)
+        assert all(geometric_slot(rng, 1) == 1 for _ in range(50))
+
+
+class TestSndEBackoff:
+    def test_round_budget_exact(self):
+        result = run_roles(path_graph(2), {0: "snd"}, k=6, delta=10)
+        assert result.node_info[0]["rounds_used"] == backoff_rounds(6, 10)
+
+    def test_awake_exactly_k_rounds(self):
+        # Lemma 8: a sender is awake exactly k rounds.
+        result = run_roles(path_graph(2), {0: "snd"}, k=9, delta=30)
+        assert result.node_stats[0].awake_rounds == 9
+        assert result.node_stats[0].transmit_rounds == 9
+
+    def test_returns_false(self):
+        result = run_roles(path_graph(2), {0: "snd"}, k=3, delta=4)
+        assert result.node_info[0]["result"] is False
+
+    def test_zero_iterations(self):
+        result = run_roles(path_graph(2), {0: "snd"}, k=0, delta=4)
+        assert result.node_info[0]["rounds_used"] == 0
+        assert result.node_stats[0].awake_rounds == 0
+
+
+class TestRecEBackoff:
+    def test_round_budget_exact_without_sender(self):
+        result = run_roles(path_graph(2), {0: "rec"}, k=5, delta=12)
+        assert result.node_info[0]["rounds_used"] == backoff_rounds(5, 12)
+        assert result.node_info[0]["result"] is False
+
+    def test_round_budget_exact_with_sender(self):
+        result = run_roles(path_graph(2), {0: "rec", 1: "snd"}, k=5, delta=12)
+        assert result.node_info[0]["rounds_used"] == backoff_rounds(5, 12)
+        assert result.node_info[0]["result"] is True
+
+    def test_round_budget_independent_of_delta_est(self):
+        a = run_roles(path_graph(2), {0: "rec"}, k=4, delta=64, delta_est=2)
+        b = run_roles(path_graph(2), {0: "rec"}, k=4, delta=64, delta_est=64)
+        assert (
+            a.node_info[0]["rounds_used"]
+            == b.node_info[0]["rounds_used"]
+            == backoff_rounds(4, 64)
+        )
+
+    def test_reduced_delta_est_listens_less(self):
+        a = run_roles(path_graph(2), {0: "rec"}, k=4, delta=64, delta_est=2)
+        b = run_roles(path_graph(2), {0: "rec"}, k=4, delta=64, delta_est=64)
+        assert a.node_stats[0].listen_rounds == 4 * backoff_slots(2)
+        assert b.node_stats[0].listen_rounds == 4 * backoff_slots(64)
+        assert a.node_stats[0].listen_rounds < b.node_stats[0].listen_rounds
+
+    def test_early_sleep_after_hearing(self):
+        # With a lone sender, the receiver hears in iteration 1 and must
+        # sleep out the rest: awake rounds far below the full budget.
+        result = run_roles(path_graph(2), {0: "rec", 1: "snd"}, k=20, delta=8)
+        assert result.node_info[0]["result"] is True
+        assert result.node_stats[0].awake_rounds <= backoff_slots(8)
+
+    def test_lone_sender_always_heard(self):
+        # A single sender never collides, so one iteration suffices.
+        for seed in range(10):
+            result = run_roles(
+                path_graph(2), {0: "rec", 1: "snd"}, k=1, delta=8, seed=seed
+            )
+            assert result.node_info[0]["result"] is True
+
+    def test_lemma9_success_rate(self):
+        # Star hub listens, 16 leaves send, Delta_est = 16, k = 8:
+        # success probability must beat 1 - (7/8)^8 ~ 0.66 (it is much
+        # higher in practice); 60 trials with a generous margin.
+        graph = star_graph(17)
+        roles = {0: "rec"}
+        roles.update({leaf: "snd" for leaf in range(1, 17)})
+        heard = sum(
+            1
+            for seed in range(60)
+            if run_roles(graph, roles, k=8, delta=16, seed=seed).node_info[0]["result"]
+        )
+        assert heard / 60 >= 0.66
+
+    def test_no_false_positives(self):
+        # No sender anywhere: the receiver must return False.
+        result = run_roles(star_graph(5), {0: "rec"}, k=6, delta=4)
+        assert result.node_info[0]["result"] is False
+
+
+class TestSndRecEBackoff:
+    def test_round_budget_exact(self):
+        result = run_roles(path_graph(2), {0: "snd_rec"}, k=5, delta=12)
+        assert result.node_info[0]["rounds_used"] == backoff_rounds(5, 12)
+
+    def test_transmits_once_per_iteration(self):
+        result = run_roles(path_graph(2), {0: "snd_rec"}, k=7, delta=12)
+        assert result.node_stats[0].transmit_rounds == 7
+
+    def test_two_adjacent_contenders_hear_each_other(self):
+        # The LowDegreeMIS guarantee: two marked neighbors detect each
+        # other w.h.p. over k iterations.
+        both_heard = 0
+        for seed in range(40):
+            result = run_roles(
+                path_graph(2), {0: "snd_rec", 1: "snd_rec"}, k=10, delta=4, seed=seed
+            )
+            if result.node_info[0]["result"] or result.node_info[1]["result"]:
+                both_heard += 1
+        assert both_heard >= 38  # ~(3/4)^10 residual failure per trial
+
+    def test_hears_plain_sender(self):
+        result = run_roles(path_graph(2), {0: "snd_rec", 1: "snd"}, k=10, delta=4)
+        assert result.node_info[0]["result"] is True
+
+    def test_alone_hears_nothing(self):
+        result = run_roles(path_graph(2), {0: "snd_rec"}, k=10, delta=4)
+        assert result.node_info[0]["result"] is False
+
+
+class TestTraditionalDecay:
+    def test_sender_awake_all_rounds(self):
+        result = run_roles(path_graph(2), {0: "decay_snd"}, k=4, delta=16)
+        assert result.node_stats[0].awake_rounds == backoff_rounds(4, 16)
+
+    def test_receiver_awake_all_rounds(self):
+        result = run_roles(path_graph(2), {0: "decay_rec"}, k=4, delta=16)
+        assert result.node_stats[0].awake_rounds == backoff_rounds(4, 16)
+        assert result.node_info[0]["result"] is False
+
+    def test_delivery(self):
+        result = run_roles(
+            path_graph(2), {0: "decay_rec", 1: "decay_snd"}, k=6, delta=8
+        )
+        assert result.node_info[0]["result"] is True
+
+    def test_energy_asymmetry_vs_efficient(self):
+        # The whole point of Lemma 8: efficient sender << traditional.
+        efficient = run_roles(path_graph(2), {0: "snd"}, k=10, delta=64)
+        traditional = run_roles(path_graph(2), {0: "decay_snd"}, k=10, delta=64)
+        assert (
+            efficient.node_stats[0].awake_rounds
+            < traditional.node_stats[0].awake_rounds
+        )

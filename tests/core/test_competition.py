@@ -1,0 +1,186 @@
+"""Tests for the Competition subroutine (Algorithm 3)."""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core.backoff import backoff_rounds
+from repro.core.competition import (
+    COMMIT,
+    LOSE,
+    WIN,
+    competition,
+    competition_rounds,
+)
+from repro.graphs import complete_graph, empty_graph, gnp_random_graph, path_graph
+from repro.radio import NO_CD, Protocol, run_protocol
+
+
+class CompetitionProbe(Protocol):
+    """Run exactly one competition per node and record the outcome."""
+
+    name = "competition-probe"
+    compatible_models = ("no-cd", "cd")
+
+    def __init__(self, constants, delta=None, mute=False):
+        self.constants = constants
+        self.delta = delta
+        self.mute = mute
+
+    def run(self, ctx):
+        delta = max(1, self.delta if self.delta is not None else ctx.delta)
+        start = ctx.now
+        outcome = yield from competition(
+            ctx, delta, self.constants, mute_committed_on_hear=self.mute
+        )
+        ctx.info["outcome"] = outcome
+        ctx.info["rounds_used"] = ctx.now - start
+        ctx.info["delta"] = delta
+
+
+def run_competition(graph, constants, seed=0, delta=None, mute=False):
+    return run_protocol(
+        graph, CompetitionProbe(constants, delta, mute), NO_CD, seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class TestRoundBudget:
+    def test_all_paths_consume_exact_budget(self, constants):
+        graph = gnp_random_graph(24, 0.2, seed=1)
+        result = run_competition(graph, constants, seed=1)
+        delta = graph.max_degree()
+        expected = competition_rounds(24, delta, constants)
+        for info in result.node_info:
+            assert info["rounds_used"] == expected
+
+    def test_budget_formula(self, constants):
+        n, delta = 64, 10
+        expected = constants.rank_bits(n) * backoff_rounds(
+            constants.deep_check_iterations(n), delta
+        )
+        assert competition_rounds(n, delta, constants) == expected
+
+    def test_nodes_stay_synchronized(self, constants):
+        graph = complete_graph(8)
+        result = run_competition(graph, constants, seed=2)
+        finishes = {stats.finish_round for stats in result.node_stats}
+        assert len(finishes) == 1
+
+
+class TestOutcomes:
+    def test_statuses_are_known(self, constants):
+        graph = gnp_random_graph(24, 0.2, seed=3)
+        result = run_competition(graph, constants, seed=3)
+        for info in result.node_info:
+            assert info["outcome"].status in (WIN, COMMIT, LOSE)
+
+    def test_isolated_node_wins_and_commits(self, constants):
+        result = run_competition(empty_graph(3), constants, seed=4)
+        for info in result.node_info:
+            outcome = info["outcome"]
+            assert outcome.status == WIN
+            assert not outcome.heard
+            # It commits at its first 0-bit unless the rank is all ones.
+            if outcome.rank != (1 << constants.rank_bits(3)) - 1:
+                assert outcome.committed
+
+    def test_winners_heard_nothing(self, constants):
+        graph = gnp_random_graph(30, 0.15, seed=5)
+        result = run_competition(graph, constants, seed=5)
+        for info in result.node_info:
+            outcome = info["outcome"]
+            if outcome.status == WIN:
+                assert not outcome.heard
+            else:
+                assert outcome.heard
+
+    def test_losers_never_committed(self, constants):
+        graph = gnp_random_graph(30, 0.15, seed=6)
+        result = run_competition(graph, constants, seed=6)
+        for info in result.node_info:
+            outcome = info["outcome"]
+            if outcome.status == LOSE:
+                assert not outcome.committed
+                assert outcome.commit_bit is None
+            if outcome.status == COMMIT:
+                assert outcome.committed
+                assert outcome.commit_bit is not None
+
+    def test_clique_produces_at_most_one_winner_usually(self, constants):
+        # Adjacent winners require identical effective knock-out runs;
+        # count multi-winner competitions across seeds.
+        multi = 0
+        for seed in range(20):
+            result = run_competition(complete_graph(10), constants, seed=seed)
+            winners = [
+                info["outcome"].status == WIN for info in result.node_info
+            ].count(True)
+            if winners > 1:
+                multi += 1
+        assert multi <= 2
+
+    def test_some_winner_exists_usually(self, constants):
+        # Lemma 14 consequence: the max-rank node usually wins.
+        missing = 0
+        for seed in range(20):
+            result = run_competition(gnp_random_graph(16, 0.2, seed=seed), constants, seed=seed)
+            if not any(info["outcome"].status == WIN for info in result.node_info):
+                missing += 1
+        assert missing <= 4
+
+    def test_loser_energy_below_full_participation(self, constants):
+        # A loser sleeps out the competition from its first informative
+        # 0-bit; its energy must be well below the full-listen bill.
+        graph = complete_graph(16)
+        result = run_competition(graph, constants, seed=7)
+        losers = [
+            stats
+            for stats, info in zip(result.node_stats, result.node_info)
+            if info["outcome"].status == LOSE
+        ]
+        assert losers, "a clique competition should produce losers"
+        bits = constants.rank_bits(16)
+        k = constants.deep_check_iterations(16)
+        full_listen = bits * backoff_rounds(k, graph.max_degree())
+        for stats in losers:
+            assert stats.awake_rounds < full_listen / 2
+
+
+class TestDegreeEstimate:
+    def test_committed_listens_are_cheaper(self, constants):
+        # Committed nodes shrink Delta_est to kappa*log n, so their
+        # subsequent listens cost fewer awake rounds than pre-commit
+        # listens at large Delta.  Compare total listen energy of a
+        # committed isolated node under a huge claimed Delta versus the
+        # un-shrunk bound.
+        graph = empty_graph(2)
+        result = run_competition(graph, constants, seed=8, delta=1024)
+        bits = constants.rank_bits(2)
+        k = constants.deep_check_iterations(2)
+        from repro.core.backoff import backoff_slots
+
+        full = bits * k * backoff_slots(1024)
+        for stats, info in zip(result.node_stats, result.node_info):
+            if info["outcome"].committed:
+                assert stats.listen_rounds < full
+
+
+class TestMuteAblation:
+    def test_mute_changes_nothing_when_no_commits_hear(self, constants):
+        # On an edgeless graph nobody hears, so both variants coincide.
+        a = run_competition(empty_graph(4), constants, seed=9, mute=False)
+        b = run_competition(empty_graph(4), constants, seed=9, mute=True)
+        assert [i["outcome"] for i in a.node_info] == [
+            i["outcome"] for i in b.node_info
+        ]
+
+    def test_mute_budget_still_exact(self, constants):
+        graph = gnp_random_graph(20, 0.3, seed=10)
+        result = run_competition(graph, constants, seed=10, mute=True)
+        expected = competition_rounds(20, graph.max_degree(), constants)
+        for info in result.node_info:
+            assert info["rounds_used"] == expected

@@ -1,0 +1,165 @@
+"""Tests for LowDegreeMIS (the §4.2 subroutine and standalone protocol)."""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core.backoff import backoff_rounds
+from repro.core.low_degree_mis import (
+    DOMINATED,
+    JOINED,
+    UNDECIDED,
+    LowDegreeMISProtocol,
+    low_degree_mis,
+    low_degree_mis_rounds,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.radio import NO_CD, Decision, Protocol, run_protocol
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class SubroutineProbe(Protocol):
+    """Run the bare subroutine and record outcome + rounds used."""
+
+    name = "ldm-probe"
+    compatible_models = ("no-cd",)
+
+    def __init__(self, constants, degree_bound):
+        self.constants = constants
+        self.degree_bound = degree_bound
+
+    def run(self, ctx):
+        start = ctx.now
+        outcome = yield from low_degree_mis(ctx, self.degree_bound, self.constants)
+        ctx.info["outcome"] = outcome
+        ctx.info["rounds_used"] = ctx.now - start
+
+
+class TestRoundBudget:
+    def test_budget_formula(self, constants):
+        n, degree = 64, 12
+        expected = (
+            constants.low_degree_iterations(n)
+            * 2
+            * backoff_rounds(constants.deep_check_iterations(n), degree)
+        )
+        assert low_degree_mis_rounds(n, degree, constants) == expected
+
+    def test_full_run_consumes_exact_budget(self, constants):
+        # Joined and never-dominated nodes consume the full budget.
+        graph = empty_graph(3)
+        result = run_protocol(graph, SubroutineProbe(constants, 4), NO_CD, seed=1)
+        budget = low_degree_mis_rounds(3, 4, constants)
+        for info in result.node_info:
+            assert info["outcome"] == JOINED
+            assert info["rounds_used"] == budget
+
+    def test_dominated_may_exit_early(self, constants):
+        results = []
+        for seed in range(10):
+            result = run_protocol(
+                complete_graph(6), SubroutineProbe(constants, 5), NO_CD, seed=seed
+            )
+            results.extend(result.node_info)
+        dominated = [info for info in results if info["outcome"] == DOMINATED]
+        assert dominated
+        budget = low_degree_mis_rounds(6, 5, constants)
+        assert any(info["rounds_used"] < budget for info in dominated)
+
+
+class TestSubroutineOutcomes:
+    def test_isolated_participant_joins(self, constants):
+        result = run_protocol(
+            empty_graph(1), SubroutineProbe(constants, 2), NO_CD, seed=0
+        )
+        assert result.node_info[0]["outcome"] == JOINED
+
+    def test_pair_splits(self, constants):
+        outcomes = []
+        for seed in range(15):
+            result = run_protocol(
+                path_graph(2), SubroutineProbe(constants, 2), NO_CD, seed=seed
+            )
+            outcomes.append(
+                tuple(sorted(info["outcome"] for info in result.node_info))
+            )
+        # The common outcome: one joined, one dominated.  At n=2 the fast
+        # profile runs only k=3 backoff iterations, so a (1/2)^3 mutual
+        # miss (both join) shows up occasionally.
+        assert outcomes.count((DOMINATED, JOINED)) >= 11
+
+    def test_outcome_vocabulary(self, constants):
+        for seed in range(5):
+            result = run_protocol(
+                gnp_random_graph(16, 0.2, seed=seed),
+                SubroutineProbe(constants, 8),
+                NO_CD,
+                seed=seed,
+            )
+            for info in result.node_info:
+                assert info["outcome"] in (JOINED, DOMINATED, UNDECIDED)
+
+
+class TestStandaloneProtocol:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_graphs(self, constants, seed):
+        graph = gnp_random_graph(32, 0.15, seed=seed)
+        result = run_protocol(
+            graph, LowDegreeMISProtocol(constants=constants), NO_CD, seed=seed + 100
+        )
+        assert result.is_valid_mis()
+
+    def test_valid_on_structures(self, constants):
+        for graph in (path_graph(10), cycle_graph(9), star_graph(8), complete_graph(6)):
+            result = run_protocol(
+                graph, LowDegreeMISProtocol(constants=constants), NO_CD, seed=3
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_respects_round_hint(self, constants):
+        graph = gnp_random_graph(32, 0.15, seed=2)
+        protocol = LowDegreeMISProtocol(constants=constants)
+        result = run_protocol(graph, protocol, NO_CD, seed=5)
+        assert result.rounds <= protocol.max_rounds_hint(32, graph.max_degree())
+
+    def test_degree_bound_override(self, constants):
+        # A tighter (still valid) bound shrinks the round budget.
+        graph = path_graph(8)  # Delta = 2
+        tight = LowDegreeMISProtocol(constants=constants, degree_bound=2)
+        loose = LowDegreeMISProtocol(constants=constants, degree_bound=64)
+        tight_result = run_protocol(graph, tight, NO_CD, seed=7)
+        loose_result = run_protocol(graph, loose, NO_CD, seed=7)
+        assert tight_result.is_valid_mis()
+        assert tight_result.rounds < loose_result.rounds
+
+    def test_outcome_recorded_in_info(self, constants):
+        result = run_protocol(
+            path_graph(4), LowDegreeMISProtocol(constants=constants), NO_CD, seed=2
+        )
+        assert all("low_degree_outcome" in info for info in result.node_info)
+
+    def test_decisions_match_outcomes(self, constants):
+        result = run_protocol(
+            gnp_random_graph(20, 0.2, seed=4),
+            LowDegreeMISProtocol(constants=constants),
+            NO_CD,
+            seed=4,
+        )
+        for stats, info in zip(result.node_stats, result.node_info):
+            outcome = info["low_degree_outcome"]
+            if outcome == JOINED:
+                assert stats.decision is Decision.IN_MIS
+            elif outcome == DOMINATED:
+                assert stats.decision is Decision.OUT_MIS
+            else:
+                assert stats.decision is Decision.UNDECIDED

@@ -1,0 +1,92 @@
+"""Tests for Algorithm 2's ablation knobs (§5.1 design choices)."""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core import NoCDEnergyMISProtocol
+from repro.core.nocd_mis import LubyPhaseSchedule
+from repro.graphs import complete_graph, gnp_random_graph, path_graph
+from repro.radio import NO_CD, run_protocol
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class TestNoCommitAblation:
+    def test_schedule_drops_segment3(self, constants):
+        with_commit = LubyPhaseSchedule(64, 16, constants)
+        without = LubyPhaseSchedule(64, 16, constants, enable_commit=False)
+        assert without.tg == 0
+        assert without.tl == without.tc + without.tb_deep + without.tb_shallow
+        assert without.tl < with_commit.tl
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_still_correct(self, constants, seed):
+        graph = gnp_random_graph(32, 0.15, seed=seed)
+        protocol = NoCDEnergyMISProtocol(constants=constants, enable_commit=False)
+        result = run_protocol(graph, protocol, NO_CD, seed=seed)
+        assert result.is_valid_mis()
+
+    def test_no_low_degree_energy(self, constants):
+        graph = gnp_random_graph(32, 0.2, seed=2)
+        protocol = NoCDEnergyMISProtocol(constants=constants, enable_commit=False)
+        result = run_protocol(graph, protocol, NO_CD, seed=2)
+        assert "low-degree-mis" not in result.energy_by_component()
+
+    def test_no_commit_statuses(self, constants):
+        graph = gnp_random_graph(32, 0.2, seed=3)
+        protocol = NoCDEnergyMISProtocol(
+            constants=constants, enable_commit=False, instrument=True
+        )
+        result = run_protocol(graph, protocol, NO_CD, seed=3)
+        for info in result.node_info:
+            for entry in info.get("phase_log", ()):
+                assert entry.get("competition_status") != "commit"
+                assert not entry.get("committed")
+
+    def test_rounds_shorter_than_default(self, constants):
+        graph = path_graph(12)
+        default = NoCDEnergyMISProtocol(constants=constants)
+        ablated = NoCDEnergyMISProtocol(constants=constants, enable_commit=False)
+        assert (
+            ablated.max_rounds_hint(12, 2) < default.max_rounds_hint(12, 2)
+        )
+
+
+class TestAlwaysDeepAblation:
+    def test_schedule_inflates_shallow_segment(self, constants):
+        deep = constants.deep_check_iterations(64)
+        default = LubyPhaseSchedule(64, 16, constants)
+        ablated = LubyPhaseSchedule(64, 16, constants, shallow_iterations=deep)
+        assert ablated.tb_shallow == default.tb_deep
+        assert ablated.tl > default.tl
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_still_correct(self, constants, seed):
+        graph = gnp_random_graph(32, 0.15, seed=seed)
+        deep = constants.deep_check_iterations(32)
+        protocol = NoCDEnergyMISProtocol(
+            constants=constants, shallow_iterations=deep
+        )
+        result = run_protocol(graph, protocol, NO_CD, seed=seed)
+        assert result.is_valid_mis()
+
+    def test_costs_more_energy(self, constants):
+        graph = complete_graph(16)
+        deep = constants.deep_check_iterations(16)
+        default = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=5
+        )
+        ablated = run_protocol(
+            graph,
+            NoCDEnergyMISProtocol(constants=constants, shallow_iterations=deep),
+            NO_CD,
+            seed=5,
+        )
+        assert ablated.total_energy > default.total_energy
+
+    def test_shallow_iterations_floored_at_one(self, constants):
+        protocol = NoCDEnergyMISProtocol(constants=constants, shallow_iterations=0)
+        assert protocol.shallow_iterations == 1

@@ -1,0 +1,209 @@
+"""Tests for Algorithm 2 (no-CD energy-efficient MIS)."""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core import NoCDEnergyMISProtocol
+from repro.core.nocd_mis import LubyPhaseSchedule
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    matching_plus_isolated_graph,
+    path_graph,
+    star_graph,
+)
+from repro.radio import CD, NO_CD, Decision, run_protocol
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class TestSchedule:
+    def test_budget_composition(self, constants):
+        schedule = LubyPhaseSchedule(64, 10, constants)
+        assert schedule.tl == (
+            schedule.tc + 2 * schedule.tb_deep + schedule.tg + schedule.tb_shallow
+        )
+
+    def test_phase_starts_are_multiples(self, constants):
+        schedule = LubyPhaseSchedule(64, 10, constants)
+        assert schedule.phase_start(0) == 0
+        assert schedule.phase_start(3) == 3 * schedule.tl
+
+    def test_total_rounds(self, constants):
+        schedule = LubyPhaseSchedule(64, 10, constants)
+        assert schedule.total_rounds == schedule.phases * schedule.tl
+
+    def test_committed_degree_capped_by_delta(self, constants):
+        schedule = LubyPhaseSchedule(256, 2, constants)
+        assert schedule.committed_degree == 2
+
+    def test_delta_floor(self, constants):
+        schedule = LubyPhaseSchedule(16, 0, constants)
+        assert schedule.delta == 1
+
+    def test_repr_mentions_budgets(self, constants):
+        assert "tl=" in repr(LubyPhaseSchedule(16, 4, constants))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_graph(self, constants, seed):
+        graph = gnp_random_graph(40, 0.12, seed=seed)
+        result = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=seed + 50
+        )
+        assert result.is_valid_mis()
+
+    def test_valid_on_structures(self, constants):
+        for graph in (
+            empty_graph(5),
+            path_graph(12),
+            cycle_graph(9),
+            star_graph(10),
+            complete_graph(8),
+            matching_plus_isolated_graph(16),
+        ):
+            result = run_protocol(
+                graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=17
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_runs_under_cd_model_too(self, constants):
+        # CD gives strictly more information; the algorithm still works.
+        graph = gnp_random_graph(24, 0.2, seed=3)
+        result = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=constants), CD, seed=3
+        )
+        assert result.is_valid_mis()
+
+    def test_failure_rate_small(self, constants):
+        graph = gnp_random_graph(32, 0.15, seed=0)
+        failures = sum(
+            0
+            if run_protocol(
+                graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=s
+            ).is_valid_mis()
+            else 1
+            for s in range(25)
+        )
+        assert failures <= 2
+
+
+class TestTiming:
+    def test_round_budget_respected(self, constants):
+        graph = gnp_random_graph(32, 0.15, seed=1)
+        protocol = NoCDEnergyMISProtocol(constants=constants)
+        result = run_protocol(graph, protocol, NO_CD, seed=1)
+        schedule = protocol.schedule_for(32, graph.max_degree())
+        assert result.rounds <= schedule.total_rounds
+
+    def test_terminations_at_phase_boundaries_only(self, constants):
+        # Every node's finish round must fall on a segment boundary of
+        # some phase (termination points are deterministic offsets).
+        graph = gnp_random_graph(24, 0.2, seed=2)
+        protocol = NoCDEnergyMISProtocol(constants=constants)
+        result = run_protocol(graph, protocol, NO_CD, seed=2)
+        schedule = protocol.schedule_for(24, graph.max_degree())
+        valid_offsets = set()
+        for phase in range(schedule.phases):
+            start = schedule.phase_start(phase)
+            deep1_end = start + schedule.tc + schedule.tb_deep
+            deep2_end = deep1_end + schedule.tb_deep
+            ldm_window_end = start + schedule.tc + 2 * schedule.tb_deep + schedule.tg
+            shallow_end = start + schedule.tl
+            # Early exits: after deep check 1, during/after LowDegreeMIS,
+            # after the shallow check; plus the final phase end.
+            valid_offsets.add(deep1_end)
+            valid_offsets.update(range(deep2_end, ldm_window_end + 1))
+            valid_offsets.add(shallow_end)
+        for stats in result.node_stats:
+            assert stats.finish_round in valid_offsets, stats
+
+    def test_delta_override_changes_budget(self, constants):
+        protocol_small = NoCDEnergyMISProtocol(constants=constants, delta=4)
+        protocol_large = NoCDEnergyMISProtocol(constants=constants, delta=64)
+        assert protocol_small.max_rounds_hint(32, 4) < protocol_large.max_rounds_hint(
+            32, 4
+        )
+
+    def test_delta_override_still_correct(self, constants):
+        # Using Delta = n (the "unknown Delta" regime) must stay valid.
+        graph = path_graph(10)
+        protocol = NoCDEnergyMISProtocol(constants=constants, delta=10)
+        result = run_protocol(graph, protocol, NO_CD, seed=4)
+        assert result.is_valid_mis()
+
+
+class TestEnergy:
+    def test_energy_well_below_rounds(self, constants):
+        # The whole point: awake rounds are orders of magnitude below
+        # the round complexity.
+        graph = gnp_random_graph(48, 0.1, seed=5)
+        result = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=5
+        )
+        assert result.max_energy * 5 < result.rounds
+
+    def test_component_ledger_populated(self, constants):
+        graph = gnp_random_graph(24, 0.2, seed=6)
+        result = run_protocol(
+            graph, NoCDEnergyMISProtocol(constants=constants), NO_CD, seed=6
+        )
+        components = result.energy_by_component()
+        assert "competition-listen" in components
+        assert "competition-send" in components
+
+    def test_energy_cap_enforced(self, constants):
+        graph = gnp_random_graph(24, 0.2, seed=7)
+        cap = 50
+        protocol = NoCDEnergyMISProtocol(constants=constants, energy_cap=cap)
+        result = run_protocol(graph, protocol, NO_CD, seed=7)
+        schedule = protocol.schedule_for(24, graph.max_degree())
+        # A node may overshoot within the phase it crossed the cap, but
+        # never by more than one phase's worth of awake rounds.
+        per_phase_ceiling = schedule.tc + 2 * schedule.tb_deep + schedule.tg
+        for stats in result.node_stats:
+            assert stats.awake_rounds <= cap + per_phase_ceiling
+
+    def test_energy_cap_forces_decisions(self, constants):
+        graph = complete_graph(12)
+        protocol = NoCDEnergyMISProtocol(constants=constants, energy_cap=1)
+        result = run_protocol(graph, protocol, NO_CD, seed=8)
+        assert not result.undecided  # every node decided (arbitrarily)
+
+
+class TestInstrumentation:
+    def test_phase_log_shapes(self, constants):
+        graph = gnp_random_graph(20, 0.2, seed=9)
+        protocol = NoCDEnergyMISProtocol(constants=constants, instrument=True)
+        result = run_protocol(graph, protocol, NO_CD, seed=9)
+        for info in result.node_info:
+            assert "phase_log" in info
+            for entry in info["phase_log"]:
+                assert "phase" in entry
+                if "competition_status" in entry:
+                    assert entry["competition_status"] in ("win", "commit", "lose")
+
+    def test_out_nodes_have_decided_phase(self, constants):
+        graph = gnp_random_graph(20, 0.2, seed=10)
+        protocol = NoCDEnergyMISProtocol(constants=constants, instrument=True)
+        result = run_protocol(graph, protocol, NO_CD, seed=10)
+        for stats, info in zip(result.node_stats, result.node_info):
+            if stats.decision is Decision.OUT_MIS:
+                assert info["decided_phase"] is not None
+
+    def test_mis_nodes_survive_to_the_end(self, constants):
+        # MIS nodes never terminate early: their finish round is the
+        # last phase boundary.
+        graph = gnp_random_graph(20, 0.2, seed=11)
+        protocol = NoCDEnergyMISProtocol(constants=constants)
+        result = run_protocol(graph, protocol, NO_CD, seed=11)
+        schedule = protocol.schedule_for(20, graph.max_degree())
+        for stats in result.node_stats:
+            if stats.decision is Decision.IN_MIS:
+                assert stats.finish_round == schedule.total_rounds

@@ -1,0 +1,180 @@
+"""Tests for the extended generators and structural analyzers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    average_clustering,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    degeneracy,
+    degeneracy_ordering,
+    diameter,
+    eccentricity,
+    empty_graph,
+    gnp_random_graph,
+    greedy_mis,
+    hypercube_graph,
+    path_graph,
+    planted_independent_set_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+    triangle_count,
+)
+
+
+class TestTorus:
+    def test_four_regular(self):
+        graph = torus_graph(4, 5)
+        assert all(graph.degree(node) == 4 for node in graph.nodes)
+        assert graph.num_edges == 2 * 20
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 5])
+    def test_structure(self, d):
+        graph = hypercube_graph(d)
+        assert graph.num_nodes == 1 << d
+        assert all(graph.degree(node) == d for node in graph.nodes)
+        assert graph.num_edges == d * (1 << d) // 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(-1)
+
+    def test_bipartite_no_triangles(self):
+        assert triangle_count(hypercube_graph(4)) == 0
+
+
+class TestBarbell:
+    def test_structure(self):
+        graph = barbell_graph(4, 3)
+        # Two K4 (6 edges each) + 3 path edges.
+        assert graph.num_edges == 6 + 6 + 3
+        assert graph.num_nodes == 4 + 2 + 4
+
+    def test_path_length_one_joins_cliques_directly(self):
+        graph = barbell_graph(3, 1)
+        assert graph.num_nodes == 6
+        assert graph.has_edge(2, 3)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barbell_graph(0, 2)
+        with pytest.raises(GraphError):
+            barbell_graph(3, 0)
+
+
+class TestPlanted:
+    def test_planted_set_is_independent(self):
+        graph = planted_independent_set_graph(40, 15, 0.4, seed=1)
+        assert graph.is_independent_set(range(15))
+
+    def test_rest_has_edges(self):
+        graph = planted_independent_set_graph(40, 15, 0.4, seed=1)
+        assert graph.num_edges > 0
+
+    def test_p_one_everything_outside_connected(self):
+        graph = planted_independent_set_graph(10, 4, 1.0, seed=1)
+        assert graph.has_edge(4, 5)
+        assert graph.has_edge(0, 9)
+        assert not graph.has_edge(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            planted_independent_set_graph(10, 11, 0.5)
+        with pytest.raises(GraphError):
+            planted_independent_set_graph(10, 3, 1.5)
+
+    def test_greedy_mis_at_least_decent(self):
+        graph = planted_independent_set_graph(60, 20, 0.3, seed=3)
+        mis = greedy_mis(graph, order=list(range(60)))
+        assert len(mis) >= 20  # natural order starts inside the planted set
+
+
+class TestDistances:
+    def test_path_diameter(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(cycle_graph(9)) == 4
+
+    def test_star_eccentricities(self):
+        graph = star_graph(6)
+        assert eccentricity(graph, 0) == 1
+        assert eccentricity(graph, 3) == 2
+
+    def test_hypercube_diameter_is_dimension(self):
+        assert diameter(hypercube_graph(4)) == 4
+
+    def test_disconnected_uses_component_max(self):
+        from repro.graphs import Graph
+
+        graph = Graph(5, [(0, 1), (1, 2)])
+        assert diameter(graph) == 2
+        assert eccentricity(graph, 4) == 0
+
+    def test_empty(self):
+        from repro.graphs import Graph
+
+        assert diameter(Graph(0)) == 0
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        assert degeneracy(random_tree(20, seed=1)) == 1
+
+    def test_clique(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(9)) == 2
+
+    def test_empty(self):
+        assert degeneracy(empty_graph(4)) == 0
+        from repro.graphs import Graph
+
+        assert degeneracy(Graph(0)) == 0
+
+    def test_ordering_is_permutation(self):
+        graph = gnp_random_graph(30, 0.2, seed=2)
+        ordering = degeneracy_ordering(graph)
+        assert sorted(ordering) == list(range(30))
+
+    @given(st.integers(1, 25), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_degeneracy_below_max_degree(self, n, seed):
+        graph = gnp_random_graph(n, 0.3, seed=seed)
+        assert degeneracy(graph) <= graph.max_degree()
+
+
+class TestTrianglesClustering:
+    def test_clique_triangles(self):
+        assert triangle_count(complete_graph(5)) == 10
+
+    def test_tree_has_none(self):
+        assert triangle_count(random_tree(15, seed=4)) == 0
+
+    def test_clique_clustering_is_one(self):
+        assert average_clustering(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_star_clustering_is_zero(self):
+        assert average_clustering(star_graph(8)) == 0.0
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        assert average_clustering(Graph(0)) == 0.0
+
+    def test_clustering_in_unit_interval(self):
+        graph = gnp_random_graph(30, 0.3, seed=5)
+        assert 0.0 <= average_clustering(graph) <= 1.0

@@ -1,0 +1,195 @@
+"""Structural tests for every topology generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+
+
+class TestGnp:
+    def test_p_zero_is_edgeless(self):
+        assert gen.gnp_random_graph(20, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        graph = gen.gnp_random_graph(10, 1.0, seed=1)
+        assert graph.num_edges == 45
+
+    def test_seed_determinism(self):
+        a = gen.gnp_random_graph(30, 0.2, seed=7)
+        b = gen.gnp_random_graph(30, 0.2, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gen.gnp_random_graph(30, 0.2, seed=7)
+        b = gen.gnp_random_graph(30, 0.2, seed=8)
+        assert a != b
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(GraphError):
+            gen.gnp_random_graph(5, 1.5)
+        with pytest.raises(GraphError):
+            gen.gnp_random_graph(5, -0.1)
+
+    def test_edge_count_near_expectation(self):
+        # n=200, p=0.1: expectation 1990, sd ~42; 5 sd tolerance.
+        graph = gen.gnp_random_graph(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(graph.num_edges - expected) < 5 * (expected * 0.9) ** 0.5
+
+    @given(st.integers(0, 40), st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_always_simple(self, n, p):
+        graph = gen.gnp_random_graph(n, p, seed=0)
+        assert graph.num_nodes == n
+        assert all(u != v for u, v in graph.edges)
+
+
+class TestGeometric:
+    def test_radius_zero_is_edgeless(self):
+        assert gen.random_geometric_graph(30, 0.0, seed=1).num_edges == 0
+
+    def test_radius_sqrt2_is_complete(self):
+        graph = gen.random_geometric_graph(12, 1.5, seed=1)
+        assert graph.num_edges == 12 * 11 // 2
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_geometric_graph(5, -0.5)
+
+    def test_matches_bruteforce(self):
+        # The grid-accelerated construction must equal the O(n^2) answer.
+        rng = random.Random(9)
+        points = [(rng.random(), rng.random()) for _ in range(40)]
+        radius = 0.25
+        expected = {
+            (u, v)
+            for u in range(40)
+            for v in range(u + 1, 40)
+            if (points[u][0] - points[v][0]) ** 2
+            + (points[u][1] - points[v][1]) ** 2
+            <= radius * radius
+        }
+        graph = gen.random_geometric_graph(40, radius, rng=random.Random(9))
+        assert set(graph.edges) == expected
+
+
+class TestBoundedDegree:
+    @pytest.mark.parametrize("max_degree", [0, 1, 3, 6])
+    def test_respects_cap(self, max_degree):
+        graph = gen.random_bounded_degree_graph(40, max_degree, seed=2)
+        assert graph.max_degree() <= max_degree
+
+    def test_degree_zero_is_edgeless(self):
+        assert gen.random_bounded_degree_graph(10, 0, seed=1).num_edges == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_bounded_degree_graph(10, -1)
+
+    def test_reaches_reasonable_density(self):
+        graph = gen.random_bounded_degree_graph(60, 6, seed=4)
+        # At least half the target edges should be placed.
+        assert graph.num_edges >= 60 * 6 // 4
+
+
+class TestStructured:
+    def test_path(self):
+        graph = gen.path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_path_trivial_sizes(self):
+        assert gen.path_graph(0).num_edges == 0
+        assert gen.path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        graph = gen.cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in graph.nodes)
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_grid(self):
+        graph = gen.grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert graph.degree(0) == 2  # corner
+
+    def test_star(self):
+        graph = gen.star_graph(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete(self):
+        graph = gen.complete_graph(6)
+        assert graph.num_edges == 15
+        assert graph.max_degree() == 5
+
+    def test_complete_bipartite(self):
+        graph = gen.complete_bipartite_graph(2, 3)
+        assert graph.num_edges == 6
+        assert graph.is_independent_set([0, 1])
+        assert graph.is_independent_set([2, 3, 4])
+
+    def test_empty(self):
+        graph = gen.empty_graph(4)
+        assert graph.num_edges == 0
+        assert graph.is_maximal_independent_set(range(4))
+
+    def test_caterpillar(self):
+        graph = gen.caterpillar_graph(3, 2)
+        assert graph.num_nodes == 3 + 6
+        assert graph.num_edges == 2 + 6
+        assert graph.degree(1) == 4  # middle spine: 2 spine + 2 legs
+
+    def test_tree_is_acyclic_connected(self):
+        graph = gen.random_tree(30, seed=5)
+        assert graph.num_edges == 29
+        assert len(graph.connected_components()) == 1
+
+    def test_tree_trivial(self):
+        assert gen.random_tree(1, seed=0).num_edges == 0
+
+
+class TestMatchingFamilies:
+    def test_disjoint_edges(self):
+        graph = gen.disjoint_edges_graph(4)
+        assert graph.num_nodes == 8
+        assert all(graph.degree(v) == 1 for v in graph.nodes)
+
+    def test_hard_instance_structure(self):
+        graph = gen.matching_plus_isolated_graph(16)
+        assert graph.num_nodes == 16
+        assert graph.num_edges == 4
+        isolated = [v for v in graph.nodes if graph.degree(v) == 0]
+        assert len(isolated) == 8
+
+    def test_hard_instance_requires_multiple_of_four(self):
+        with pytest.raises(GraphError):
+            gen.matching_plus_isolated_graph(10)
+
+
+class TestRegularish:
+    def test_degree_cap(self):
+        graph = gen.random_regularish_graph(40, 4, seed=3)
+        assert graph.max_degree() <= 4
+        assert graph.num_edges > 0
+
+    def test_rejects_degree_at_least_n(self):
+        with pytest.raises(GraphError):
+            gen.random_regularish_graph(4, 4)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(GraphError):
+            gen.random_regularish_graph(4, -1)
+
+    def test_deterministic(self):
+        assert gen.random_regularish_graph(20, 3, seed=1) == gen.random_regularish_graph(
+            20, 3, seed=1
+        )

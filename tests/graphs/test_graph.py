@@ -1,0 +1,210 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import Graph
+
+
+def edges_strategy(max_nodes=12):
+    """Random (num_nodes, edge list) pairs with in-range endpoints."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=30,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = Graph(0)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.nodes) == []
+
+    def test_basic(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.neighbors(1) == (0, 2)
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_edges_normalized_and_sorted(self):
+        graph = Graph(4, [(3, 1), (2, 0)])
+        assert graph.edges == ((0, 2), (1, 3))
+
+    def test_from_adjacency_symmetrizes(self):
+        graph = Graph.from_adjacency([[1], [], [1]])
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert graph.num_edges == 2
+
+
+class TestAccessors:
+    def test_neighbor_set_membership(self):
+        graph = Graph(4, [(0, 1), (0, 2)])
+        assert graph.neighbor_set(0) == frozenset({1, 2})
+        assert 3 not in graph.neighbor_set(0)
+
+    def test_degree_and_max_degree(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degree(3) == 1
+        assert graph.max_degree() == 3
+
+    def test_max_degree_empty(self):
+        assert Graph(0).max_degree() == 0
+        assert Graph(5).max_degree() == 0
+
+    def test_has_edge_symmetric(self):
+        graph = Graph(3, [(0, 2)])
+        assert graph.has_edge(0, 2) and graph.has_edge(2, 0)
+        assert not graph.has_edge(0, 1)
+
+    def test_bad_node_lookup_raises(self):
+        graph = Graph(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.neighbors(2)
+        with pytest.raises(GraphError):
+            graph.degree(-1)
+
+    def test_len_iter_contains(self):
+        graph = Graph(3)
+        assert len(graph) == 3
+        assert list(graph) == [0, 1, 2]
+        assert 2 in graph and 3 not in graph and "x" not in graph
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a graph"
+
+    def test_closed_neighborhood(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        assert graph.closed_neighborhood(1) == frozenset({0, 1, 2})
+
+
+class TestSetQueries:
+    def test_independent_set_detection(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert graph.is_independent_set([0, 2])
+        assert not graph.is_independent_set([0, 1])
+        assert graph.is_independent_set([])
+
+    def test_dominating_set_detection(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.is_dominating_set([1, 3])
+        assert not graph.is_dominating_set([0])
+
+    def test_maximal_independent_set(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.is_maximal_independent_set([0, 2])
+        assert graph.is_maximal_independent_set([1, 3])
+        assert not graph.is_maximal_independent_set([0])  # not dominating
+        assert not graph.is_maximal_independent_set([0, 1, 3])  # not independent
+
+    def test_isolated_node_must_be_in_mis(self):
+        graph = Graph(3, [(0, 1)])
+        assert not graph.is_maximal_independent_set([0])
+        assert graph.is_maximal_independent_set([0, 2])
+
+    def test_edges_within(self):
+        graph = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert graph.edges_within([0, 1, 2]) == [(0, 1), (1, 2)]
+        assert graph.edges_within([0, 2, 3]) == []
+
+    def test_neighborhood_of_set(self):
+        graph = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert graph.neighborhood_of_set([1]) == {0, 2}
+        assert graph.neighborhood_of_set([0, 3]) == {1, 4}
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, index = graph.induced_subgraph([1, 2, 4])
+        assert sub.num_nodes == 3
+        assert index == {1: 0, 2: 1, 4: 2}
+        assert sub.edges == ((0, 1),)
+
+    def test_induced_subgraph_degrees(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        degrees = graph.induced_subgraph_degrees([0, 1, 2])
+        assert degrees == {0: 1, 1: 2, 2: 1}
+
+    def test_connected_components(self):
+        graph = Graph(6, [(0, 1), (1, 2), (4, 5)])
+        components = graph.connected_components()
+        assert sorted(map(tuple, components)) == [(0, 1, 2), (3,), (4, 5)]
+
+    def test_relabeled_isomorphic(self):
+        graph = Graph(3, [(0, 1)])
+        relabeled = graph.relabeled([2, 0, 1])
+        assert relabeled.has_edge(2, 0)
+        assert relabeled.num_edges == 1
+
+    def test_relabeled_rejects_non_bijection(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.relabeled([0, 0, 1])
+
+
+class TestPropertyBased:
+    @given(edges_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sum_is_twice_edges(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        assert sum(graph.degree(v) for v in graph.nodes) == 2 * graph.num_edges
+
+    @given(edges_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_symmetric(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        for u in graph.nodes:
+            for v in graph.neighbors(u):
+                assert u in graph.neighbor_set(v)
+
+    @given(edges_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_components_partition_nodes(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        components = graph.connected_components()
+        flattened = sorted(node for component in components for node in component)
+        assert flattened == list(range(n))
+
+    @given(edges_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_full_node_set_is_dominating(self, data):
+        n, edges = data
+        graph = Graph(n, edges)
+        assert graph.is_dominating_set(range(n))

@@ -1,0 +1,138 @@
+"""Tests for the distributed Luby/Ghaffari node programs, including
+cross-validation against the direct baseline implementations."""
+
+import pytest
+
+from repro.baselines import ghaffari_mis, luby_mis
+from repro.constants import ConstantsProfile
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.msgpass import (
+    DistributedGhaffariProtocol,
+    DistributedLubyProtocol,
+    run_message_passing,
+)
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class TestDistributedLuby:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, constants, seed):
+        graph = gnp_random_graph(48, 0.12, seed=seed)
+        result = run_message_passing(
+            graph, DistributedLubyProtocol(constants=constants), seed=seed
+        )
+        assert result.is_valid_mis()
+
+    def test_structures(self, constants):
+        for graph in (
+            empty_graph(5),
+            path_graph(11),
+            cycle_graph(8),
+            star_graph(9),
+            complete_graph(7),
+        ):
+            result = run_message_passing(
+                graph, DistributedLubyProtocol(constants=constants), seed=4
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_fits_congest(self, constants):
+        graph = gnp_random_graph(32, 0.15, seed=2)
+        result = run_message_passing(
+            graph,
+            DistributedLubyProtocol(constants=constants),
+            seed=2,
+            message_bits=256,
+        )
+        assert result.is_valid_mis()
+
+    def test_isolated_node_decides_in_one_phase(self, constants):
+        result = run_message_passing(
+            empty_graph(3), DistributedLubyProtocol(constants=constants), seed=1
+        )
+        assert result.rounds == 2  # one phase = two rounds
+        assert result.mis == frozenset({0, 1, 2})
+
+    def test_phase_count_comparable_to_direct_simulation(self, constants):
+        # Cross-substrate check: the distributed program's phases track
+        # the direct simulation's phases on the same workload.
+        graph = gnp_random_graph(64, 0.1, seed=3)
+        distributed_phases = []
+        direct_phases = []
+        for seed in range(10):
+            result = run_message_passing(
+                graph, DistributedLubyProtocol(constants=constants), seed=seed
+            )
+            distributed_phases.append(
+                max(info["phases_participated"] for info in result.node_info)
+            )
+            direct_phases.append(luby_mis(graph, seed=seed).phases_used)
+        mean_distributed = sum(distributed_phases) / len(distributed_phases)
+        mean_direct = sum(direct_phases) / len(direct_phases)
+        assert abs(mean_distributed - mean_direct) <= 2.0
+
+    def test_tie_ranks_stall_but_recover(self, constants):
+        # 1-bit ranks force frequent ties; the algorithm must still finish.
+        graph = path_graph(6)
+        result = run_message_passing(
+            graph,
+            DistributedLubyProtocol(constants=constants, rank_bits=1),
+            seed=5,
+        )
+        assert result.is_valid_mis()
+
+
+class TestDistributedGhaffari:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid(self, seed):
+        graph = gnp_random_graph(48, 0.12, seed=seed)
+        result = run_message_passing(graph, DistributedGhaffariProtocol(), seed=seed)
+        assert result.is_valid_mis()
+
+    def test_structures(self):
+        for graph in (
+            empty_graph(4),
+            path_graph(10),
+            star_graph(8),
+            complete_graph(6),
+        ):
+            result = run_message_passing(graph, DistributedGhaffariProtocol(), seed=7)
+            assert result.is_valid_mis(), graph.name
+
+    def test_iterations_comparable_to_direct_simulation(self):
+        graph = gnp_random_graph(64, 0.1, seed=9)
+        distributed = []
+        direct = []
+        for seed in range(10):
+            result = run_message_passing(
+                graph, DistributedGhaffariProtocol(), seed=seed
+            )
+            distributed.append(
+                max(info["iterations_used"] for info in result.node_info)
+            )
+            direct.append(ghaffari_mis(graph, seed=seed).rounds_used)
+        mean_distributed = sum(distributed) / len(distributed)
+        mean_direct = sum(direct) / len(direct)
+        # Same algorithm, same workload: iteration counts land in the
+        # same ballpark (independent randomness, so allow 2x).
+        assert mean_distributed <= 2.0 * mean_direct + 4
+        assert mean_direct <= 2.0 * mean_distributed + 4
+
+    def test_rounds_are_twice_iterations(self):
+        graph = gnp_random_graph(24, 0.2, seed=1)
+        result = run_message_passing(graph, DistributedGhaffariProtocol(), seed=1)
+        worst_iterations = max(
+            info["iterations_used"] for info in result.node_info
+        )
+        assert result.rounds == 2 * worst_iterations

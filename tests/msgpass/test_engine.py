@@ -1,0 +1,158 @@
+"""Tests for the message-passing (CONGEST) engine."""
+
+import pytest
+
+from repro.errors import MessageSizeError, ProtocolError, SimulationError
+from repro.graphs import Graph, empty_graph, path_graph, star_graph
+from repro.msgpass import (
+    Broadcast,
+    MessagePassingProtocol,
+    run_message_passing,
+)
+from repro.radio.node import Decision
+
+
+class ScriptMP(MessagePassingProtocol):
+    """Broadcasts a per-node script; records inboxes in ctx.info."""
+
+    name = "script-mp"
+
+    def __init__(self, scripts):
+        self.scripts = scripts
+
+    def run(self, ctx):
+        inboxes = []
+        ctx.info["inboxes"] = inboxes
+        for message in self.scripts.get(ctx.node, []):
+            inbox = yield Broadcast(message)
+            inboxes.append(dict(inbox))
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_neighbors(self):
+        graph = star_graph(4)
+        result = run_message_passing(graph, ScriptMP({0: ["hello"], 1: [None], 2: [None], 3: [None]}))
+        for leaf in (1, 2, 3):
+            assert result.node_info[leaf]["inboxes"][0] == {0: "hello"}
+
+    def test_silence_delivers_nothing(self):
+        graph = path_graph(2)
+        result = run_message_passing(graph, ScriptMP({0: [None], 1: [None]}))
+        assert result.node_info[0]["inboxes"][0] == {}
+
+    def test_simultaneous_broadcasts_all_delivered(self):
+        # The defining difference from radio: no collisions.
+        graph = star_graph(3)
+        result = run_message_passing(
+            graph, ScriptMP({0: [None], 1: ["a"], 2: ["b"]})
+        )
+        assert result.node_info[0]["inboxes"][0] == {1: "a", 2: "b"}
+
+    def test_non_neighbors_not_delivered(self):
+        graph = Graph(3, [(0, 1)])
+        result = run_message_passing(graph, ScriptMP({0: ["x"], 2: [None]}))
+        assert result.node_info[2]["inboxes"][0] == {}
+
+    def test_rounds_counted(self):
+        graph = path_graph(2)
+        result = run_message_passing(
+            graph, ScriptMP({0: [None, None, None], 1: [None]})
+        )
+        assert result.rounds == 3
+
+    def test_messages_counted(self):
+        graph = path_graph(3)
+        result = run_message_passing(
+            graph, ScriptMP({0: ["a", "b"], 1: [None], 2: ["c"]})
+        )
+        assert result.messages_sent == 3
+
+    def test_retired_nodes_stop_sending(self):
+        # Node 1 retires after round 1; node 0 listens in round 2.
+        graph = path_graph(2)
+        result = run_message_passing(
+            graph, ScriptMP({0: [None, None], 1: ["x"]})
+        )
+        assert result.node_info[0]["inboxes"][0] == {1: "x"}
+        assert result.node_info[0]["inboxes"][1] == {}
+
+
+class TestGuards:
+    def test_watchdog(self):
+        class Forever(MessagePassingProtocol):
+            name = "forever"
+
+            def run(self, ctx):
+                while True:
+                    yield Broadcast(None)
+
+        with pytest.raises(SimulationError):
+            run_message_passing(empty_graph(1), Forever(), max_rounds=10)
+
+    def test_bad_action_rejected(self):
+        class Bad(MessagePassingProtocol):
+            name = "bad"
+
+            def run(self, ctx):
+                yield "hello"
+
+        with pytest.raises(ProtocolError):
+            run_message_passing(empty_graph(1), Bad())
+
+    def test_congest_budget(self):
+        graph = path_graph(2)
+        with pytest.raises(MessageSizeError):
+            run_message_passing(
+                graph, ScriptMP({0: [1 << 64]}), message_bits=16
+            )
+        result = run_message_passing(graph, ScriptMP({0: [7]}), message_bits=16)
+        assert result.messages_sent == 1
+
+    def test_immediate_retirement(self):
+        class Silent(MessagePassingProtocol):
+            name = "silent"
+
+            def run(self, ctx):
+                ctx.decide(Decision.IN_MIS)
+                return
+                yield  # pragma: no cover - makes this a generator
+
+        result = run_message_passing(empty_graph(3), Silent())
+        assert result.rounds == 0
+        assert result.mis == frozenset({0, 1, 2})
+
+
+class TestResult:
+    def test_decisions_and_validity(self):
+        class PathMIS(MessagePassingProtocol):
+            name = "path-mis"
+
+            def run(self, ctx):
+                ctx.decide(
+                    Decision.IN_MIS if ctx.node % 2 == 0 else Decision.OUT_MIS
+                )
+                return
+                yield  # pragma: no cover
+
+        result = run_message_passing(path_graph(5), PathMIS())
+        assert result.is_valid_mis()
+        assert result.mis == frozenset({0, 2, 4})
+
+    def test_undecided_invalidates(self):
+        result = run_message_passing(empty_graph(2), ScriptMP({}))
+        assert result.undecided == frozenset({0, 1})
+        assert not result.is_valid_mis()
+
+    def test_determinism(self):
+        class RandomDraw(MessagePassingProtocol):
+            name = "draw"
+
+            def run(self, ctx):
+                ctx.info["draw"] = ctx.rng.random()
+                return
+                yield  # pragma: no cover
+
+        a = run_message_passing(empty_graph(4), RandomDraw(), seed=5)
+        b = run_message_passing(empty_graph(4), RandomDraw(), seed=5)
+        assert [i["draw"] for i in a.node_info] == [i["draw"] for i in b.node_info]
+        assert len({i["draw"] for i in a.node_info}) == 4

@@ -1,0 +1,99 @@
+"""Tests for the Metivier et al. [32] bit-complexity MIS program."""
+
+import math
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.msgpass import DistributedMetivierProtocol, run_message_passing
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return ConstantsProfile.fast()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_on_random_graphs(self, constants, seed):
+        graph = gnp_random_graph(48, 0.12, seed=seed)
+        result = run_message_passing(
+            graph, DistributedMetivierProtocol(constants=constants), seed=seed
+        )
+        assert result.is_valid_mis()
+
+    def test_structures(self, constants):
+        for graph in (
+            empty_graph(5),
+            path_graph(11),
+            cycle_graph(8),
+            star_graph(9),
+            complete_graph(7),
+        ):
+            result = run_message_passing(
+                graph, DistributedMetivierProtocol(constants=constants), seed=3
+            )
+            assert result.is_valid_mis(), graph.name
+
+    def test_respects_round_hint(self, constants):
+        graph = gnp_random_graph(32, 0.15, seed=1)
+        protocol = DistributedMetivierProtocol(constants=constants)
+        result = run_message_passing(graph, protocol, seed=1)
+        assert result.rounds <= protocol.max_rounds_hint(32)
+
+
+class TestBitComplexity:
+    def test_single_bit_messages(self, constants):
+        # Every competition message fits in a 1-bit + tag budget; enforce
+        # a tiny CONGEST cap (tuple reprs are charged conservatively, so
+        # use a generous-but-finite cap and rely on the dedicated
+        # counter below for the real claim).
+        graph = gnp_random_graph(24, 0.2, seed=2)
+        result = run_message_passing(
+            graph,
+            DistributedMetivierProtocol(constants=constants),
+            seed=2,
+            message_bits=256,
+        )
+        assert result.is_valid_mis()
+
+    def test_bits_sent_logarithmic(self, constants):
+        # [32]'s headline: O(log n) bits per node per phase, and nodes
+        # decide within O(1) phases in expectation — so total bits per
+        # node stay O(log n)-ish.  Check the scaling between n=32 and
+        # n=512 is far below linear.
+        totals = {}
+        for n in (32, 512):
+            graph = gnp_random_graph(n, 8.0 / (n - 1), seed=4)
+            result = run_message_passing(
+                graph, DistributedMetivierProtocol(constants=constants), seed=4
+            )
+            assert result.is_valid_mis()
+            totals[n] = max(info["bits_sent"] for info in result.node_info)
+        assert totals[512] <= 4 * totals[32]
+        assert totals[512] <= 40 * math.log2(512)
+
+    def test_eliminated_nodes_send_no_more_bits(self, constants):
+        # On a star, leaves lose to the hub quickly: their bit counters
+        # must stay well below the full subround budget.
+        graph = star_graph(16)
+        protocol = DistributedMetivierProtocol(constants=constants)
+        result = run_message_passing(graph, protocol, seed=5)
+        assert result.is_valid_mis()
+        subrounds_per_phase = protocol._subrounds(16)
+        losers = [
+            info["bits_sent"]
+            for node, info in enumerate(result.node_info)
+            if node not in result.mis
+        ]
+        # A loser is eliminated the first subround its bit is 0 while the
+        # survivor's is 1 — geometric, so far below the cap on average.
+        assert sum(losers) / len(losers) < subrounds_per_phase

@@ -1,0 +1,106 @@
+"""Tests for RunResult / NodeStats aggregation."""
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.radio import Decision
+from repro.radio.metrics import NodeStats, RunResult
+
+
+def make_result(decisions, energies, rounds=10):
+    graph = path_graph(len(decisions))
+    stats = tuple(
+        NodeStats(
+            node=i,
+            transmit_rounds=energy // 2,
+            listen_rounds=energy - energy // 2,
+            finish_round=rounds,
+            decision=decision,
+            energy_by_component={"main": energy},
+        )
+        for i, (decision, energy) in enumerate(zip(decisions, energies))
+    )
+    return RunResult(
+        graph=graph,
+        protocol_name="test",
+        model_name="cd",
+        seed=0,
+        rounds=rounds,
+        node_stats=stats,
+        node_info=tuple({} for _ in decisions),
+    )
+
+
+class TestMISExtraction:
+    def test_mis_and_undecided(self):
+        result = make_result(
+            [Decision.IN_MIS, Decision.OUT_MIS, Decision.UNDECIDED], [1, 1, 1]
+        )
+        assert result.mis == frozenset({0})
+        assert result.undecided == frozenset({2})
+
+    def test_valid_mis_on_path(self):
+        result = make_result(
+            [Decision.IN_MIS, Decision.OUT_MIS, Decision.IN_MIS], [1, 1, 1]
+        )
+        assert result.is_valid_mis()
+
+    def test_undecided_invalidates(self):
+        result = make_result(
+            [Decision.IN_MIS, Decision.UNDECIDED, Decision.IN_MIS], [1, 1, 1]
+        )
+        assert not result.is_valid_mis()
+
+    def test_adjacent_mis_invalidates(self):
+        result = make_result(
+            [Decision.IN_MIS, Decision.IN_MIS, Decision.OUT_MIS], [1, 1, 1]
+        )
+        assert not result.is_valid_mis()
+
+    def test_decisions_map(self):
+        result = make_result([Decision.IN_MIS, Decision.OUT_MIS], [1, 2])
+        assert result.decisions() == {0: Decision.IN_MIS, 1: Decision.OUT_MIS}
+
+
+class TestEnergyAggregation:
+    def test_max_total_mean(self):
+        result = make_result(
+            [Decision.IN_MIS, Decision.OUT_MIS, Decision.OUT_MIS], [4, 10, 6]
+        )
+        assert result.max_energy == 10
+        assert result.total_energy == 20
+        assert result.mean_energy == pytest.approx(20 / 3)
+
+    def test_empty_graph_result(self):
+        result = make_result([], [])
+        assert result.max_energy == 0
+        assert result.mean_energy == 0.0
+
+    def test_percentiles(self):
+        result = make_result([Decision.IN_MIS] * 5, [1, 2, 3, 4, 100])
+        assert result.energy_percentile(0) == 1
+        assert result.energy_percentile(50) == 3
+        assert result.energy_percentile(100) == 100
+
+    def test_percentile_range_checked(self):
+        result = make_result([Decision.IN_MIS], [1])
+        with pytest.raises(ValueError):
+            result.energy_percentile(101)
+
+    def test_component_aggregation(self):
+        result = make_result([Decision.IN_MIS, Decision.OUT_MIS], [3, 5])
+        assert result.energy_by_component() == {"main": 8}
+        assert result.max_energy_by_component() == {"main": 5}
+
+    def test_awake_rounds_consistency(self):
+        result = make_result([Decision.IN_MIS], [7])
+        stats = result.node_stats[0]
+        assert stats.awake_rounds == stats.transmit_rounds + stats.listen_rounds == 7
+
+
+class TestSummary:
+    def test_summary_mentions_verdict(self):
+        valid = make_result([Decision.IN_MIS, Decision.OUT_MIS], [1, 1])
+        assert "MIS-OK" in valid.summary()
+        invalid = make_result([Decision.UNDECIDED, Decision.UNDECIDED], [1, 1])
+        assert "INVALID" in invalid.summary()

@@ -1,0 +1,88 @@
+"""Collision-model semantics: the Section 1.1 truth tables."""
+
+import pytest
+
+from repro.radio import (
+    BEEPING,
+    CD,
+    NO_CD,
+    ObservationKind,
+    model_by_name,
+)
+
+
+class TestCDModel:
+    def test_silence(self):
+        assert CD.resolve(0, None).kind is ObservationKind.SILENCE
+
+    def test_single_message_carries_payload(self):
+        obs = CD.resolve(1, 42)
+        assert obs.kind is ObservationKind.MESSAGE
+        assert obs.payload == 42
+
+    @pytest.mark.parametrize("count", [2, 3, 10])
+    def test_collision(self, count):
+        assert CD.resolve(count, None).kind is ObservationKind.COLLISION
+
+    def test_flags(self):
+        assert CD.detects_collisions and CD.carries_payloads
+
+
+class TestNoCDModel:
+    def test_silence(self):
+        assert NO_CD.resolve(0, None).kind is ObservationKind.SILENCE
+
+    def test_single_message(self):
+        obs = NO_CD.resolve(1, 7)
+        assert obs.is_message and obs.payload == 7
+
+    @pytest.mark.parametrize("count", [2, 3, 10])
+    def test_collision_reads_as_silence(self, count):
+        obs = NO_CD.resolve(count, None)
+        assert obs.kind is ObservationKind.SILENCE
+        assert not obs.heard_something
+
+    def test_flags(self):
+        assert not NO_CD.detects_collisions
+
+
+class TestBeepModel:
+    def test_silence(self):
+        assert BEEPING.resolve(0, None).kind is ObservationKind.SILENCE
+
+    @pytest.mark.parametrize("count", [1, 2, 10])
+    def test_any_transmission_beeps(self, count):
+        obs = BEEPING.resolve(count, 99)
+        assert obs.kind is ObservationKind.BEEP
+        assert obs.payload is None  # beeps carry no information
+
+    def test_flags(self):
+        assert not BEEPING.carries_payloads
+
+
+class TestObservationPredicates:
+    def test_heard_something(self):
+        assert not CD.resolve(0, None).heard_something
+        assert CD.resolve(1, 1).heard_something
+        assert CD.resolve(2, None).heard_something
+        assert BEEPING.resolve(3, None).heard_something
+        assert not NO_CD.resolve(2, None).heard_something
+
+    def test_str_forms(self):
+        assert str(CD.resolve(0, None)) == "silence"
+        assert str(CD.resolve(2, None)) == "collision"
+        assert "message" in str(CD.resolve(1, 5))
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,model",
+        [("cd", CD), ("no-cd", NO_CD), ("nocd", NO_CD), ("beep", BEEPING),
+         ("beeping", BEEPING), ("CD", CD)],
+    )
+    def test_model_by_name(self, name, model):
+        assert model_by_name(name) is model
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            model_by_name("quantum")

@@ -1,0 +1,87 @@
+"""Tests for execution tracing."""
+
+import json
+
+from repro.graphs import path_graph
+from repro.radio import (
+    CD,
+    Listen,
+    NullTrace,
+    TraceEvent,
+    TraceRecorder,
+    Transmit,
+    run_protocol,
+)
+from tests.radio.test_engine import ScriptProtocol
+
+
+def traced_run(trace):
+    protocol = ScriptProtocol({0: [Transmit(7), Listen()], 1: [Listen(), Transmit(8)]})
+    return run_protocol(path_graph(2), protocol, CD, seed=0, trace=trace)
+
+
+class TestTraceRecorder:
+    def test_records_all_awake_events(self):
+        trace = TraceRecorder()
+        traced_run(trace)
+        assert len(trace) == 4
+        kinds = [(event.node, event.action) for event in trace]
+        assert (0, "transmit") in kinds and (1, "listen") in kinds
+
+    def test_listen_observation_captured(self):
+        trace = TraceRecorder()
+        traced_run(trace)
+        listens = [event for event in trace if event.action == "listen"]
+        assert any(event.observed == "message(7)" for event in listens)
+
+    def test_transmit_payload_captured(self):
+        trace = TraceRecorder()
+        traced_run(trace)
+        assert {event.payload for event in trace.transmissions()} == {7, 8}
+
+    def test_round_and_node_filters(self):
+        trace = TraceRecorder()
+        traced_run(trace)
+        assert all(event.node == 0 for event in trace.for_node(0))
+        assert all(event.round == 1 for event in trace.for_round(1))
+        assert len(trace.for_round(0)) == 2
+
+    def test_predicate_filter(self):
+        trace = TraceRecorder(predicate=lambda event: event.action == "transmit")
+        traced_run(trace)
+        assert len(trace) == 2
+
+    def test_max_events_cap(self):
+        trace = TraceRecorder(max_events=1)
+        traced_run(trace)
+        assert len(trace) == 1
+        assert trace.truncated
+
+    def test_jsonl_export(self, tmp_path):
+        trace = TraceRecorder()
+        traced_run(trace)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 4
+        parsed = json.loads(lines[0])
+        assert {"round", "node", "action"} <= set(parsed)
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        assert len(path.read_text().strip().splitlines()) == 4
+
+    def test_csv_export(self):
+        trace = TraceRecorder()
+        traced_run(trace)
+        csv = trace.to_csv()
+        assert csv.startswith("round,node,action")
+        assert len(csv.strip().splitlines()) == 5  # header + 4 events
+
+
+class TestNullTrace:
+    def test_discards(self):
+        trace = NullTrace()
+        trace.record(TraceEvent(round=0, node=0, action="listen"))
+        assert not trace.enabled
+
+    def test_engine_default_is_no_trace(self):
+        result = traced_run(None)
+        assert result.rounds == 2

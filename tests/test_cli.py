@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_graph, make_protocol
+from repro.constants import ConstantsProfile
+
+
+class TestFactories:
+    def test_make_protocol_known(self):
+        protocol = make_protocol("cd-mis", ConstantsProfile.fast())
+        assert protocol.name == "cd-mis"
+
+    def test_make_protocol_unknown(self):
+        with pytest.raises(SystemExit):
+            make_protocol("nonsense", ConstantsProfile.fast())
+
+    @pytest.mark.parametrize(
+        "topology", ["gnp", "udg", "tree", "path", "cycle", "grid", "star",
+                     "clique", "empty", "hard", "gnp-dense"]
+    )
+    def test_make_graph_families(self, topology):
+        graph = make_graph(topology, 16, seed=1)
+        assert graph.num_nodes >= 4
+
+    def test_make_graph_unknown(self):
+        with pytest.raises(SystemExit):
+            make_graph("moebius", 16, seed=1)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "cd-mis"])
+        assert args.command == "run"
+        assert args.n == 128
+        assert args.profile == "practical"
+
+    def test_profile_flag(self):
+        args = build_parser().parse_args(["--profile", "fast", "list"])
+        assert args.profile == "fast"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "cd-mis" in output
+        assert "E12" in output
+
+    def test_run_success_exit_code(self, capsys):
+        code = main(
+            ["--profile", "fast", "run", "cd-mis", "--n", "24", "--trials", "2"]
+        )
+        assert code == 0
+        assert "cd-mis@cd" in capsys.readouterr().out
+
+    def test_run_with_explicit_model(self, capsys):
+        code = main(
+            [
+                "--profile", "fast", "run", "cd-mis",
+                "--n", "16", "--model", "beep", "--topology", "path",
+            ]
+        )
+        assert code == 0
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "--profile", "fast", "sweep", "cd-mis",
+                "--sizes", "16", "32", "--trials", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fit" in output
+
+    def test_lowerbound(self, capsys):
+        code = main(
+            [
+                "lowerbound", "--n", "16",
+                "--budgets", "1", "4", "--trials", "10",
+            ]
+        )
+        assert code == 0
+        assert "Theorem 1" in capsys.readouterr().out
+
+    def test_experiment_single(self, capsys):
+        code = main(["experiment", "E9"])
+        assert code == 0
+        assert "backoff" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "E42"])

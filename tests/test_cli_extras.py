@@ -1,0 +1,56 @@
+"""Tests for the CLI's apps subcommand and export flags."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAppsCommand:
+    def test_backbone(self, capsys):
+        code = main(
+            ["--profile", "fast", "apps", "backbone", "--n", "32", "--topology", "udg"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "backbone:" in output
+        assert "overlay connected: True" in output
+
+    def test_coloring(self, capsys):
+        code = main(
+            ["--profile", "fast", "apps", "coloring", "--n", "24", "--topology", "gnp"]
+        )
+        assert code == 0
+        assert "coloring:" in capsys.readouterr().out
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["apps", "teleport"])
+
+
+class TestSweepExportFlags:
+    def test_csv_and_json_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "--profile", "fast", "sweep", "cd-mis",
+                "--sizes", "16", "32", "--trials", "2",
+                "--csv", str(csv_path), "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        assert [row["n"] for row in rows] == ["16", "32"]
+        data = json.loads(json_path.read_text())
+        assert data[0]["protocol"] == "cd-mis"
+
+    def test_no_export_without_flags(self, tmp_path, capsys):
+        code = main(
+            ["--profile", "fast", "sweep", "cd-mis", "--sizes", "16", "--trials", "1"]
+        )
+        assert code == 0
+        assert "wrote" not in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for constants profiles and discrete log helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import ConstantsProfile, ilog2, log2_ceil
+from repro.errors import ConfigurationError
+
+
+class TestLogHelpers:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)]
+    )
+    def test_log2_ceil(self, value, expected):
+        assert log2_ceil(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (6, 3), (1024, 10)])
+    def test_ilog2(self, value, expected):
+        assert ilog2(value) == expected
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log2_ceil(0)
+        with pytest.raises(ConfigurationError):
+            ilog2(0)
+
+    @given(st.integers(1, 10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_log2_ceil_bound(self, value):
+        result = log2_ceil(value)
+        assert 2 ** result >= value
+        assert result >= 1
+
+
+class TestProfiles:
+    def test_paper_profile_values(self):
+        paper = ConstantsProfile.paper()
+        assert paper.beta >= 4
+        assert paper.kappa >= 5
+        assert paper.luby_c >= 4 / math.log2(64 / 63) - 1e-9
+        # C' must make (7/8)^(C' log n) <= n^-5.
+        assert paper.backoff_c >= 5 / math.log2(8 / 7) - 1e-9
+
+    def test_presets_named(self):
+        assert ConstantsProfile.paper().name == "paper"
+        assert ConstantsProfile.practical().name == "practical"
+        assert ConstantsProfile.fast().name == "fast"
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ConstantsProfile(beta=0, luby_c=1, kappa=1, backoff_c=1, low_degree_c=1)
+        with pytest.raises(ConfigurationError):
+            ConstantsProfile(beta=1, luby_c=-1, kappa=1, backoff_c=1, low_degree_c=1)
+
+    def test_scaled(self):
+        base = ConstantsProfile.practical()
+        doubled = base.scaled(2.0)
+        assert doubled.beta == 2 * base.beta
+        assert doubled.backoff_c == 2 * base.backoff_c
+        assert "*2" in doubled.name
+        with pytest.raises(ConfigurationError):
+            base.scaled(0)
+
+    def test_scaled_custom_name(self):
+        assert ConstantsProfile.fast().scaled(3, name="big").name == "big"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ConstantsProfile.fast().beta = 10
+
+
+class TestDerivedBounds:
+    def test_all_bounds_at_least_one(self):
+        profile = ConstantsProfile.fast()
+        for n in (1, 2, 3, 100):
+            assert profile.rank_bits(n) >= 1
+            assert profile.luby_phases(n) >= 1
+            assert profile.committed_degree(n) >= 1
+            assert profile.deep_check_iterations(n) >= 1
+            assert profile.low_degree_iterations(n) >= 1
+
+    def test_bounds_grow_logarithmically(self):
+        profile = ConstantsProfile.practical()
+        assert profile.rank_bits(1024) == pytest.approx(
+            profile.beta * 10, abs=1
+        )
+        assert profile.rank_bits(2**20) == 2 * profile.rank_bits(2**10)
+
+    @given(st.integers(2, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_n(self, n):
+        profile = ConstantsProfile.practical()
+        assert profile.rank_bits(2 * n) >= profile.rank_bits(n)
+        assert profile.luby_phases(2 * n) >= profile.luby_phases(n)

@@ -1,0 +1,44 @@
+"""End-to-end runs with the paper-faithful constants (Section 5.2).
+
+These are the only tests using ``ConstantsProfile.paper()``; they prove
+the faithful profile executes and is correct.  The no-CD run simulates
+tens of millions of rounds — feasible only because the engine's cost
+tracks awake rounds.
+"""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core import CDMISProtocol, NoCDEnergyMISProtocol
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, NO_CD, run_protocol
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return ConstantsProfile.paper()
+
+
+def test_paper_profile_values_match_section_5_2(paper):
+    assert paper.beta == 4.0
+    assert paper.kappa == 5.0
+    assert round(paper.luby_c) == 176  # 4 / log2(64/63)
+    assert round(paper.backoff_c) == 26  # 5 / log2(8/7)
+
+
+def test_cd_mis_with_paper_constants(paper):
+    graph = gnp_random_graph(64, 0.15, seed=1)
+    result = run_protocol(graph, CDMISProtocol(constants=paper), CD, seed=1)
+    assert result.is_valid_mis()
+    # Energy stays tiny even though the phase budget is enormous —
+    # C log n phases exist but the run decides within the first few.
+    assert result.max_energy < 200
+
+
+def test_nocd_mis_with_paper_constants(paper):
+    graph = gnp_random_graph(16, 0.3, seed=1)
+    protocol = NoCDEnergyMISProtocol(constants=paper)
+    result = run_protocol(graph, protocol, NO_CD, seed=1)
+    assert result.is_valid_mis()
+    assert result.rounds > 1_000_000  # tens of millions of simulated rounds
+    assert result.max_energy * 10 < result.rounds
