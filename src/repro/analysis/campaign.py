@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Union
 
 from ..constants import ConstantsProfile
 from ..errors import ConfigurationError
+from ..exec.cache import ResultCache
+from ..exec.executor import ProgressCallback
 from ..radio.models import model_by_name
 from .runner import TrialSummary, run_trials
 from .tables import render_table
@@ -83,7 +85,34 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"unknown profile {spec.profile!r}; choose from {sorted(_PROFILES)}"
             )
+        spec.validate_names()
         return spec
+
+    def validate_names(self) -> None:
+        """Fail fast (with the available choices) on unknown registry names.
+
+        Checks protocols against the CLI registry, workloads against the
+        workload catalog, and the optional model override against the
+        collision-model registry — each miss raises
+        :class:`~repro.errors.ConfigurationError` instead of surfacing
+        later as a SystemExit or KeyError mid-campaign.
+        """
+        # Imported here to avoid a cli <-> analysis import cycle at load time.
+        from ..cli import _PROTOCOLS
+
+        unknown = sorted(set(self.protocols) - set(_PROTOCOLS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown protocol(s) {unknown} in campaign {self.name!r}; "
+                f"choose from {sorted(_PROTOCOLS)}"
+            )
+        for workload_name in self.workloads:
+            get_workload(workload_name)  # raises ConfigurationError on miss
+        if self.model is not None:
+            try:
+                model_by_name(self.model)
+            except KeyError as exc:
+                raise ConfigurationError(str(exc)) from None
 
 
 @dataclass(frozen=True)
@@ -174,11 +203,25 @@ def load_campaign(path: Union[str, Path]) -> CampaignSpec:
     return CampaignSpec.from_dict(data)
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignResult:
-    """Execute the campaign grid deterministically."""
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Execute the campaign grid deterministically.
+
+    ``jobs`` fans each cell's trials over a process pool and ``cache``
+    persists per-trial outcomes content-addressed by the full trial
+    identity, so an interrupted campaign resumes where it stopped and a
+    repeated invocation completes entirely from cache.  Outcomes are
+    identical for every job count.
+    """
     # Imported here to avoid a cli <-> analysis import cycle at load time.
     from ..cli import _DEFAULT_MODEL, make_protocol
 
+    spec.validate_names()
     constants = _PROFILES[spec.profile]()
     result = CampaignResult(spec=spec)
     for protocol_name in spec.protocols:
@@ -196,6 +239,10 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
                     protocol,
                     model,
                     seeds,
+                    jobs=jobs,
+                    cache=cache,
+                    graph_spec=f"workload:{workload_name}/n={n}",
+                    progress=progress,
                 )
                 result.cells.append(
                     CampaignCell(

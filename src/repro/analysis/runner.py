@@ -4,13 +4,33 @@ Wraps :func:`repro.radio.engine.run_protocol` with the bookkeeping every
 experiment repeats: run a protocol many times (different seeds, and
 optionally a fresh random topology per trial), validate each output, and
 aggregate energy/round/failure statistics.
+
+Execution is delegated to the :mod:`repro.exec` subsystem: ``jobs=N``
+fans trials out over a process pool (bit-identical to sequential
+execution, because each trial depends only on its own master seed), and
+a :class:`~repro.exec.cache.ResultCache` serves repeated trials from
+disk — a second identical battery completes with 100% cache hits, and an
+interrupted one resumes where it stopped.
+
+Seed discipline: each trial's master seed is split into independent
+sub-seeds for topology drawing and for the protocol RNG (see
+:mod:`repro.exec.seeds`), so "which graph" and "which coins" are
+uncorrelated.  Pass ``coupled_seeds=True`` for the legacy behavior in
+which a graph factory received the protocol's seed verbatim.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..exec.cache import ResultCache, graph_fingerprint, trial_key
+from ..exec.executor import (
+    ProgressCallback,
+    get_execution_defaults,
+    make_executor,
+)
+from ..exec.seeds import graph_seed, protocol_seed
 from ..graphs.graph import Graph
 from ..radio.engine import run_protocol
 from ..radio.metrics import RunResult
@@ -35,6 +55,32 @@ class TrialOutcome:
     max_energy: int
     mean_energy: float
     failure_kinds: Tuple[str, ...]
+
+
+def _outcome_to_record(outcome: TrialOutcome) -> Dict:
+    """JSON-serializable cache record for one outcome."""
+    return {
+        "seed": outcome.seed,
+        "valid": outcome.valid,
+        "mis_size": outcome.mis_size,
+        "rounds": outcome.rounds,
+        "max_energy": outcome.max_energy,
+        "mean_energy": outcome.mean_energy,
+        "failure_kinds": list(outcome.failure_kinds),
+    }
+
+
+def _outcome_from_record(record: Dict) -> TrialOutcome:
+    """Inverse of :func:`_outcome_to_record`."""
+    return TrialOutcome(
+        seed=int(record["seed"]),
+        valid=bool(record["valid"]),
+        mis_size=int(record["mis_size"]),
+        rounds=int(record["rounds"]),
+        max_energy=int(record["max_energy"]),
+        mean_energy=float(record["mean_energy"]),
+        failure_kinds=tuple(record["failure_kinds"]),
+    )
 
 
 @dataclass
@@ -82,60 +128,171 @@ class TrialSummary:
     def describe(self) -> str:
         """Multi-line human-readable report."""
         energy = self.max_energy_summary()
+        mean_energy = self.mean_energy_summary()
         rounds = self.rounds_summary()
         low, high = self.failure_rate_interval()
         return (
             f"{self.protocol_name}@{self.model_name} on {self.graph_name}: "
             f"{self.trials} trials, {self.failures} failures "
             f"(rate {self.failure_rate:.3f}, 95% CI [{low:.3f}, {high:.3f}])\n"
-            f"  max-energy {energy}\n"
-            f"  rounds     {rounds}"
+            f"  max-energy  {energy}\n"
+            f"  mean-energy {mean_energy}\n"
+            f"  rounds      {rounds}"
         )
 
 
+def _trial_seeds(
+    graph: Union[Graph, GraphFactory], seed: int, coupled: bool
+) -> Tuple[int, int]:
+    """(graph seed, protocol seed) for one trial's master seed."""
+    if not callable(graph) or coupled:
+        return seed, seed
+    return graph_seed(seed), protocol_seed(seed)
+
+
 def run_trials(
-    graph: Graph | GraphFactory,
+    graph: Union[Graph, GraphFactory],
     protocol: Protocol,
     model: CollisionModel,
     seeds: Sequence[int],
     keep_results: bool = False,
     max_rounds: Optional[int] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+    graph_spec: Optional[str] = None,
+    coupled_seeds: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> TrialSummary:
     """Run ``protocol`` for every seed and aggregate.
 
     ``graph`` may be a fixed :class:`~repro.graphs.graph.Graph` or a
     factory ``seed -> Graph`` for fresh-topology-per-trial batteries.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` uses the process-wide default (see
+        :func:`repro.exec.executor.execution_defaults`), 1 runs
+        sequentially.  Outcomes are identical for every job count.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache` to serve/persist trial
+        outcomes; ``None`` uses the process-wide default, ``False``
+        disables caching explicitly.  Caching a factory-built topology
+        requires ``graph_spec`` (a stable description of the family);
+        fixed graphs are fingerprinted automatically.
+    graph_spec:
+        Stable identity of the topology (e.g. ``"workload:gnp/n=128"``)
+        for cache keying when ``graph`` is a factory.
+    coupled_seeds:
+        Compatibility flag: hand the trial's master seed verbatim to
+        both the graph factory and the protocol RNG (the historical,
+        correlated behavior) instead of deriving independent sub-seeds.
+    progress:
+        Optional callback receiving
+        :class:`~repro.exec.executor.ProgressEvent` updates.
     """
-    outcomes: List[TrialOutcome] = []
-    kept: List[RunResult] = []
-    graph_name = None
+    defaults = get_execution_defaults()
+    if jobs is None:
+        jobs = defaults.jobs
+    if cache is None:
+        cache = defaults.cache
+    elif cache is False:
+        cache = None
+    seeds = list(seeds)
     model_name = model.name
 
-    for seed in seeds:
-        current_graph = graph(seed) if callable(graph) else graph
-        graph_name = graph_name or current_graph.name
+    def run_one(seed: int) -> TrialOutcome:
+        g_seed, p_seed = _trial_seeds(graph, seed, coupled_seeds)
+        current_graph = graph(g_seed) if callable(graph) else graph
         result = run_protocol(
-            current_graph, protocol, model, seed=seed, max_rounds=max_rounds
+            current_graph, protocol, model, seed=p_seed, max_rounds=max_rounds
         )
         report: ValidationReport = validate_run(result)
-        outcomes.append(
-            TrialOutcome(
-                seed=seed,
-                valid=report.valid,
-                mis_size=report.mis_size,
-                rounds=result.rounds,
-                max_energy=result.max_energy,
-                mean_energy=result.mean_energy,
-                failure_kinds=tuple(report.failure_kinds),
-            )
+        return TrialOutcome(
+            seed=seed,
+            valid=report.valid,
+            mis_size=report.mis_size,
+            rounds=result.rounds,
+            max_energy=result.max_energy,
+            mean_energy=result.mean_energy,
+            failure_kinds=tuple(report.failure_kinds),
         )
-        if keep_results:
-            kept.append(result)
 
+    # Resolve the human-readable graph name (and, for fixed graphs, the
+    # cache spec) up front; a factory builds one sample topology for it.
+    if callable(graph):
+        if seeds:
+            g_seed, _ = _trial_seeds(graph, seeds[0], coupled_seeds)
+            graph_name = graph(g_seed).name
+        else:
+            graph_name = "graph"
+    else:
+        graph_name = graph.name
+        if graph_spec is None:
+            graph_spec = graph_fingerprint(graph)
+
+    if keep_results:
+        # Full RunResults are neither cached nor shipped across process
+        # boundaries; keep the classic in-process loop for this mode.
+        outcomes: List[TrialOutcome] = []
+        kept: List[RunResult] = []
+        for seed in seeds:
+            g_seed, p_seed = _trial_seeds(graph, seed, coupled_seeds)
+            current_graph = graph(g_seed) if callable(graph) else graph
+            result = run_protocol(
+                current_graph, protocol, model, seed=p_seed, max_rounds=max_rounds
+            )
+            report = validate_run(result)
+            outcomes.append(
+                TrialOutcome(
+                    seed=seed,
+                    valid=report.valid,
+                    mis_size=report.mis_size,
+                    rounds=result.rounds,
+                    max_energy=result.max_energy,
+                    mean_energy=result.mean_energy,
+                    failure_kinds=tuple(report.failure_kinds),
+                )
+            )
+            kept.append(result)
+        return TrialSummary(
+            protocol_name=protocol.name,
+            model_name=model_name,
+            graph_name=graph_name,
+            outcomes=outcomes,
+            results=kept,
+        )
+
+    key_for = None
+    if cache is not None and graph_spec is not None:
+        seed_mode = "coupled" if coupled_seeds else "decoupled"
+        spec = graph_spec
+
+        def key_for(seed: int) -> str:
+            return trial_key(
+                protocol=protocol,
+                model_name=model_name,
+                graph_spec=spec,
+                seed=seed,
+                max_rounds=max_rounds,
+                seed_mode=seed_mode,
+            )
+
+    executor = make_executor(jobs)
+    outcomes = executor.execute(
+        run_one,
+        seeds,
+        cache=cache,
+        key_for=key_for,
+        encode=_outcome_to_record,
+        decode=_outcome_from_record,
+        progress=progress,
+    )
     return TrialSummary(
         protocol_name=protocol.name,
         model_name=model_name,
-        graph_name=graph_name or "graph",
+        graph_name=graph_name,
         outcomes=outcomes,
-        results=kept,
+        results=[],
     )

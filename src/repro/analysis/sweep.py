@@ -8,8 +8,10 @@ series the scaling experiments (E1-E5, E11) fit and print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
+from ..exec.cache import ResultCache
+from ..exec.executor import ProgressCallback
 from ..graphs.graph import Graph
 from ..radio.models import CollisionModel
 from ..radio.node import Protocol
@@ -92,11 +94,19 @@ def run_size_sweep(
     model: CollisionModel,
     trials: int = 10,
     base_seed: int = 0,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+    graph_spec: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """Sweep network sizes for one protocol family.
 
     Each grid cell runs ``trials`` independent trials; topology is drawn
-    fresh per trial via ``graph_factory(n, seed)``.
+    fresh per trial via ``graph_factory(n, seed)``.  ``jobs``, ``cache``,
+    and ``progress`` forward to :func:`~repro.analysis.runner.run_trials`
+    per cell; caching requires ``graph_spec``, a stable name of the
+    topology family (the per-cell spec appends ``/n=<size>``).
     """
     result: Optional[SweepResult] = None
     for n in sizes:
@@ -105,7 +115,14 @@ def run_size_sweep(
             result = SweepResult(protocol_name=protocol.name, model_name=model.name)
         seeds = [base_seed + 7_919 * trial + n for trial in range(trials)]
         summary: TrialSummary = run_trials(
-            lambda seed, n=n: graph_factory(n, seed), protocol, model, seeds
+            lambda seed, n=n: graph_factory(n, seed),
+            protocol,
+            model,
+            seeds,
+            jobs=jobs,
+            cache=cache,
+            graph_spec=f"{graph_spec}/n={n}" if graph_spec else None,
+            progress=progress,
         )
         energy = summary.max_energy_summary()
         mean_energy = summary.mean_energy_summary()

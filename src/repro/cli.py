@@ -96,6 +96,53 @@ def make_graph(topology: str, n: int, seed: int) -> Graph:
         raise SystemExit(str(exc)) from None
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs`` / ``--cache`` / ``--resume`` options."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial batteries (default: 1, sequential; "
+        "results are identical for any job count)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="serve/persist per-trial outcomes from the content-addressed "
+        "result cache (--no-cache disables)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from cached trial outcomes "
+        "(implies --cache)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache directory (default: .repro-cache)",
+    )
+
+
+def _cache_from_args(args):
+    """Build the ResultCache requested by --cache/--resume, or None."""
+    if not (args.cache or args.resume):
+        return None
+    from .exec.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -117,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--model", default=None, help="cd | no-cd | beep")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--trials", type=int, default=1)
+    _add_execution_options(run_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="size sweep for one algorithm")
     sweep_parser.add_argument("algorithm", choices=sorted(_PROTOCOLS))
@@ -133,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the sweep as JSON"
     )
+    _add_execution_options(sweep_parser)
 
     lb_parser = subparsers.add_parser(
         "lowerbound", help="Theorem 1 budget sweep on the hard instance"
@@ -148,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a registered experiment (quick scale)"
     )
     exp_parser.add_argument("id", help="experiment id, e.g. E8 (or 'all')")
+    _add_execution_options(exp_parser)
 
     campaign_parser = subparsers.add_parser(
         "campaign", help="run a declarative JSON campaign file"
@@ -156,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--csv", default=None, metavar="PATH", help="also write results as CSV"
     )
+    _add_execution_options(campaign_parser)
 
     apps_parser = subparsers.add_parser(
         "apps", help="run a downstream application (backbone | coloring)"
@@ -174,7 +225,15 @@ def _command_run(args, constants: ConstantsProfile) -> int:
     model = model_by_name(args.model or _DEFAULT_MODEL[args.algorithm])
     graph_factory = lambda seed: make_graph(args.topology, args.n, seed)  # noqa: E731
     seeds = [args.seed + trial for trial in range(args.trials)]
-    summary = run_trials(graph_factory, protocol, model, seeds)
+    summary = run_trials(
+        graph_factory,
+        protocol,
+        model,
+        seeds,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        graph_spec=f"workload:{args.topology}/n={args.n}",
+    )
     print(summary.describe())
     return 0 if summary.failures == 0 else 1
 
@@ -189,6 +248,9 @@ def _command_sweep(args, constants: ConstantsProfile) -> int:
         model,
         trials=args.trials,
         base_seed=args.seed,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        graph_spec=f"workload:{args.topology}",
     )
     print(result.to_table())
     if len(args.sizes) >= 2:
@@ -234,20 +296,31 @@ def _command_lowerbound(args, constants: ConstantsProfile) -> int:
 
 
 def _command_experiment(args, constants: ConstantsProfile) -> int:
+    from .exec.executor import execution_defaults
+
     ids = sorted(EXPERIMENTS) if args.id.lower() == "all" else [args.id]
-    for experiment_id in ids:
-        spec = get_experiment(experiment_id)
-        print(f"== {spec.experiment_id}: {spec.claim} ==")
-        print(spec.run())
-        print()
+    # Experiment harnesses call run_trials internally; installing
+    # execution defaults parallelizes them without per-harness plumbing.
+    with execution_defaults(jobs=args.jobs, cache=_cache_from_args(args)):
+        for experiment_id in ids:
+            spec = get_experiment(experiment_id)
+            print(f"== {spec.experiment_id}: {spec.claim} ==")
+            print(spec.run())
+            print()
     return 0
 
 
 def _command_campaign(args, constants: ConstantsProfile) -> int:
     from .analysis.campaign import load_campaign, run_campaign
+    from .errors import ConfigurationError
 
-    spec = load_campaign(args.path)
-    result = run_campaign(spec)
+    try:
+        spec = load_campaign(args.path)
+        result = run_campaign(
+            spec, jobs=args.jobs, cache=_cache_from_args(args)
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
     print(result.to_table())
     if args.csv:
         from .analysis.export import save_text

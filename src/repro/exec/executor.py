@@ -1,0 +1,243 @@
+"""Executor facade: sequential / process-pool trial execution.
+
+A :class:`TrialExecutor` turns a per-seed callable into a list of
+outcomes, with two orthogonal services layered on top:
+
+* **caching** — when given a :class:`~repro.exec.cache.ResultCache` and
+  a key function, cached trials are served without execution and fresh
+  results are persisted the moment they complete (interrupted batteries
+  resume for free);
+* **progress hooks** — an optional callback receives
+  :class:`ProgressEvent` snapshots (trials done, cache hits, elapsed,
+  ETA) as the battery advances.
+
+Both implementations produce outcomes in seed order;
+:class:`ProcessPoolExecutor` is bit-identical to
+:class:`SequentialExecutor` because each trial depends only on its own
+master seed.
+
+The module also holds the process-wide :class:`ExecutionDefaults` that
+``repro-mis --jobs/--cache/--resume`` installs, so harness code deep in
+the experiment registry inherits parallelism and caching without
+threading parameters through every layer.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .pool import fork_available, run_in_pool
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressCallback",
+    "TrialExecutor",
+    "SequentialExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "ExecutionDefaults",
+    "get_execution_defaults",
+    "execution_defaults",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of a battery's progress, passed to progress callbacks."""
+
+    done: int  # trials finished (computed + cache hits)
+    total: int
+    cache_hits: int
+    elapsed_s: float
+    eta_s: Optional[float]  # None until at least one trial finished
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class TrialExecutor(ABC):
+    """Common cache + progress plumbing; subclasses supply dispatch."""
+
+    #: Worker count this executor targets (1 for sequential).
+    jobs: int = 1
+
+    def execute(
+        self,
+        run_one: Callable[[int], Any],
+        seeds: Sequence[int],
+        *,
+        cache: Optional[ResultCache] = None,
+        key_for: Optional[Callable[[int], Optional[str]]] = None,
+        encode: Optional[Callable[[Any], Dict]] = None,
+        decode: Optional[Callable[[Dict], Any]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Run ``run_one(seed)`` for every seed, in seed order.
+
+        When ``cache`` and ``key_for`` are given, each seed's key is
+        looked up first; hits skip execution and misses are persisted on
+        completion (``encode``/``decode`` translate between outcomes and
+        the cache's JSON records).
+        """
+        seeds = list(seeds)
+        total = len(seeds)
+        results: List[Any] = [None] * total
+        keys: Dict[int, str] = {}
+        pending: List[Tuple[int, int]] = []
+        cache_hits = 0
+        start = time.monotonic()
+
+        for index, seed in enumerate(seeds):
+            key = None
+            if cache is not None and key_for is not None:
+                key = key_for(seed)
+            if key is not None:
+                record = cache.get(key)
+                if record is not None:
+                    results[index] = decode(record) if decode else record
+                    cache_hits += 1
+                    continue
+                keys[index] = key
+            pending.append((index, seed))
+
+        done = cache_hits
+
+        def emit() -> None:
+            if progress is None:
+                return
+            elapsed = time.monotonic() - start
+            computed = done - cache_hits
+            if done >= total:
+                eta: Optional[float] = 0.0
+            elif computed > 0:
+                eta = elapsed / computed * (total - done)
+            else:
+                eta = None
+            progress(ProgressEvent(done, total, cache_hits, elapsed, eta))
+
+        emit()
+
+        def on_result(index: int, outcome: Any) -> None:
+            nonlocal done
+            results[index] = outcome
+            key = keys.get(index)
+            if key is not None and cache is not None:
+                cache.put(key, encode(outcome) if encode else outcome)
+            done += 1
+            emit()
+
+        if pending:
+            self._dispatch(run_one, pending, on_result)
+        return results
+
+    @abstractmethod
+    def _dispatch(
+        self,
+        run_one: Callable[[int], Any],
+        pending: List[Tuple[int, int]],
+        on_result: Callable[[int, Any], None],
+    ) -> None:
+        """Execute every (index, seed) pair, reporting via ``on_result``."""
+
+
+class SequentialExecutor(TrialExecutor):
+    """In-process, one-trial-at-a-time execution (the reference order)."""
+
+    jobs = 1
+
+    def _dispatch(self, run_one, pending, on_result) -> None:
+        for index, seed in pending:
+            on_result(index, run_one(seed))
+
+
+class ProcessPoolExecutor(TrialExecutor):
+    """Chunked fork-pool execution, merged back into seed order.
+
+    Falls back to sequential execution when ``fork`` is unavailable
+    (non-POSIX platforms) or the battery is too small to amortize a
+    pool — either way the outcomes are identical.
+    """
+
+    def __init__(self, jobs: int, chunk_size: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+
+    def _dispatch(self, run_one, pending, on_result) -> None:
+        if self.jobs <= 1 or len(pending) <= 1 or not fork_available():
+            for index, seed in pending:
+                on_result(index, run_one(seed))
+            return
+        run_in_pool(
+            run_one,
+            pending,
+            self.jobs,
+            on_result=on_result,
+            chunk_size=self.chunk_size,
+        )
+
+
+def make_executor(jobs: int) -> TrialExecutor:
+    """Executor for a worker count: sequential for 1, pool otherwise."""
+    return SequentialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
+
+
+# ----------------------------------------------------------------------
+# Process-wide execution defaults
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionDefaults:
+    """Default executor configuration consulted by ``run_trials``."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+
+_DEFAULTS = ExecutionDefaults()
+
+
+def get_execution_defaults() -> ExecutionDefaults:
+    """The currently-installed process-wide execution defaults."""
+    return _DEFAULTS
+
+
+@contextmanager
+def execution_defaults(
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, None, bool] = None,
+):
+    """Temporarily install execution defaults for a code region.
+
+    ``None`` leaves a field at its previous default; ``cache=False``
+    explicitly disables caching inside the region.  The CLI wraps each
+    command in this so experiment harnesses inherit ``--jobs`` and
+    ``--cache`` without explicit plumbing.
+    """
+    global _DEFAULTS
+    previous = _DEFAULTS
+    if cache is None:
+        new_cache = previous.cache
+    elif cache is False:
+        new_cache = None
+    else:
+        new_cache = cache
+    _DEFAULTS = ExecutionDefaults(
+        jobs=previous.jobs if jobs is None else jobs,
+        cache=new_cache,
+    )
+    try:
+        yield _DEFAULTS
+    finally:
+        _DEFAULTS = previous

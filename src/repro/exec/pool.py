@@ -1,0 +1,94 @@
+"""Fork-based process pool for trial chunks.
+
+Trials are independent randomized executions, so a battery parallelizes
+by partitioning its seed list into chunks and running chunks on worker
+processes.  Each (index, seed) pair travels with its position in the
+original list, so the caller can merge results back into seed order —
+parallel output is bit-identical to sequential output.
+
+The pool requires the ``fork`` start method: the per-trial callable is a
+closure over the protocol, model, and graph factory (often lambdas),
+which ``fork`` workers inherit by address-space copy without pickling.
+On platforms without ``fork`` the executor layer transparently falls
+back to sequential execution.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["fork_available", "partition_chunks", "run_in_pool"]
+
+IndexedSeed = Tuple[int, int]  # (position in the seed list, master seed)
+
+# Worker-process state, installed by the pool initializer.  Inherited
+# via fork, so arbitrary closures are fine.
+_WORKER_RUN_ONE: Optional[Callable[[int], Any]] = None
+
+
+def _init_worker(run_one: Callable[[int], Any]) -> None:
+    global _WORKER_RUN_ONE
+    _WORKER_RUN_ONE = run_one
+
+
+def _run_chunk(chunk: Sequence[IndexedSeed]) -> List[Tuple[int, Any]]:
+    assert _WORKER_RUN_ONE is not None, "pool worker not initialized"
+    return [(index, _WORKER_RUN_ONE(seed)) for index, seed in chunk]
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def partition_chunks(
+    items: Sequence[IndexedSeed],
+    jobs: int,
+    chunk_size: Optional[int] = None,
+) -> List[List[IndexedSeed]]:
+    """Split the work list into contiguous chunks.
+
+    The default size targets ~4 chunks per worker, balancing scheduling
+    overhead against load-balance for heterogeneous trial durations.
+    """
+    if not items:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(items) / max(1, jobs * 4)))
+    return [
+        list(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def run_in_pool(
+    run_one: Callable[[int], Any],
+    indexed_seeds: Sequence[IndexedSeed],
+    jobs: int,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Tuple[int, Any]]:
+    """Run ``run_one(seed)`` for every (index, seed) pair via a fork pool.
+
+    ``on_result(index, outcome)`` fires in the parent as each result
+    arrives (chunk completion order, i.e. non-deterministic order — the
+    indices are what restore determinism).  Returns all (index, outcome)
+    pairs.  Worker exceptions propagate to the caller.
+    """
+    chunks = partition_chunks(list(indexed_seeds), jobs, chunk_size)
+    if not chunks:
+        return []
+    context = multiprocessing.get_context("fork")
+    workers = max(1, min(jobs, len(chunks)))
+    results: List[Tuple[int, Any]] = []
+    with context.Pool(
+        processes=workers, initializer=_init_worker, initargs=(run_one,)
+    ) as pool:
+        for chunk_result in pool.imap_unordered(_run_chunk, chunks):
+            for index, outcome in chunk_result:
+                if on_result is not None:
+                    on_result(index, outcome)
+                results.append((index, outcome))
+    return results

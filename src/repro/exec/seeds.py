@@ -1,0 +1,47 @@
+"""Deterministic sub-seed derivation.
+
+A trial is identified by one *master* seed, but it consumes randomness
+for two distinct purposes: drawing the topology (when the graph is a
+per-trial factory) and driving the protocol's coin flips.  Handing the
+same integer to both couples the two streams — a topology family that
+consumes randomness differently would silently shift the protocol's
+coins, and correlations between "which graph" and "which coins" bias
+failure-rate estimates.
+
+``derive_seed`` splits a master seed into independent labelled
+sub-streams via SHA-256, the same trick DeepMind-style experiment
+harnesses use for key splitting: the derived values are deterministic,
+platform-independent, and (for distinct labels) behave as independent
+uniform draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_seed", "graph_seed", "protocol_seed"]
+
+#: Derived seeds are non-negative 63-bit integers, safe for
+#: ``random.Random`` and for JSON round-trips.
+_SEED_MASK = (1 << 63) - 1
+
+
+def derive_seed(master: int, label: str) -> int:
+    """Derive an independent sub-seed from ``(master, label)``.
+
+    Deterministic across platforms and Python versions (unlike
+    ``hash``), and distinct labels give streams that are independent for
+    every practical purpose.
+    """
+    digest = hashlib.sha256(f"{master}|{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _SEED_MASK
+
+
+def graph_seed(master: int) -> int:
+    """The topology-drawing sub-seed of a trial's master seed."""
+    return derive_seed(master, "graph")
+
+
+def protocol_seed(master: int) -> int:
+    """The protocol-RNG sub-seed of a trial's master seed."""
+    return derive_seed(master, "protocol")

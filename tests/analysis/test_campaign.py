@@ -139,3 +139,89 @@ class TestCLICampaign:
         assert code == 0
         assert "cli-campaign" in capsys.readouterr().out
         assert csv_path.exists()
+
+
+class TestErrorPaths:
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol.*choose from"):
+            small_spec(protocols=["warp-mis"])
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError, match="unknown workload.*choose from"):
+            small_spec(workloads=["moebius"])
+
+    def test_unknown_model_override(self):
+        with pytest.raises(ConfigurationError, match="unknown collision model"):
+            small_spec(model="quantum")
+
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x", "protocols": [')
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_campaign(path)
+
+    def test_run_campaign_validates_direct_constructions(self):
+        # Specs built via the constructor (bypassing from_dict) are
+        # re-validated before any trial runs.
+        spec = CampaignSpec(
+            name="bad", protocols=("no-such-proto",), workloads=("path",),
+            sizes=(8,),
+        )
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            run_campaign(spec)
+
+
+class TestParallelAndCache:
+    def test_parallel_campaign_matches_sequential(self):
+        sequential = run_campaign(small_spec())
+        parallel = run_campaign(small_spec(), jobs=4)
+        assert parallel.cells == sequential.cells
+
+    def test_repeat_campaign_is_all_cache_hits(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        spec = small_spec()
+        root = tmp_path / "cache"
+        first = run_campaign(spec, cache=ResultCache(root))
+        cache = ResultCache(root)
+        second = run_campaign(spec, cache=cache)
+        total_trials = spec.trials * len(first.cells)
+        assert cache.stats.hits == total_trials
+        assert cache.stats.misses == 0
+        assert second.cells == first.cells
+
+    def test_changed_grid_reuses_overlap(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        root = tmp_path / "cache"
+        run_campaign(small_spec(), cache=ResultCache(root))
+        cache = ResultCache(root)
+        grown = small_spec(sizes=[16, 24, 32])
+        run_campaign(grown, cache=cache)
+        # The 16/24 cells are served from cache; only n=32 is computed.
+        assert cache.stats.hits == 2 * 2 * 2  # protocols x workloads(2) x trials
+        assert cache.stats.writes == 2 * 1 * 2  # the new size only
+
+    def test_cli_campaign_jobs_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-parallel",
+                    "protocols": ["cd-mis"],
+                    "workloads": ["path"],
+                    "sizes": [12],
+                    "trials": 2,
+                    "profile": "fast",
+                }
+            )
+        )
+        cache_dir = tmp_path / "cache"
+        argv = ["campaign", str(path), "--jobs", "2", "--resume",
+                "--cache-dir", str(cache_dir)]
+        assert main(list(argv)) == 0
+        assert main(list(argv)) == 0  # resumed entirely from cache
+        assert "cli-parallel" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.jsonl"))
