@@ -1,4 +1,4 @@
-"""Simulator throughput micro-benchmarks.
+"""Simulator throughput micro-benchmarks and the engine perf baseline.
 
 Unlike the experiment benches (single pedantic runs of full studies),
 these measure the engine's hot path repeatedly, so regressions in the
@@ -9,11 +9,43 @@ event loop show up as timing changes:
 * sparse awake traffic with huge sleeps — stresses the fast-forward
   scheduler (cost must track awake events, not elapsed rounds);
 * a full Algorithm 1 run — the end-to-end common case.
+
+Each scenario is timed against **both** engines — the optimized
+:func:`repro.radio.engine.run_protocol` and the frozen seed engine
+:func:`repro.radio._engine_reference.run_protocol_reference` — and the
+headline metric is their **speedup ratio**.  The ratio is host
+independent (both engines run on the same machine in the same process),
+which is what makes it usable as a CI regression gate: absolute
+milliseconds vary across runners, the ratio does not.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_perf_engine.py`` — the ``test_perf_*``
+  functions below, using pytest-benchmark when installed or the plain
+  timed-loop fallback fixture from ``conftest.py`` otherwise;
+* ``python benchmarks/bench_perf_engine.py [--quick] [--output PATH]
+  [--baseline PATH] [--check]`` — standalone CLI that writes
+  ``benchmarks/results/BENCH_engine.json`` and can fail on a speedup
+  regression versus a checked-in baseline (see ``--max-regression``).
 """
 
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.constants import ConstantsProfile
 from repro.core import CDMISProtocol
 from repro.graphs import gnp_random_graph
 from repro.radio import CD, Listen, Protocol, Sleep, Transmit, run_protocol
+from repro.radio._engine_reference import run_protocol_reference
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
+
+#: JSON schema tag, bumped on layout changes.
+SCHEMA = "bench-engine/1"
 
 
 class DenseTraffic(Protocol):
@@ -46,21 +78,61 @@ class SparseTraffic(Protocol):
             yield Listen()
 
 
-def test_perf_dense_collision_resolution(benchmark):
+# ----------------------------------------------------------------------
+# Scenario definitions (shared by the pytest functions and the CLI)
+# ----------------------------------------------------------------------
+
+def _dense_scenario():
     graph = gnp_random_graph(200, 0.1, seed=1)
     protocol = DenseTraffic(rounds=50)
+    params = {"graph": "gnp(200, 0.1, seed=1)", "protocol": "dense-traffic(50)",
+              "model": "cd", "seed": 1}
+    return graph, protocol, CD, 1, params
 
-    result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=1))
+
+def _sparse_scenario():
+    graph = gnp_random_graph(100, 0.1, seed=2)
+    protocol = SparseTraffic(beats=20)
+    params = {"graph": "gnp(100, 0.1, seed=2)", "protocol": "sparse-traffic(20)",
+              "model": "cd", "seed": 2}
+    return graph, protocol, CD, 2, params
+
+
+def _algorithm1_scenario():
+    graph = gnp_random_graph(256, 8.0 / 255.0, seed=3)
+    protocol = CDMISProtocol(constants=ConstantsProfile.practical())
+    params = {"graph": "gnp(256, 8/255, seed=3)", "protocol": "cd-mis(practical)",
+              "model": "cd", "seed": 3}
+    return graph, protocol, CD, 3, params
+
+
+SCENARIOS = {
+    "dense_collision_resolution": _dense_scenario,
+    "sleep_fast_forward": _sparse_scenario,
+    "algorithm1_end_to_end": _algorithm1_scenario,
+}
+
+#: The acceptance microbench: the PR 2 hot-path overhaul targets >= 2x here.
+HEADLINE_SCENARIO = "dense_collision_resolution"
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_perf_dense_collision_resolution(benchmark):
+    graph, protocol, model, seed, _ = _dense_scenario()
+
+    result = benchmark(lambda: run_protocol(graph, protocol, model, seed=seed))
     assert result.rounds == 50
     # 200 nodes x 50 awake rounds, all accounted.
     assert result.total_energy == 200 * 50
 
 
 def test_perf_sleep_fast_forward(benchmark):
-    graph = gnp_random_graph(100, 0.1, seed=2)
-    protocol = SparseTraffic(beats=20)
+    graph, protocol, model, seed, _ = _sparse_scenario()
 
-    result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=2))
+    result = benchmark(lambda: run_protocol(graph, protocol, model, seed=seed))
     # 2 million simulated rounds, only 20 awake each.
     assert result.rounds == 20 * 100_001
     assert result.max_energy == 20
@@ -72,3 +144,122 @@ def test_perf_algorithm1_end_to_end(benchmark, constants):
 
     result = benchmark(lambda: run_protocol(graph, protocol, CD, seed=3))
     assert result.is_valid_mis()
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI
+# ----------------------------------------------------------------------
+
+def _best_of(fn, repetitions):
+    """Minimum wall time over ``repetitions`` calls (min rejects noise)."""
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure(quick=False):
+    """Time every scenario on both engines; return the report dict."""
+    repetitions = 3 if quick else 15
+    scenarios = {}
+    for name, factory in SCENARIOS.items():
+        graph, protocol, model, seed, params = factory()
+        # Warm both paths (imports, lazy scatter arrays, allocator).
+        run_protocol(graph, protocol, model, seed=seed)
+        run_protocol_reference(graph, protocol, model, seed=seed)
+        optimized_s = _best_of(
+            lambda: run_protocol(graph, protocol, model, seed=seed), repetitions
+        )
+        reference_s = _best_of(
+            lambda: run_protocol_reference(graph, protocol, model, seed=seed),
+            repetitions,
+        )
+        scenarios[name] = {
+            "params": params,
+            "repetitions": repetitions,
+            "optimized_s": round(optimized_s, 6),
+            "reference_s": round(reference_s, 6),
+            "speedup": round(reference_s / optimized_s, 3),
+        }
+    return {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "headline": HEADLINE_SCENARIO,
+        "scenarios": scenarios,
+    }
+
+
+def check_regression(report, baseline, max_regression):
+    """Compare per-scenario speedups against a baseline report.
+
+    Returns a list of failure messages (empty = pass).  A scenario fails
+    when its speedup drops more than ``max_regression`` (fraction) below
+    the baseline's — absolute times are host-dependent and not compared.
+    """
+    failures = []
+    for name, entry in baseline.get("scenarios", {}).items():
+        current = report["scenarios"].get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = entry["speedup"] * (1.0 - max_regression)
+        if current["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {entry['speedup']:.2f}x "
+                f"- {max_regression:.0%} allowance)"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions; CI smoke mode")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT,
+                        help="baseline report to compare against with --check")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if any scenario's speedup regresses past "
+                             "--max-regression vs the baseline")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional speedup drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check:
+        # Read before writing: output and baseline may be the same file.
+        baseline = json.loads(args.baseline.read_text())
+
+    report = measure(quick=args.quick)
+
+    for name, entry in report["scenarios"].items():
+        marker = "  <- headline" if name == HEADLINE_SCENARIO else ""
+        print(
+            f"{name}: optimized {entry['optimized_s'] * 1e3:.2f}ms  "
+            f"reference {entry['reference_s'] * 1e3:.2f}ms  "
+            f"speedup {entry['speedup']:.2f}x{marker}"
+        )
+
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check passed (allowance {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

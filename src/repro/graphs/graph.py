@@ -43,7 +43,7 @@ class Graph:
         Optional label used in experiment reports.
     """
 
-    __slots__ = ("_n", "_adjacency", "_neighbor_sets", "_edges", "name")
+    __slots__ = ("_n", "_adjacency", "_neighbor_sets", "_edges", "_max_degree", "name")
 
     def __init__(self, num_nodes: int, edges: Iterable[Edge] = (), name: str = "graph"):
         if num_nodes < 0:
@@ -68,6 +68,9 @@ class Graph:
             frozenset(neighbors) for neighbors in adjacency
         )
         self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._max_degree: int = (
+            max(len(neighbors) for neighbors in self._adjacency) if self._n else 0
+        )
         self.name = name
 
     # ------------------------------------------------------------------
@@ -94,6 +97,22 @@ class Graph:
         """Sorted tuple of normalized ``(u, v)`` edges with ``u < v``."""
         return self._edges
 
+    @property
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """Sorted-neighbor tuples indexed by node, shared (do not mutate).
+
+        The round engine's scatter pass iterates transmitters' adjacency
+        lists every populated round; exposing the backing tuple lets it
+        bind the structure once per run instead of paying a bounds-checked
+        :meth:`neighbors` call per access.
+        """
+        return self._adjacency
+
+    @property
+    def neighbor_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """Frozenset neighborhoods indexed by node, shared (do not mutate)."""
+        return self._neighbor_sets
+
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Sorted neighbors of ``node``."""
         self._check_node(node)
@@ -110,10 +129,12 @@ class Graph:
         return len(self._adjacency[node])
 
     def max_degree(self) -> int:
-        """Maximum degree (Delta); 0 for an empty or edgeless graph."""
-        if self._n == 0:
-            return 0
-        return max(len(neighbors) for neighbors in self._adjacency)
+        """Maximum degree (Delta); 0 for an empty or edgeless graph.
+
+        Computed once at construction (the graph is immutable), so calls
+        are O(1) — protocols and the engine may invoke this freely.
+        """
+        return self._max_degree
 
     def has_edge(self, u: int, v: int) -> bool:
         """True iff ``{u, v}`` is an edge."""

@@ -1,0 +1,335 @@
+"""Frozen copy of the seed round engine, kept as a golden oracle.
+
+PR 2 rewrote :func:`repro.radio.engine.run_protocol`'s inner loop for
+throughput (scatter-based collision resolution, a bucketed round
+calendar, type-tag action dispatch).  The optimization contract is
+**bit-identical output**: every :class:`~repro.radio.metrics.RunResult`
+and every trace event must match what the original per-listener
+set-intersection engine produced.  This module preserves that original
+engine verbatim (only renamed) so the golden-equivalence tests in
+``tests/radio/test_engine_golden.py`` can compare the two on every
+protocol x model x seed combination without trusting checked-in
+fixtures.
+
+Do not optimize or "clean up" this file; its value is that it does not
+change.  It is not part of the public API and is exercised only by
+tests and by ``benchmarks/bench_perf_engine.py`` (which reports the
+optimized engine's speedup over this one).
+"""
+
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import MessageSizeError, ProtocolError, SimulationError
+from ..graphs.graph import Graph
+from .actions import Action, Listen, Sleep, SleepUntil, Transmit
+from .metrics import NodeStats, RunResult
+from .models import CollisionModel
+from .node import NodeContext, Protocol
+from .trace import NullTrace, TraceEvent, TraceSink
+
+__all__ = ["run_protocol_reference"]
+
+#: Fallback watchdog when the protocol provides no round bound hint.
+DEFAULT_MAX_ROUNDS = 50_000_000
+
+#: Safety slack multiplied onto a protocol's own round-budget hint.
+_HINT_SLACK = 4
+
+_NULL_TRACE = NullTrace()
+
+
+def payload_bits(payload: Any) -> int:
+    """Approximate size of a payload in bits, for RADIO-CONGEST checks.
+
+    Integers count their binary length (at least 1 bit); bytes/str count
+    8 bits per character; ``None`` is free.  Other payloads are charged
+    via their ``repr`` as a conservative stand-in.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length())
+    if isinstance(payload, (bytes, str)):
+        return 8 * len(payload)
+    return 8 * len(repr(payload))
+
+
+class _NodeRunner:
+    """Bookkeeping for one node's coroutine between engine events."""
+
+    __slots__ = ("node", "generator", "ctx", "transmit_rounds", "listen_rounds",
+                 "finish_round", "done", "crashed")
+
+    def __init__(self, node: int, generator, ctx: NodeContext):
+        self.node = node
+        self.generator = generator
+        self.ctx = ctx
+        self.transmit_rounds = 0
+        self.listen_rounds = 0
+        self.finish_round = -1
+        self.done = False
+        self.crashed = False
+
+
+def run_protocol_reference(
+    graph: Graph,
+    protocol: Protocol,
+    model: CollisionModel,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    trace: Optional[TraceSink] = None,
+    message_bits: Optional[int] = None,
+    check_model_compatibility: bool = True,
+    crash_schedule: Optional[Dict[int, int]] = None,
+    wake_schedule: Optional[Dict[int, int]] = None,
+) -> RunResult:
+    """Simulate ``protocol`` on every node of ``graph`` under ``model``.
+
+    Parameters
+    ----------
+    graph:
+        The (unknown-to-the-nodes) communication topology.
+    protocol:
+        Shared protocol configuration; each node runs ``protocol.run``.
+    model:
+        Collision-handling semantics (CD / no-CD / beeping).
+    seed:
+        Master seed; node ``v`` draws from ``random.Random`` seeded by a
+        deterministic mix of the seed and ``v``, so runs are exactly
+        reproducible and per-node streams are independent.
+    max_rounds:
+        Watchdog; defaults to the protocol's own hint (times a slack
+        factor) or :data:`DEFAULT_MAX_ROUNDS`.  Exceeding it raises
+        :class:`~repro.errors.SimulationError` — the paper's algorithms
+        have hard round budgets, so a runaway run is always a bug.
+    trace:
+        Optional :class:`~repro.radio.trace.TraceSink` to record awake
+        events.
+    message_bits:
+        When set, transmissions larger than this many bits raise
+        :class:`~repro.errors.MessageSizeError` (RADIO-CONGEST
+        enforcement).  The paper's algorithms are unary, so the default
+        is no enforcement.
+    crash_schedule:
+        Optional fault injection: ``{node: round}`` — the node
+        crash-stops at the start of that round (it executes no action at
+        or after it, transmits nothing, and its decision freezes at
+        whatever it had committed).  Crashed nodes are flagged in their
+        :class:`~repro.radio.metrics.NodeStats`.  The paper's model has
+        no faults; this exists for robustness experiments and
+        failure-injection tests.
+    wake_schedule:
+        Optional asynchronous wake-up: ``{node: round}`` — the node
+        sleeps until that round before its protocol starts (its local
+        clock, ``ctx.now``, starts there too).  The paper assumes
+        synchronous wake-up (all zeros); this knob quantifies how much
+        that assumption carries (experiment A3).
+    """
+    if check_model_compatibility and model.name not in protocol.compatible_models:
+        raise SimulationError(
+            f"protocol {protocol.name!r} supports models "
+            f"{protocol.compatible_models}, not {model.name!r}"
+        )
+    if max_rounds is None:
+        hint = protocol.max_rounds_hint(graph.num_nodes, graph.max_degree())
+        max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
+
+    runners: List[_NodeRunner] = []
+    # (round, tiebreak, node); tiebreak keeps heap comparisons total.
+    ready: List[Tuple[int, int, int]] = []
+    tick = 0
+
+    # ------------------------------------------------------------------
+    # Boot every node: build its context, pull the first action.
+    # ------------------------------------------------------------------
+    for node in graph.nodes:
+        node_rng = random.Random((seed * 0x9E3779B9 + node * 0x85EBCA6B) & 0xFFFFFFFF)
+        ctx = NodeContext(node, node_rng, n=graph.num_nodes, delta=graph.max_degree())
+        if wake_schedule is not None:
+            wake_round = wake_schedule.get(node, 0)
+            if wake_round < 0:
+                raise ProtocolError(
+                    f"wake round for node {node} must be non-negative, got {wake_round}"
+                )
+            ctx._now = wake_round
+        generator = protocol.run(ctx)
+        runner = _NodeRunner(node, generator, ctx)
+        runners.append(runner)
+
+    pending_action: Dict[int, Action] = {}
+
+    def advance(runner: _NodeRunner, observation) -> None:
+        """Resume a runner and schedule its next awake action.
+
+        ``runner.ctx._now`` must already hold the round at which the next
+        action will execute.  Consecutive sleeps collapse without
+        touching the heap.
+        """
+        nonlocal tick
+        ctx = runner.ctx
+        send_value = observation
+        while True:
+            try:
+                if send_value is _BOOT:
+                    action = next(runner.generator)
+                else:
+                    action = runner.generator.send(send_value)
+            except StopIteration:
+                runner.done = True
+                runner.finish_round = ctx._now
+                return
+            send_value = None
+            if isinstance(action, Sleep):
+                ctx._now += action.rounds
+                continue
+            if isinstance(action, SleepUntil):
+                if action.target < ctx._now:
+                    raise ProtocolError(
+                        f"node {runner.node} requested SleepUntil({action.target}) "
+                        f"at round {ctx._now} (target in the past)"
+                    )
+                ctx._now = action.target
+                continue
+            if isinstance(action, (Transmit, Listen)):
+                if crash_schedule is not None:
+                    crash_round = crash_schedule.get(runner.node)
+                    if crash_round is not None and ctx._now >= crash_round:
+                        # Crash-stop: the node never executes this (or
+                        # any later) action.
+                        runner.done = True
+                        runner.crashed = True
+                        runner.finish_round = crash_round
+                        runner.generator.close()
+                        return
+                if isinstance(action, Transmit) and message_bits is not None:
+                    bits = payload_bits(action.payload)
+                    if bits > message_bits:
+                        raise MessageSizeError(
+                            f"node {runner.node} transmitted {bits}-bit payload; "
+                            f"RADIO-CONGEST budget is {message_bits} bits"
+                        )
+                pending_action[runner.node] = action
+                tick += 1
+                heapq.heappush(ready, (ctx._now, tick, runner.node))
+                return
+            raise ProtocolError(
+                f"node {runner.node} yielded unsupported action {action!r}"
+            )
+
+    _BOOT = object()
+    for runner in runners:
+        advance(runner, _BOOT)
+
+    # ------------------------------------------------------------------
+    # Main loop: process one populated round at a time.
+    # ------------------------------------------------------------------
+    record_trace = trace is not None and trace.enabled
+    sink = trace if trace is not None else _NULL_TRACE
+
+    while ready:
+        current_round = ready[0][0]
+        if current_round >= max_rounds:
+            awake = sorted({entry[2] for entry in ready})
+            raise SimulationError(
+                f"run exceeded max_rounds={max_rounds} "
+                f"(next event at round {current_round}, awake nodes {awake[:10]}...)"
+            )
+        # Pop every node awake this round.
+        acting: List[int] = []
+        while ready and ready[0][0] == current_round:
+            _, _, node = heapq.heappop(ready)
+            acting.append(node)
+
+        transmitters: Dict[int, Any] = {}
+        listeners: List[int] = []
+        for node in acting:
+            action = pending_action.pop(node)
+            if isinstance(action, Transmit):
+                transmitters[node] = action.payload
+            else:
+                listeners.append(node)
+
+        # Resolve listens against this round's transmissions.  Under
+        # sender-side detection (beeping variant), transmitters perceive
+        # their neighbors' transmissions too.
+        perceivers = (
+            listeners
+            if not model.sender_side_detection
+            else listeners + list(transmitters)
+        )
+        observations: Dict[int, Any] = {}
+        for node in perceivers:
+            neighbor_set = graph.neighbor_set(node)
+            if len(transmitters) <= len(neighbor_set):
+                talking = [t for t in transmitters if t in neighbor_set]
+            else:
+                talking = [t for t in neighbor_set if t in transmitters]
+            lone_payload = transmitters[talking[0]] if len(talking) == 1 else None
+            observations[node] = model.resolve(len(talking), lone_payload)
+
+        # Charge energy, trace, and resume everyone who acted.
+        for node in acting:
+            runner = runners[node]
+            ctx = runner.ctx
+            ctx._charge_awake_round()
+            if node in transmitters:
+                runner.transmit_rounds += 1
+                if record_trace:
+                    sink.record(
+                        TraceEvent(
+                            round=current_round,
+                            node=node,
+                            action="transmit",
+                            payload=transmitters[node],
+                        )
+                    )
+                observation = (
+                    observations[node] if model.sender_side_detection else None
+                )
+            else:
+                runner.listen_rounds += 1
+                observation = observations[node]
+                if record_trace:
+                    sink.record(
+                        TraceEvent(
+                            round=current_round,
+                            node=node,
+                            action="listen",
+                            observed=str(observation),
+                        )
+                    )
+            ctx._now = current_round + 1
+            advance(runner, observation)
+
+    # ------------------------------------------------------------------
+    # Collect results.
+    # ------------------------------------------------------------------
+    stats = tuple(
+        NodeStats(
+            node=runner.node,
+            transmit_rounds=runner.transmit_rounds,
+            listen_rounds=runner.listen_rounds,
+            finish_round=runner.finish_round,
+            decision=runner.ctx.decision,
+            energy_by_component=dict(runner.ctx.energy_by_component),
+            crashed=runner.crashed,
+        )
+        for runner in runners
+    )
+    rounds = max((runner.finish_round for runner in runners), default=0)
+    return RunResult(
+        graph=graph,
+        protocol_name=protocol.name,
+        model_name=model.name,
+        seed=seed,
+        rounds=rounds,
+        node_stats=stats,
+        node_info=tuple(runner.ctx.info for runner in runners),
+    )

@@ -16,11 +16,31 @@ simulation cost tracks *energy* (awake rounds), not wall-clock rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Union
+from typing import Any, ClassVar, Union
 
 from ..errors import ProtocolError
 
-__all__ = ["Transmit", "Listen", "Sleep", "SleepUntil", "Action"]
+__all__ = [
+    "Transmit",
+    "Listen",
+    "Sleep",
+    "SleepUntil",
+    "Action",
+    "TAG_TRANSMIT",
+    "TAG_LISTEN",
+    "TAG_SLEEP",
+    "TAG_SLEEP_UNTIL",
+]
+
+# Integer type tags for engine dispatch.  ``isinstance`` chains cost a
+# C call per candidate class per action; the engine instead reads the
+# inherited ``tag`` class attribute (one attribute load) and branches on
+# small-int identity.  Subclasses of an action inherit its tag, so they
+# dispatch exactly as ``isinstance`` would.
+TAG_TRANSMIT = 0
+TAG_LISTEN = 1
+TAG_SLEEP = 2
+TAG_SLEEP_UNTIL = 3
 
 
 @dataclass(frozen=True)
@@ -32,6 +52,8 @@ class Transmit:
     can enforce a RADIO-CONGEST size budget on payloads.
     """
 
+    tag: ClassVar[int] = TAG_TRANSMIT
+
     payload: Any = 1
 
 
@@ -39,10 +61,14 @@ class Transmit:
 class Listen:
     """Listen this round; the observation depends on the collision model."""
 
+    tag: ClassVar[int] = TAG_LISTEN
+
 
 @dataclass(frozen=True)
 class Sleep:
     """Sleep for ``rounds`` consecutive rounds (radio off, zero energy)."""
+
+    tag: ClassVar[int] = TAG_SLEEP
 
     rounds: int = 1
 
@@ -60,6 +86,8 @@ class SleepUntil:
     (i-1)*T_L + T_C ...").  A target equal to the current round is a
     zero-duration no-op, which makes barrier code uniform.
     """
+
+    tag: ClassVar[int] = TAG_SLEEP_UNTIL
 
     target: int
 

@@ -2,11 +2,12 @@
 
 The engine advances a per-node generator coroutine through discrete
 rounds.  Its key property: **simulation cost is proportional to total
-awake rounds, not elapsed rounds.**  Sleeping nodes sit in a priority
-queue keyed by their wake round, and the global clock jumps straight to
-the next round in which *any* node is awake.  Since the paper's
-algorithms are awake for only polylogarithmically many rounds per node,
-even their ``O(log^3 n log Delta)``-round executions simulate quickly.
+awake rounds, not elapsed rounds.**  Sleeping nodes are parked in a
+round calendar keyed by their wake round, and the global clock jumps
+straight to the next round in which *any* node is awake.  Since the
+paper's algorithms are awake for only polylogarithmically many rounds
+per node, even their ``O(log^3 n log Delta)``-round executions simulate
+quickly.
 
 Collision semantics per round (Section 1.1 of the paper):
 
@@ -17,20 +18,67 @@ Collision semantics per round (Section 1.1 of the paper):
 
 Energy accounting is exact: one unit per transmit or listen round,
 attributed to the node's current ledger component.
+
+Hot-path structure (PR 2; see "Engine internals" in ``docs/API.md``):
+
+* **Scatter resolution** — instead of intersecting every perceiver's
+  neighborhood with the transmitter set (O(perceivers x transmitters)
+  in the dense case), the engine iterates the round's transmitters once
+  and tallies a per-node transmitter count over their adjacency tuples
+  (each tuple counted at C speed); per-round cost is
+  O(sum of deg(transmitter) + awake nodes).  Rounds with zero or one
+  transmitter skip the scatter entirely; rounds whose scatter size
+  crosses a break-even threshold use a weighted ``numpy.bincount`` over
+  precomputed edge arrays instead, when numpy is installed (the dict
+  scatter remains the exact, always-available fallback).
+* **Round calendar** — pending actions live in a dict of
+  ``round -> [(runner, payload-or-LISTEN)]`` buckets; a small heap
+  orders only the *distinct* populated round numbers, so the per-action
+  cost is an O(1) list append instead of an O(log awake) heap push.
+* **Interned observations** — each collision model exposes its
+  count-bucketed outcomes (:attr:`~repro.radio.models.CollisionModel.
+  observation_zero` / ``_one`` / ``_many``) as shared singletons, so
+  ``model.resolve`` virtual calls never run inside the round loop.
+* **Shape-specialized round loops** — untraced runs without sender-side
+  detection (virtually all) resume nodes through one of three tight
+  loops (silent round / lone transmitter / scatter) that inline both
+  the energy charge and the schedule-next-action fast path; tracing and
+  sender-side detection take a generic loop so their cost never taxes
+  the common case.
+
+The pre-optimization engine is preserved verbatim in
+``repro.radio._engine_reference`` and the golden tests in
+``tests/radio/test_engine_golden.py`` assert both produce bit-identical
+:class:`~repro.radio.metrics.RunResult`s and traces.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from itertools import chain
 from typing import Any, Dict, List, Optional, Tuple
+
+try:  # CPython's C tally helper behind Counter.update.
+    from _collections import _count_elements
+except ImportError:  # pragma: no cover - non-CPython fallback
+    def _count_elements(mapping, iterable):
+        get = mapping.get
+        for element in iterable:
+            mapping[element] = get(element, 0) + 1
+
+try:  # Optional dense-round scatter accelerator; dict scatter is the fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
 
 from ..errors import MessageSizeError, ProtocolError, SimulationError
 from ..graphs.graph import Graph
-from .actions import Action, Listen, Sleep, SleepUntil, Transmit
+from .actions import TAG_LISTEN, TAG_SLEEP, TAG_SLEEP_UNTIL, TAG_TRANSMIT
 from .metrics import NodeStats, RunResult
 from .models import CollisionModel
 from .node import NodeContext, Protocol
+from .observations import message, observation_label
 from .trace import NullTrace, TraceEvent, TraceSink
 
 __all__ = ["run_protocol", "DEFAULT_MAX_ROUNDS", "payload_bits"]
@@ -42,6 +90,10 @@ DEFAULT_MAX_ROUNDS = 50_000_000
 _HINT_SLACK = 4
 
 _NULL_TRACE = NullTrace()
+
+#: Calendar-bucket sentinel marking a listen (any transmit payload,
+#: including ``None``, is distinguishable from this private object).
+_LISTEN = object()
 
 
 def payload_bits(payload: Any) -> int:
@@ -65,12 +117,15 @@ def payload_bits(payload: Any) -> int:
 class _NodeRunner:
     """Bookkeeping for one node's coroutine between engine events."""
 
-    __slots__ = ("node", "generator", "ctx", "transmit_rounds", "listen_rounds",
-                 "finish_round", "done", "crashed")
+    __slots__ = ("node", "generator", "send", "ctx", "transmit_rounds",
+                 "listen_rounds", "finish_round", "done", "crashed")
 
     def __init__(self, node: int, generator, ctx: NodeContext):
         self.node = node
         self.generator = generator
+        #: Bound ``generator.send``, cached so resuming skips two
+        #: attribute loads per awake round.
+        self.send = generator.send
         self.ctx = ctx
         self.transmit_rounds = 0
         self.listen_rounds = 0
@@ -138,21 +193,65 @@ def run_protocol(
             f"protocol {protocol.name!r} supports models "
             f"{protocol.compatible_models}, not {model.name!r}"
         )
+    # Graph-wide parameters, computed once for the whole run (the seed
+    # engine re-evaluated max_degree/num_nodes per node at boot).
+    num_nodes = graph.num_nodes
+    delta = graph.max_degree()
+    adjacency = graph.adjacency
+    neighbor_sets = graph.neighbor_sets
     if max_rounds is None:
-        hint = protocol.max_rounds_hint(graph.num_nodes, graph.max_degree())
+        hint = protocol.max_rounds_hint(num_nodes, delta)
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
 
     runners: List[_NodeRunner] = []
-    # (round, tiebreak, node); tiebreak keeps heap comparisons total.
-    ready: List[Tuple[int, int, int]] = []
-    tick = 0
+
+    # Round calendar: round -> (bucket, tx_nodes, tx_payloads).  The
+    # bucket holds (runner, payload) for transmits and (runner, _LISTEN)
+    # for listens, appended in schedule (= tick) order, which reproduces
+    # the seed engine's (round, tick) heap pop order exactly; the tx
+    # lists pre-classify the round's transmitters at schedule time so
+    # round processing skips a classification pass.  ``round_heap``
+    # orders the distinct populated round numbers only.
+    _Slot = Tuple[List[Tuple[_NodeRunner, Any]], List[int], List[Any]]
+    calendar: Dict[int, _Slot] = {}
+    round_heap: List[int] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    calendar_get = calendar.get
+
+    # Per-run reusable buffers, hoisted out of the round loop.  ``counts``
+    # is the scatter target; ``slot_pool`` recycles emptied calendar
+    # slots so steady-state rounds allocate no new lists.
+    # Plain dict, NOT a Counter: the specialized loop distinguishes
+    # "no transmitting neighbors" by ``KeyError`` on subscript, which
+    # ``Counter.__missing__`` would silently turn into 0.
+    counts: Dict[int, int] = {}
+    counts_get = counts.get
+    slot_pool: List[_Slot] = []
+    chain_from_iterable = chain.from_iterable
+    adjacency_at = adjacency.__getitem__
+    degrees = tuple(map(len, adjacency))
+    degrees_at = degrees.__getitem__
+
+    # Heavy-round scatter accelerator: a weighted ``numpy.bincount`` over
+    # the (directed) edge arrays tallies every node's transmitting
+    # neighbors in one C pass over ALL edges — cheaper than hashing each
+    # touched node into ``counts`` once a round's scatter size crosses
+    # the break-even point modelled below (~40ns per dict increment vs a
+    # fixed call overhead plus ~4ns per edge).  Rounds below it, and
+    # numpy-less installs, keep the exact dict scatter; both produce the
+    # same integer tallies, so results are bit-identical either way.
+    total_directed = sum(degrees)
+    use_np_scatter = _np is not None
+    np_scatter_threshold = 400 + (total_directed + 2 * num_nodes) // 10
+    scatter_arrays = None  # (targets, sources, tx_vector), built lazily
 
     # ------------------------------------------------------------------
     # Boot every node: build its context, pull the first action.
     # ------------------------------------------------------------------
     for node in graph.nodes:
         node_rng = random.Random((seed * 0x9E3779B9 + node * 0x85EBCA6B) & 0xFFFFFFFF)
-        ctx = NodeContext(node, node_rng, n=graph.num_nodes, delta=graph.max_degree())
+        ctx = NodeContext(node, node_rng, n=num_nodes, delta=delta)
         if wake_schedule is not None:
             wake_round = wake_schedule.get(node, 0)
             if wake_round < 0:
@@ -164,41 +263,26 @@ def run_protocol(
         runner = _NodeRunner(node, generator, ctx)
         runners.append(runner)
 
-    pending_action: Dict[int, Action] = {}
+    def advance_action(runner: _NodeRunner, action) -> None:
+        """Process ``action`` (and any follow-up sleeps) until the runner
+        parks an awake action in the calendar or terminates.
 
-    def advance(runner: _NodeRunner, observation) -> None:
-        """Resume a runner and schedule its next awake action.
-
-        ``runner.ctx._now`` must already hold the round at which the next
-        action will execute.  Consecutive sleeps collapse without
-        touching the heap.
+        ``runner.ctx._now`` must already hold the round at which
+        ``action`` would execute.  Consecutive sleeps collapse without
+        touching the calendar.
         """
-        nonlocal tick
         ctx = runner.ctx
-        send_value = observation
+        send = runner.send
         while True:
+            # Type-tag dispatch: one attribute load + small-int compares
+            # beat an isinstance chain per action.  Subclasses inherit
+            # their base action's tag and dispatch identically; objects
+            # without a ``tag`` fall through to the error below.
             try:
-                if send_value is _BOOT:
-                    action = next(runner.generator)
-                else:
-                    action = runner.generator.send(send_value)
-            except StopIteration:
-                runner.done = True
-                runner.finish_round = ctx._now
-                return
-            send_value = None
-            if isinstance(action, Sleep):
-                ctx._now += action.rounds
-                continue
-            if isinstance(action, SleepUntil):
-                if action.target < ctx._now:
-                    raise ProtocolError(
-                        f"node {runner.node} requested SleepUntil({action.target}) "
-                        f"at round {ctx._now} (target in the past)"
-                    )
-                ctx._now = action.target
-                continue
-            if isinstance(action, (Transmit, Listen)):
+                tag = action.tag
+            except AttributeError:
+                tag = None
+            if tag == TAG_TRANSMIT or tag == TAG_LISTEN:
                 if crash_schedule is not None:
                     crash_round = crash_schedule.get(runner.node)
                     if crash_round is not None and ctx._now >= crash_round:
@@ -209,24 +293,61 @@ def run_protocol(
                         runner.finish_round = crash_round
                         runner.generator.close()
                         return
-                if isinstance(action, Transmit) and message_bits is not None:
-                    bits = payload_bits(action.payload)
-                    if bits > message_bits:
-                        raise MessageSizeError(
-                            f"node {runner.node} transmitted {bits}-bit payload; "
-                            f"RADIO-CONGEST budget is {message_bits} bits"
-                        )
-                pending_action[runner.node] = action
-                tick += 1
-                heapq.heappush(ready, (ctx._now, tick, runner.node))
+                when = ctx._now
+                slot = calendar_get(when)
+                if slot is None:
+                    slot = slot_pool.pop() if slot_pool else ([], [], [])
+                    calendar[when] = slot
+                    heappush(round_heap, when)
+                if tag == TAG_TRANSMIT:
+                    payload = action.payload
+                    if message_bits is not None:
+                        bits = payload_bits(payload)
+                        if bits > message_bits:
+                            raise MessageSizeError(
+                                f"node {runner.node} transmitted {bits}-bit payload; "
+                                f"RADIO-CONGEST budget is {message_bits} bits"
+                            )
+                    slot[0].append((runner, payload))
+                    slot[1].append(runner.node)
+                    slot[2].append(payload)
+                else:
+                    slot[0].append((runner, _LISTEN))
                 return
-            raise ProtocolError(
-                f"node {runner.node} yielded unsupported action {action!r}"
-            )
+            if tag == TAG_SLEEP:
+                ctx._now += action.rounds
+            elif tag == TAG_SLEEP_UNTIL:
+                if action.target < ctx._now:
+                    raise ProtocolError(
+                        f"node {runner.node} requested SleepUntil({action.target}) "
+                        f"at round {ctx._now} (target in the past)"
+                    )
+                ctx._now = action.target
+            else:
+                raise ProtocolError(
+                    f"node {runner.node} yielded unsupported action {action!r}"
+                )
+            try:
+                action = send(None)
+            except StopIteration:
+                runner.done = True
+                runner.finish_round = ctx._now
+                return
 
-    _BOOT = object()
+    def advance(runner: _NodeRunner, observation) -> None:
+        """Resume a runner with ``observation`` and schedule what follows."""
+        try:
+            # ``send(None)`` on a fresh generator is ``next()``, so
+            # booting needs no special case.
+            action = runner.send(observation)
+        except StopIteration:
+            runner.done = True
+            runner.finish_round = runner.ctx._now
+            return
+        advance_action(runner, action)
+
     for runner in runners:
-        advance(runner, _BOOT)
+        advance(runner, None)
 
     # ------------------------------------------------------------------
     # Main loop: process one populated round at a time.
@@ -234,80 +355,260 @@ def run_protocol(
     record_trace = trace is not None and trace.enabled
     sink = trace if trace is not None else _NULL_TRACE
 
-    while ready:
-        current_round = ready[0][0]
+    sender_side = model.sender_side_detection
+    obs_zero = model.observation_zero
+    obs_one = model.observation_one  # None => deliver message(lone_payload)
+    obs_many = model.observation_many
+
+    # The specialized loops below inline advance()'s fast path; that is
+    # only valid when a fresh transmit/listen needs no crash or congest
+    # checks before scheduling.
+    fast_schedule = crash_schedule is None and message_bits is None
+
+    while round_heap:
+        current_round = round_heap[0]
         if current_round >= max_rounds:
-            awake = sorted({entry[2] for entry in ready})
+            awake = sorted(
+                {entry[0].node for slot in calendar.values() for entry in slot[0]}
+            )
             raise SimulationError(
                 f"run exceeded max_rounds={max_rounds} "
                 f"(next event at round {current_round}, awake nodes {awake[:10]}...)"
             )
-        # Pop every node awake this round.
-        acting: List[int] = []
-        while ready and ready[0][0] == current_round:
-            _, _, node = heapq.heappop(ready)
-            acting.append(node)
+        heappop(round_heap)
+        current_slot = calendar.pop(current_round)
+        bucket, tx_nodes, tx_payloads = current_slot
+        tx_count = len(tx_nodes)
 
-        transmitters: Dict[int, Any] = {}
-        listeners: List[int] = []
-        for node in acting:
-            action = pending_action.pop(node)
-            if isinstance(action, Transmit):
-                transmitters[node] = action.payload
-            else:
-                listeners.append(node)
-
-        # Resolve listens against this round's transmissions.  Under
-        # sender-side detection (beeping variant), transmitters perceive
-        # their neighbors' transmissions too.
-        perceivers = (
-            listeners
-            if not model.sender_side_detection
-            else listeners + list(transmitters)
-        )
-        observations: Dict[int, Any] = {}
-        for node in perceivers:
-            neighbor_set = graph.neighbor_set(node)
-            if len(transmitters) <= len(neighbor_set):
-                talking = [t for t in transmitters if t in neighbor_set]
-            else:
-                talking = [t for t in neighbor_set if t in transmitters]
-            lone_payload = transmitters[talking[0]] if len(talking) == 1 else None
-            observations[node] = model.resolve(len(talking), lone_payload)
-
-        # Charge energy, trace, and resume everyone who acted.
-        for node in acting:
-            runner = runners[node]
-            ctx = runner.ctx
-            ctx._charge_awake_round()
-            if node in transmitters:
-                runner.transmit_rounds += 1
-                if record_trace:
-                    sink.record(
-                        TraceEvent(
-                            round=current_round,
-                            node=node,
-                            action="transmit",
-                            payload=transmitters[node],
-                        )
+        # Collision resolution.  0- and 1-transmitter rounds need no
+        # scatter: everyone hears silence, or membership in the lone
+        # transmitter's neighborhood decides.  Otherwise one scatter pass
+        # over the transmitters' adjacency tuples tallies, per node, how
+        # many neighbors are talking — O(sum deg(transmitter)) total,
+        # independent of how many nodes listen.
+        # ``tx_map`` (node -> payload) is built lazily, only when a
+        # payload-carrying model actually delivers a lone neighbor's
+        # message this round — dense rounds where every perceiver sees a
+        # collision never pay for it.
+        tx_map: Optional[Dict[int, Any]] = None
+        counts_list: Optional[List[float]] = None
+        if tx_count == 1:
+            lone_neighbors = neighbor_sets[tx_nodes[0]]
+            lone_observation = (
+                message(tx_payloads[0]) if obs_one is None else obs_one
+            )
+        elif tx_count > 1:
+            if (
+                use_np_scatter
+                and sum(map(degrees_at, tx_nodes)) > np_scatter_threshold
+            ):
+                if scatter_arrays is None:
+                    targets = _np.fromiter(
+                        chain_from_iterable(adjacency),
+                        dtype=_np.intp,
+                        count=total_directed,
                     )
-                observation = (
-                    observations[node] if model.sender_side_detection else None
+                    sources = _np.repeat(
+                        _np.arange(num_nodes, dtype=_np.intp), degrees
+                    )
+                    scatter_arrays = (targets, sources, _np.zeros(num_nodes))
+                targets, sources, tx_vector = scatter_arrays
+                tx_vector[tx_nodes] = 1.0
+                counts_list = _np.bincount(
+                    targets, weights=tx_vector[sources], minlength=num_nodes
+                ).tolist()
+                tx_vector[tx_nodes] = 0.0
+            else:
+                # One C-level pipeline: index the adjacency tuples, chain
+                # them, and tally — no Python-level per-transmitter loop.
+                _count_elements(
+                    counts, chain_from_iterable(map(adjacency_at, tx_nodes))
                 )
-            else:
-                runner.listen_rounds += 1
-                observation = observations[node]
-                if record_trace:
-                    sink.record(
-                        TraceEvent(
-                            round=current_round,
-                            node=node,
-                            action="listen",
-                            observed=str(observation),
+
+        # Charge energy, resolve observations, trace, and resume everyone
+        # who acted, in the seed engine's (tick-order) sequence.  The
+        # untraced non-sender-side case (virtually every run) takes one
+        # of three loops specialized by round shape, each inlining the
+        # energy charge (NodeContext._charge_awake_round documents this
+        # contract) and advance()'s fast path; tracing and sender-side
+        # detection take the generic loop below so their cost never
+        # taxes the common case.
+        next_round = current_round + 1
+        next_slot: Optional[_Slot] = None
+        if record_trace or sender_side:
+            for runner, payload in bucket:
+                node = runner.node
+                listening = payload is _LISTEN
+                ctx = runner.ctx
+                ledger = ctx.energy_by_component
+                component = ctx._component
+                try:
+                    ledger[component] += 1
+                except KeyError:
+                    ledger[component] = 1
+                if listening or sender_side:
+                    if tx_count == 0:
+                        observation = obs_zero
+                    elif tx_count == 1:
+                        observation = (
+                            lone_observation if node in lone_neighbors else obs_zero
                         )
-                    )
-            ctx._now = current_round + 1
-            advance(runner, observation)
+                    else:
+                        if counts_list is None:
+                            count = counts_get(node, 0)
+                        else:
+                            count = counts_list[node]
+                        if count >= 2:
+                            observation = obs_many
+                        elif not count:
+                            observation = obs_zero
+                        elif obs_one is not None:
+                            observation = obs_one
+                        else:
+                            if tx_map is None:
+                                tx_map = dict(zip(tx_nodes, tx_payloads))
+                                tx_keys = tx_map.keys()
+                            # The unique talking neighbor, via C-level
+                            # set intersection (exactly 1 element).
+                            observation = message(
+                                tx_map[(neighbor_sets[node] & tx_keys).pop()]
+                            )
+                else:
+                    observation = None
+                if listening:
+                    runner.listen_rounds += 1
+                    if record_trace:
+                        sink.record(
+                            TraceEvent(
+                                round=current_round,
+                                node=node,
+                                action="listen",
+                                observed=observation_label(observation),
+                            )
+                        )
+                else:
+                    runner.transmit_rounds += 1
+                    if record_trace:
+                        sink.record(
+                            TraceEvent(
+                                round=current_round,
+                                node=node,
+                                action="transmit",
+                                payload=payload,
+                            )
+                        )
+                    if not sender_side:
+                        observation = None
+                ctx._now = next_round
+                advance(runner, observation)
+        else:
+            for runner, payload in bucket:
+                ctx = runner.ctx
+                ledger = ctx.energy_by_component
+                component = ctx._component
+                try:
+                    ledger[component] += 1
+                except KeyError:
+                    ledger[component] = 1
+                if payload is _LISTEN:
+                    runner.listen_rounds += 1
+                    if tx_count == 0:
+                        observation = obs_zero
+                    elif tx_count == 1:
+                        observation = (
+                            lone_observation
+                            if runner.node in lone_neighbors
+                            else obs_zero
+                        )
+                    elif counts_list is not None:
+                        count = counts_list[runner.node]
+                        if count >= 2:
+                            observation = obs_many
+                        elif not count:
+                            observation = obs_zero
+                        elif obs_one is not None:
+                            observation = obs_one
+                        else:
+                            node = runner.node
+                            if tx_map is None:
+                                tx_map = dict(zip(tx_nodes, tx_payloads))
+                                tx_keys = tx_map.keys()
+                            observation = message(
+                                tx_map[(neighbor_sets[node] & tx_keys).pop()]
+                            )
+                    else:
+                        node = runner.node
+                        # A node absent from the scatter tally has zero
+                        # transmitting neighbors; a present one has >= 1,
+                        # so the >= 2 test alone separates the buckets.
+                        try:
+                            count = counts[node]
+                        except KeyError:
+                            observation = obs_zero
+                        else:
+                            if count >= 2:
+                                observation = obs_many
+                            elif obs_one is not None:
+                                observation = obs_one
+                            else:
+                                if tx_map is None:
+                                    tx_map = dict(zip(tx_nodes, tx_payloads))
+                                    tx_keys = tx_map.keys()
+                                observation = message(
+                                    tx_map[(neighbor_sets[node] & tx_keys).pop()]
+                                )
+                else:
+                    runner.transmit_rounds += 1
+                    observation = None
+                ctx._now = next_round
+                # Inline advance() fast path: resume, and when the next
+                # action is an immediate transmit/listen needing no
+                # crash/congest checks, park it directly in the (cached)
+                # next-round slot; anything else (sleeps, termination
+                # follow-ups, faults, errors) takes the full slow path.
+                try:
+                    action = runner.send(observation)
+                except StopIteration:
+                    runner.done = True
+                    runner.finish_round = next_round
+                    continue
+                if fast_schedule:
+                    try:
+                        tag = action.tag
+                    except AttributeError:
+                        tag = None
+                    if tag != TAG_LISTEN and tag != TAG_TRANSMIT:
+                        advance_action(runner, action)
+                        # The slow path may have created next round's
+                        # slot behind the cache's back.
+                        next_slot = None
+                        continue
+                    if next_slot is None:
+                        next_slot = calendar_get(next_round)
+                        if next_slot is None:
+                            next_slot = slot_pool.pop() if slot_pool else ([], [], [])
+                            calendar[next_round] = next_slot
+                            heappush(round_heap, next_round)
+                        next_bucket, next_txn, next_txp = next_slot
+                    if tag == TAG_LISTEN:
+                        next_bucket.append((runner, _LISTEN))
+                    else:
+                        payload = action.payload
+                        next_bucket.append((runner, payload))
+                        next_txn.append(runner.node)
+                        next_txp.append(payload)
+                else:
+                    advance_action(runner, action)
+
+        # Reset the scatter buffer and recycle the emptied slot: newly
+        # populated rounds reuse pooled lists instead of allocating.
+        if tx_count > 1 and counts_list is None:
+            counts.clear()
+        if len(slot_pool) < 64:
+            bucket.clear()
+            tx_nodes.clear()
+            tx_payloads.clear()
+            slot_pool.append(current_slot)
 
     # ------------------------------------------------------------------
     # Collect results.

@@ -17,7 +17,7 @@ the listener observe?*  (Section 1.1 of the paper.)
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Optional
 
 from .observations import BEEP, COLLISION, Observation, SILENCE, message
 
@@ -54,6 +54,28 @@ class CollisionModel(ABC):
     #: beeping variant used by prior beeping-model MIS work [28].
     sender_side_detection: bool = False
 
+    # ------------------------------------------------------------------
+    # Interned resolution table (engine hot path)
+    # ------------------------------------------------------------------
+    # Every concrete model's ``resolve`` is a pure function of the
+    # transmitter count bucketed as {0, 1, >=2}, with the count-1 outcome
+    # either a fixed singleton (beeping) or ``message(lone_payload)``
+    # (payload-carrying models).  The engine reads these three interned
+    # attributes instead of making a virtual ``resolve`` call per
+    # perceiver per round; ``resolve`` remains the definitional
+    # semantics, and ``tests/radio/test_models.py`` asserts the table
+    # agrees with it for every model.
+
+    #: Observation when zero neighbors transmitted.
+    observation_zero: Observation = SILENCE
+
+    #: Observation when exactly one neighbor transmitted, or ``None`` if
+    #: the model delivers the payload (``message(lone_payload)``).
+    observation_one: Optional[Observation] = None
+
+    #: Observation when two or more neighbors transmitted.
+    observation_many: Observation = SILENCE
+
     @abstractmethod
     def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
         """Observation for a listener with ``transmitter_count`` transmitting
@@ -69,6 +91,7 @@ class CDModel(CollisionModel):
     name = "cd"
     detects_collisions = True
     carries_payloads = True
+    observation_many = COLLISION
 
     def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
         if transmitter_count == 0:
@@ -84,6 +107,7 @@ class NoCDModel(CollisionModel):
     name = "no-cd"
     detects_collisions = False
     carries_payloads = True
+    observation_many = SILENCE
 
     def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
         if transmitter_count == 1:
@@ -97,6 +121,8 @@ class BeepModel(CollisionModel):
     name = "beep"
     detects_collisions = True  # a beep reveals that someone transmitted
     carries_payloads = False
+    observation_one = BEEP
+    observation_many = BEEP
 
     def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
         if transmitter_count == 0:

@@ -12,7 +12,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any
 
-__all__ = ["ObservationKind", "Observation", "SILENCE", "COLLISION", "BEEP"]
+__all__ = [
+    "ObservationKind",
+    "Observation",
+    "SILENCE",
+    "COLLISION",
+    "BEEP",
+    "observation_label",
+]
 
 
 class ObservationKind(Enum):
@@ -67,3 +74,20 @@ BEEP = Observation(ObservationKind.BEEP)
 def message(payload: Any) -> Observation:
     """Convenience constructor for a delivered message observation."""
     return Observation(ObservationKind.MESSAGE, payload)
+
+
+#: Precomputed ``str()`` of every payload-free observation kind, so trace
+#: recording does not re-stringify the interned singletons every round.
+_KIND_LABELS = {kind: kind.value for kind in ObservationKind}
+
+
+def observation_label(observation: Observation) -> str:
+    """``str(observation)`` without re-formatting interned singletons.
+
+    Identical output to ``str()`` — message observations still format
+    their payload — but the payload-free kinds return a cached string,
+    keeping ``--trace`` runs from distorting engine timings.
+    """
+    if observation.kind is ObservationKind.MESSAGE:
+        return f"message({observation.payload!r})"
+    return _KIND_LABELS[observation.kind]

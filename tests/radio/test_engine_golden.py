@@ -1,0 +1,157 @@
+"""Golden-equivalence tests: the optimized engine vs the frozen seed engine.
+
+PR 2 rewrote :func:`repro.radio.engine.run_protocol`'s hot path (scatter
+collision resolution, bucketed round calendar, interned observations,
+shape-specialized round loops).  The optimization contract is *bit
+identity*: for every protocol, collision model, seed, trace setting, and
+fault/wake schedule, the new engine must produce a
+:class:`~repro.radio.metrics.RunResult` (and trace event stream) equal to
+the pre-optimization engine, which is preserved verbatim as
+:func:`repro.radio._engine_reference.run_protocol_reference`.
+
+These tests are the enforcement.  If an engine change breaks one, the
+change is wrong — the reference is the specification.
+"""
+
+import pytest
+
+from repro.constants import ConstantsProfile
+from repro.core import (
+    BeepingMISProtocol,
+    CDMISProtocol,
+    LowDegreeMISProtocol,
+    NoCDEnergyMISProtocol,
+    UnknownDeltaMISProtocol,
+)
+from repro.graphs import gnp_random_graph
+from repro.radio import BEEPING, BEEPING_SENDER_CD, CD, NO_CD, Listen, Protocol, Sleep, Transmit, run_protocol
+from repro.radio._engine_reference import run_protocol_reference
+from repro.radio.trace import TraceRecorder
+
+FAST = ConstantsProfile.fast()
+
+GRAPH_MEDIUM = gnp_random_graph(60, 0.15, seed=7)
+GRAPH_SMALL = gnp_random_graph(40, 0.3, seed=11)
+GRAPH_DENSE = gnp_random_graph(200, 0.1, seed=1)
+
+
+def assert_bit_identical(graph, protocol, model, seed, **kwargs):
+    """Run both engines, untraced and traced, and compare everything."""
+    reference = run_protocol_reference(graph, protocol, model, seed=seed, **kwargs)
+    optimized = run_protocol(graph, protocol, model, seed=seed, **kwargs)
+    assert optimized == reference
+
+    ref_trace, opt_trace = TraceRecorder(), TraceRecorder()
+    reference_traced = run_protocol_reference(
+        graph, protocol, model, seed=seed, trace=ref_trace, **kwargs
+    )
+    optimized_traced = run_protocol(
+        graph, protocol, model, seed=seed, trace=opt_trace, **kwargs
+    )
+    assert optimized_traced == reference_traced
+    assert opt_trace.events == ref_trace.events
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+@pytest.mark.parametrize(
+    "graph, protocol_factory, model",
+    [
+        (GRAPH_MEDIUM, lambda: CDMISProtocol(constants=FAST), CD),
+        (GRAPH_MEDIUM, lambda: CDMISProtocol(constants=FAST), BEEPING),
+        (GRAPH_SMALL, lambda: BeepingMISProtocol(constants=FAST), BEEPING),
+        (GRAPH_SMALL, lambda: NoCDEnergyMISProtocol(constants=FAST), NO_CD),
+        (GRAPH_SMALL, lambda: LowDegreeMISProtocol(constants=FAST), NO_CD),
+        (GRAPH_SMALL, lambda: UnknownDeltaMISProtocol(constants=FAST), NO_CD),
+    ],
+    ids=["cd-mis/cd", "cd-mis/beep", "beep-mis/beep", "nocd-mis/no-cd",
+         "lowdeg/no-cd", "unknown-delta/no-cd"],
+)
+def test_protocols_bit_identical(graph, protocol_factory, model, seed):
+    assert_bit_identical(graph, protocol_factory(), model, seed)
+
+
+def test_sender_side_detection_bit_identical():
+    """The sender-side beeping model exercises the generic round loop."""
+    assert_bit_identical(
+        GRAPH_SMALL,
+        BeepingMISProtocol(constants=FAST),
+        BEEPING_SENDER_CD,
+        seed=1,
+        check_model_compatibility=False,
+    )
+
+
+def test_crash_schedule_bit_identical():
+    assert_bit_identical(
+        GRAPH_MEDIUM,
+        CDMISProtocol(constants=FAST),
+        CD,
+        seed=3,
+        crash_schedule={0: 5, 7: 12, 20: 1},
+    )
+
+
+def test_wake_schedule_bit_identical():
+    assert_bit_identical(
+        GRAPH_MEDIUM,
+        CDMISProtocol(constants=FAST),
+        CD,
+        seed=3,
+        wake_schedule={node: node % 4 for node in GRAPH_MEDIUM.nodes},
+    )
+
+
+def test_crash_and_wake_combined_bit_identical():
+    assert_bit_identical(
+        GRAPH_MEDIUM,
+        CDMISProtocol(constants=FAST),
+        CD,
+        seed=4,
+        crash_schedule={1: 9},
+        wake_schedule={node: (node * 3) % 5 for node in GRAPH_MEDIUM.nodes},
+    )
+
+
+class DenseTraffic(Protocol):
+    """Every node alternates transmit/listen — drives the scatter path,
+    including the heavy-round (numpy-accelerated, when available) branch."""
+
+    name = "dense-traffic"
+    compatible_models = ("cd", "no-cd", "beep")
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def run(self, ctx):
+        for index in range(self.rounds):
+            if (index + ctx.node) % 2:
+                yield Transmit()
+            else:
+                yield Listen()
+
+
+class SparseTraffic(Protocol):
+    """Long sleeps between listens — drives the calendar fast-forward."""
+
+    name = "sparse-traffic"
+    compatible_models = ("cd", "no-cd", "beep")
+
+    def __init__(self, beats: int):
+        self.beats = beats
+
+    def run(self, ctx):
+        for _ in range(self.beats):
+            yield Sleep(100_000)
+            yield Listen()
+
+
+@pytest.mark.parametrize("model", [CD, NO_CD, BEEPING], ids=lambda m: m.name)
+@pytest.mark.parametrize("seed", [1, 9])
+def test_dense_traffic_bit_identical(model, seed):
+    assert_bit_identical(GRAPH_DENSE, DenseTraffic(rounds=20), model, seed)
+
+
+def test_sparse_traffic_bit_identical():
+    assert_bit_identical(
+        gnp_random_graph(100, 0.1, seed=2), SparseTraffic(beats=5), CD, seed=2
+    )

@@ -4,11 +4,13 @@ import pytest
 
 from repro.radio import (
     BEEPING,
+    BEEPING_SENDER_CD,
     CD,
     NO_CD,
     ObservationKind,
     model_by_name,
 )
+from repro.radio.observations import message
 
 
 class TestCDModel:
@@ -86,3 +88,24 @@ class TestLookup:
     def test_unknown_name(self):
         with pytest.raises(KeyError):
             model_by_name("quantum")
+
+
+class TestInternedObservationTable:
+    """The engine resolves observations from each model's interned
+    ``observation_zero`` / ``_one`` / ``_many`` attributes instead of
+    calling ``resolve`` per perceiver; the table must therefore agree
+    with ``resolve`` for every count bucket of every model."""
+
+    @pytest.mark.parametrize(
+        "model", [CD, NO_CD, BEEPING, BEEPING_SENDER_CD], ids=lambda m: m.name
+    )
+    def test_table_matches_resolve(self, model):
+        assert model.observation_zero == model.resolve(0, None)
+        if model.observation_one is None:
+            # Payload-carrying count-1 outcome: the engine constructs
+            # ``message(lone_payload)`` itself.
+            assert model.resolve(1, 42) == message(42)
+        else:
+            assert model.observation_one == model.resolve(1, 42)
+        for count in (2, 3, 10):
+            assert model.observation_many == model.resolve(count, None)
