@@ -45,7 +45,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 
 #: JSON schema tag, bumped on layout changes.
-SCHEMA = "bench-engine/1"
+#: /2 adds the ``telemetry_overhead`` section (obs instrumentation cost).
+SCHEMA = "bench-engine/2"
 
 
 class DenseTraffic(Protocol):
@@ -146,6 +147,23 @@ def test_perf_algorithm1_end_to_end(benchmark, constants):
     assert result.is_valid_mis()
 
 
+def test_perf_telemetry_enabled(benchmark):
+    """Dense traffic with telemetry on — compare against the plain
+    dense scenario to see the instrumentation cost (the CLI bench gates
+    it at --max-overhead)."""
+    graph, protocol, model, seed, _ = _dense_scenario()
+
+    result = benchmark(
+        lambda: run_protocol(graph, protocol, model, seed=seed, telemetry=True)
+    )
+    tel = result.telemetry
+    assert tel is not None
+    assert tel.rounds_processed == (
+        tel.zero_tx_rounds + tel.one_tx_rounds
+        + tel.scatter_dict_rounds + tel.scatter_bincount_rounds
+    )
+
+
 # ----------------------------------------------------------------------
 # Standalone CLI
 # ----------------------------------------------------------------------
@@ -191,6 +209,33 @@ def measure(quick=False):
         "python": sys.version.split()[0],
         "headline": HEADLINE_SCENARIO,
         "scenarios": scenarios,
+        "telemetry_overhead": measure_telemetry_overhead(repetitions),
+    }
+
+
+def measure_telemetry_overhead(repetitions):
+    """Cost of ``telemetry=True`` on the headline dense scenario.
+
+    The obs contract is near-zero overhead: the engine's counters are a
+    handful of per-round integer increments, materialized into an
+    :class:`EngineTelemetry` only at collection time.  The CLI's
+    ``--check --max-overhead`` gates the measured fraction in CI.
+    """
+    graph, protocol, model, seed, _ = _dense_scenario()
+    run_protocol(graph, protocol, model, seed=seed, telemetry=True)  # warm
+    disabled_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed), repetitions
+    )
+    enabled_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed, telemetry=True),
+        repetitions,
+    )
+    return {
+        "scenario": HEADLINE_SCENARIO,
+        "repetitions": repetitions,
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "overhead_frac": round(enabled_s / disabled_s - 1.0, 4),
     }
 
 
@@ -230,6 +275,10 @@ def main(argv=None):
                              "--max-regression vs the baseline")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional speedup drop (default 0.30)")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        metavar="FRAC",
+                        help="with --check, also fail if telemetry overhead "
+                             "exceeds this fraction (e.g. 0.05 for 5%%)")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -247,12 +296,27 @@ def main(argv=None):
             f"speedup {entry['speedup']:.2f}x{marker}"
         )
 
+    overhead = report["telemetry_overhead"]
+    print(
+        f"telemetry overhead: disabled {overhead['disabled_s'] * 1e3:.2f}ms  "
+        f"enabled {overhead['enabled_s'] * 1e3:.2f}ms  "
+        f"overhead {overhead['overhead_frac']:+.1%}"
+    )
+
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     if baseline is not None:
         failures = check_regression(report, baseline, args.max_regression)
+        if args.max_overhead is not None:
+            # Gated against the current run only (no baseline needed, so
+            # pre-/2 baselines without the section still work).
+            if overhead["overhead_frac"] > args.max_overhead:
+                failures.append(
+                    f"telemetry overhead {overhead['overhead_frac']:.1%} "
+                    f"exceeds --max-overhead {args.max_overhead:.1%}"
+                )
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)

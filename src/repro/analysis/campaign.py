@@ -32,6 +32,7 @@ from ..constants import ConstantsProfile
 from ..errors import ConfigurationError
 from ..exec.cache import ResultCache
 from ..exec.executor import ProgressCallback
+from ..obs.registry import get_registry
 from ..radio.models import model_by_name
 from .runner import TrialSummary, run_trials
 from .tables import render_table
@@ -224,6 +225,7 @@ def run_campaign(
     spec.validate_names()
     constants = _PROFILES[spec.profile]()
     result = CampaignResult(spec=spec)
+    registry = get_registry()
     for protocol_name in spec.protocols:
         protocol = make_protocol(protocol_name, constants)
         model_name = spec.model or _DEFAULT_MODEL[protocol_name]
@@ -234,16 +236,18 @@ def run_campaign(
                 seeds = [
                     spec.seed + 7_919 * trial + n for trial in range(spec.trials)
                 ]
-                summary: TrialSummary = run_trials(
-                    lambda seed, w=workload, n=n: w.build(n, seed),
-                    protocol,
-                    model,
-                    seeds,
-                    jobs=jobs,
-                    cache=cache,
-                    graph_spec=f"workload:{workload_name}/n={n}",
-                    progress=progress,
-                )
+                with registry.timer("campaign.cell_wall_s").time():
+                    summary: TrialSummary = run_trials(
+                        lambda seed, w=workload, n=n: w.build(n, seed),
+                        protocol,
+                        model,
+                        seeds,
+                        jobs=jobs,
+                        cache=cache,
+                        graph_spec=f"workload:{workload_name}/n={n}",
+                        progress=progress,
+                    )
+                registry.counter("campaign.cells").inc()
                 result.cells.append(
                     CampaignCell(
                         protocol=protocol_name,

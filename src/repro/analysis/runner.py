@@ -32,6 +32,7 @@ from ..exec.executor import (
 )
 from ..exec.seeds import graph_seed, protocol_seed
 from ..graphs.graph import Graph
+from ..obs.registry import get_registry
 from ..radio.engine import run_protocol
 from ..radio.metrics import RunResult
 from ..radio.models import CollisionModel
@@ -203,12 +204,25 @@ def run_trials(
     model_name = model.name
 
     def run_one(seed: int) -> TrialOutcome:
+        # The registry is resolved per call, not per battery: the
+        # executor installs a fresh recording registry around each trial
+        # (including inside fork-pool workers) when telemetry is on.
+        registry = get_registry()
         g_seed, p_seed = _trial_seeds(graph, seed, coupled_seeds)
         current_graph = graph(g_seed) if callable(graph) else graph
         result = run_protocol(
-            current_graph, protocol, model, seed=p_seed, max_rounds=max_rounds
+            current_graph,
+            protocol,
+            model,
+            seed=p_seed,
+            max_rounds=max_rounds,
+            telemetry=registry.enabled,
         )
         report: ValidationReport = validate_run(result)
+        if result.telemetry is not None:
+            result.telemetry.publish(registry)
+            if not report.valid:
+                registry.counter("trials.invalid").inc()
         return TrialOutcome(
             seed=seed,
             valid=report.valid,
@@ -235,15 +249,25 @@ def run_trials(
     if keep_results:
         # Full RunResults are neither cached nor shipped across process
         # boundaries; keep the classic in-process loop for this mode.
+        registry = get_registry()
         outcomes: List[TrialOutcome] = []
         kept: List[RunResult] = []
         for seed in seeds:
             g_seed, p_seed = _trial_seeds(graph, seed, coupled_seeds)
             current_graph = graph(g_seed) if callable(graph) else graph
             result = run_protocol(
-                current_graph, protocol, model, seed=p_seed, max_rounds=max_rounds
+                current_graph,
+                protocol,
+                model,
+                seed=p_seed,
+                max_rounds=max_rounds,
+                telemetry=registry.enabled,
             )
             report = validate_run(result)
+            if result.telemetry is not None:
+                result.telemetry.publish(registry)
+                if not report.valid:
+                    registry.counter("trials.invalid").inc()
             outcomes.append(
                 TrialOutcome(
                     seed=seed,

@@ -6,7 +6,17 @@ Subcommands
 ``sweep``       — size sweep for one algorithm (energy/rounds vs n).
 ``lowerbound``  — the Theorem 1 budget sweep on the hard instance.
 ``experiment``  — run a registered experiment (E1..E12) at quick scale.
+``campaign``    — run a declarative JSON campaign file.
+``obs``         — observability utilities (``obs summarize`` renders a
+                  telemetry JSONL report).
 ``list``        — list algorithms, models, topologies, experiments.
+
+Observability options (``run``/``sweep``/``experiment``/``campaign``):
+``--telemetry PATH`` records runtime telemetry (engine hot-path
+counters, per-trial wall times, cache hits, structured progress) to a
+JSONL file for ``repro-mis obs summarize``; ``--cprofile [DIR]`` wraps
+the command in :mod:`cProfile` and writes a top-N table under ``DIR``
+(default ``benchmarks/results/``).
 """
 
 from __future__ import annotations
@@ -139,8 +149,34 @@ def _cache_from_args(args):
     if not (args.cache or args.resume):
         return None
     from .exec.cache import DEFAULT_CACHE_DIR, ResultCache
+    from .obs.session import current_session
 
-    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    session = current_session()
+    if session is not None:
+        session.watch_cache(cache)
+    return cache
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--telemetry`` / ``--cprofile`` options."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record runtime telemetry (engine counters, trial wall times, "
+        "cache hits, progress) to a JSONL file; render it with "
+        "'repro-mis obs summarize PATH'",
+    )
+    parser.add_argument(
+        "--cprofile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="profile the command with cProfile and write a top-N table "
+        "under DIR (default: benchmarks/results/)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--trials", type=int, default=1)
     _add_execution_options(run_parser)
+    _add_obs_options(run_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="size sweep for one algorithm")
     sweep_parser.add_argument("algorithm", choices=sorted(_PROTOCOLS))
@@ -182,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH", help="also write the sweep as JSON"
     )
     _add_execution_options(sweep_parser)
+    _add_obs_options(sweep_parser)
 
     lb_parser = subparsers.add_parser(
         "lowerbound", help="Theorem 1 budget sweep on the hard instance"
@@ -198,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_parser.add_argument("id", help="experiment id, e.g. E8 (or 'all')")
     _add_execution_options(exp_parser)
+    _add_obs_options(exp_parser)
 
     campaign_parser = subparsers.add_parser(
         "campaign", help="run a declarative JSON campaign file"
@@ -207,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, metavar="PATH", help="also write results as CSV"
     )
     _add_execution_options(campaign_parser)
+    _add_obs_options(campaign_parser)
 
     apps_parser = subparsers.add_parser(
         "apps", help="run a downstream application (backbone | coloring)"
@@ -216,11 +256,29 @@ def build_parser() -> argparse.ArgumentParser:
     apps_parser.add_argument("--topology", default="udg")
     apps_parser.add_argument("--seed", type=int, default=0)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability utilities for telemetry JSONL files"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summarize_parser = obs_sub.add_parser(
+        "summarize", help="render a human-readable report from telemetry JSONL"
+    )
+    summarize_parser.add_argument(
+        "paths", nargs="+", metavar="PATH", help="telemetry JSONL file(s)"
+    )
+    summarize_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on malformed or unknown records instead of skipping them",
+    )
+
     subparsers.add_parser("list", help="list algorithms/models/experiments")
     return parser
 
 
 def _command_run(args, constants: ConstantsProfile) -> int:
+    from .obs.session import current_progress
+
     protocol = make_protocol(args.algorithm, constants)
     model = model_by_name(args.model or _DEFAULT_MODEL[args.algorithm])
     graph_factory = lambda seed: make_graph(args.topology, args.n, seed)  # noqa: E731
@@ -233,12 +291,15 @@ def _command_run(args, constants: ConstantsProfile) -> int:
         jobs=args.jobs,
         cache=_cache_from_args(args),
         graph_spec=f"workload:{args.topology}/n={args.n}",
+        progress=current_progress(),
     )
     print(summary.describe())
     return 0 if summary.failures == 0 else 1
 
 
 def _command_sweep(args, constants: ConstantsProfile) -> int:
+    from .obs.session import current_progress
+
     protocol_name = args.algorithm
     model = model_by_name(args.model or _DEFAULT_MODEL[protocol_name])
     result = run_size_sweep(
@@ -251,6 +312,7 @@ def _command_sweep(args, constants: ConstantsProfile) -> int:
         jobs=args.jobs,
         cache=_cache_from_args(args),
         graph_spec=f"workload:{args.topology}",
+        progress=current_progress(),
     )
     print(result.to_table())
     if len(args.sizes) >= 2:
@@ -313,11 +375,15 @@ def _command_experiment(args, constants: ConstantsProfile) -> int:
 def _command_campaign(args, constants: ConstantsProfile) -> int:
     from .analysis.campaign import load_campaign, run_campaign
     from .errors import ConfigurationError
+    from .obs.session import current_progress
 
     try:
         spec = load_campaign(args.path)
         result = run_campaign(
-            spec, jobs=args.jobs, cache=_cache_from_args(args)
+            spec,
+            jobs=args.jobs,
+            cache=_cache_from_args(args),
+            progress=current_progress(),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -365,6 +431,18 @@ def _command_apps(args, constants: ConstantsProfile) -> int:
     return 0
 
 
+def _command_obs(args, constants: ConstantsProfile) -> int:
+    from .obs.export import SchemaError
+    from .obs.summary import summarize_files
+
+    try:
+        report, count = summarize_files(args.paths, strict=args.strict)
+    except (OSError, SchemaError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report)
+    return 0 if count else 1
+
+
 def _command_list(args, constants: ConstantsProfile) -> int:
     print("algorithms:")
     for name in sorted(_PROTOCOLS):
@@ -378,6 +456,8 @@ def _command_list(args, constants: ConstantsProfile) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from contextlib import ExitStack
+
     parser = build_parser()
     args = parser.parse_args(argv)
     constants = _PROFILES[args.profile]()
@@ -388,9 +468,36 @@ def main(argv: Optional[list] = None) -> int:
         "experiment": _command_experiment,
         "campaign": _command_campaign,
         "apps": _command_apps,
+        "obs": _command_obs,
         "list": _command_list,
     }
-    return handlers[args.command](args, constants)
+    handler = handlers[args.command]
+    telemetry_path = getattr(args, "telemetry", None)
+    cprofile_dir = getattr(args, "cprofile", None)
+    if telemetry_path is None and cprofile_dir is None:
+        return handler(args, constants)
+
+    from .obs.profiler import DEFAULT_PROFILE_DIR, profile_path, profiled
+    from .obs.session import TelemetrySession
+
+    with ExitStack() as stack:
+        if telemetry_path is not None:
+            stack.enter_context(
+                TelemetrySession(
+                    telemetry_path, args.command, argv=list(argv or sys.argv[1:])
+                )
+            )
+        if cprofile_dir is not None:
+            scenario = f"cli_{args.command}"
+            out_dir = cprofile_dir or DEFAULT_PROFILE_DIR
+            table_path = profile_path(scenario, out_dir)
+            # Registered before profiled(): ExitStack unwinds LIFO, so
+            # this prints only after the table file has been written.
+            stack.callback(
+                lambda: print(f"wrote profile {table_path}", file=sys.stderr)
+            )
+            stack.enter_context(profiled(scenario, out_dir=out_dir))
+        return handler(args, constants)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -135,6 +135,15 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_record(self) -> Dict[str, float]:
+        """JSON-serializable form, embedded in telemetry summaries."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
 
 class ResultCache:
     """JSONL-backed key → record store, sharded by key prefix.

@@ -11,6 +11,16 @@ outcomes, with two orthogonal services layered on top:
   :class:`ProgressEvent` snapshots (trials done, cache hits, elapsed,
   ETA) as the battery advances.
 
+When a recording :class:`~repro.obs.registry.Registry` is installed
+(``repro.obs.recording`` / the CLI's ``--telemetry``), every battery is
+instrumented for free: per-trial wall times, computed-vs-cache-hit
+counts, and battery wall time land in the registry, and each trial runs
+against its own fresh worker registry whose snapshot is merged back into
+the parent's — so engine telemetry recorded inside fork-pool workers
+aggregates exactly as in sequential runs.  With the default
+:class:`~repro.obs.registry.NullRegistry` installed, none of this
+machinery activates.
+
 Both implementations produce outcomes in seed order;
 :class:`ProcessPoolExecutor` is bit-identical to
 :class:`SequentialExecutor` because each trial depends only on its own
@@ -30,6 +40,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.registry import Registry, get_registry, recording
 from .cache import ResultCache
 from .pool import fork_available, run_in_pool
 
@@ -96,6 +107,23 @@ class TrialExecutor(ABC):
         cache_hits = 0
         start = time.monotonic()
 
+        registry = get_registry()
+        instrument = registry.enabled
+        if instrument:
+            # Each trial records into its own fresh registry (installed
+            # around the call, so it is also what fork-pool workers see)
+            # and ships (outcome, wall seconds, snapshot) back; the
+            # parent-side merge in on_result below makes pooled and
+            # sequential telemetry identical.
+            base_run_one = run_one
+
+            def run_one(seed: int) -> Tuple[Any, float, Dict]:
+                with recording(Registry()) as trial_registry:
+                    begin = time.perf_counter()
+                    outcome = base_run_one(seed)
+                    elapsed = time.perf_counter() - begin
+                return outcome, elapsed, trial_registry.snapshot()
+
         for index, seed in enumerate(seeds):
             key = None
             if cache is not None and key_for is not None:
@@ -128,6 +156,11 @@ class TrialExecutor(ABC):
 
         def on_result(index: int, outcome: Any) -> None:
             nonlocal done
+            if instrument:
+                outcome, elapsed, snapshot = outcome
+                registry.merge(snapshot)
+                registry.histogram("exec.trial_wall_s").observe(elapsed)
+                registry.counter("exec.trials.computed").inc()
             results[index] = outcome
             key = keys.get(index)
             if key is not None and cache is not None:
@@ -137,6 +170,14 @@ class TrialExecutor(ABC):
 
         if pending:
             self._dispatch(run_one, pending, on_result)
+        if instrument:
+            registry.counter("exec.batteries").inc()
+            registry.counter("exec.trials.total").inc(total)
+            registry.counter("exec.trials.cache_hits").inc(cache_hits)
+            registry.histogram("exec.jobs").observe(self.jobs)
+            registry.histogram("exec.battery_wall_s").observe(
+                time.monotonic() - start
+            )
         return results
 
     @abstractmethod

@@ -19,6 +19,8 @@ import math
 import multiprocessing
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs.registry import get_registry
+
 __all__ = ["fork_available", "partition_chunks", "run_in_pool"]
 
 IndexedSeed = Tuple[int, int]  # (position in the seed list, master seed)
@@ -82,6 +84,11 @@ def run_in_pool(
         return []
     context = multiprocessing.get_context("fork")
     workers = max(1, min(jobs, len(chunks)))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("exec.pool.batches").inc()
+        registry.counter("exec.pool.chunks").inc(len(chunks))
+        registry.histogram("exec.pool.workers").observe(workers)
     results: List[Tuple[int, Any]] = []
     with context.Pool(
         processes=workers, initializer=_init_worker, initargs=(run_one,)

@@ -1,0 +1,305 @@
+"""Zero-overhead-when-disabled metric registry.
+
+The registry mirrors the engine's :class:`~repro.radio.trace.NullTrace`
+pattern: observability is strictly opt-in.  By default the process-wide
+current registry is a :class:`NullRegistry` whose instruments are inert
+singletons — ``counter(...).inc()`` is two no-op calls, no names are
+interned, no state accumulates — so instrumented code paths cost nothing
+measurable when nobody is watching.  Installing a recording
+:class:`Registry` (usually via the :func:`recording` context manager,
+which the CLI's ``--telemetry`` option wraps around a command) turns the
+same call sites into real measurements.
+
+Instruments
+-----------
+* :class:`Counter` — a monotonically increasing integer (fast-path hits,
+  trials executed, cache hits, per-component energy, ...).
+* :class:`Histogram` — running count/sum/min/max of observed samples
+  (per-trial wall times, engine wall times, ...).
+* :class:`Timer` — a histogram plus a ``with timer.time():`` context
+  manager that observes elapsed seconds.
+
+Merging across processes
+------------------------
+Instruments are process-local.  To aggregate over pool workers, a worker
+records into its own fresh ``Registry`` and ships
+:meth:`Registry.snapshot` (plain dicts, picklable) back to the parent,
+which folds it in with :meth:`Registry.merge` — counters add, histograms
+combine exactly (count/sum add, min/max extremize).  The executor layer
+does this automatically for every trial (see
+:meth:`repro.exec.executor.TrialExecutor.execute`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Timer",
+    "Registry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "recording",
+]
+
+
+class Counter:
+    """Monotonic integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Running count/sum/min/max over observed samples."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_record(self) -> Dict[str, float]:
+        """Plain-dict form used by snapshots and the JSONL export."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def merge_record(self, record: Dict[str, float]) -> None:
+        """Fold another histogram's :meth:`to_record` into this one."""
+        count = int(record.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(record.get("sum", 0.0))
+        for bound, pick in (("min", min), ("max", max)):
+            other = record.get(bound)
+            if other is None:
+                continue
+            mine = self.minimum if bound == "min" else self.maximum
+            merged = float(other) if mine is None else pick(mine, float(other))
+            if bound == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.6g})"
+
+
+class Timer(Histogram):
+    """Histogram of elapsed seconds with a timing context manager."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+
+class Registry:
+    """Name-interned instrument store.
+
+    ``counter``/``histogram``/``timer`` return the *same* object for the
+    same name, so call sites can re-fetch instruments cheaply instead of
+    threading references around.  A name belongs to exactly one
+    instrument kind; reusing it across kinds raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (interned by name)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram/timer")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            instrument = self._histograms[name] = Timer(name)
+        elif not isinstance(instrument, Timer):
+            raise ValueError(f"{name!r} is already a plain histogram")
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, int]:
+        """Counter name -> value, sorted by name."""
+        return {
+            name: self._counters[name].value for name in sorted(self._counters)
+        }
+
+    def histogram_records(self) -> Dict[str, Dict[str, float]]:
+        """Histogram name -> :meth:`Histogram.to_record`, sorted by name."""
+        return {
+            name: self._histograms[name].to_record()
+            for name in sorted(self._histograms)
+        }
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Picklable plain-dict view of every instrument."""
+        return {
+            "counters": self.counter_values(),
+            "histograms": self.histogram_records(),
+        }
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a pool worker) into this
+        registry: counters add, histograms combine exactly."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, record in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_record(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
+
+class NullRegistry(Registry):
+    """Inert registry: every instrument is a shared no-op singleton.
+
+    Mirrors :class:`~repro.radio.trace.NullTrace` — instrumented code
+    runs unchanged, records nothing, allocates nothing per call.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_timer = _NullTimer("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def histogram(self, name: str) -> Histogram:
+        return self._null_timer
+
+    def timer(self, name: str) -> Timer:
+        return self._null_timer
+
+    def counter_values(self) -> Dict[str, int]:
+        return {}
+
+    def histogram_records(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        pass
+
+
+#: The shared inert registry (safe to use from any thread/process).
+NULL_REGISTRY = NullRegistry()
+
+_current: Registry = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The process-wide current registry (the null registry by default)."""
+    return _current
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Install ``registry`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = registry
+    return previous
+
+
+@contextmanager
+def recording(registry: Optional[Registry] = None) -> Iterator[Registry]:
+    """Install a recording registry for a code region.
+
+    ``with recording() as reg:`` makes ``reg`` the current registry for
+    the block (a fresh :class:`Registry` unless one is passed) and
+    restores the previous current registry afterwards, even on error.
+    """
+    if registry is None:
+        registry = Registry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,99 @@
+"""Per-run engine telemetry: what the round-engine hot path actually did.
+
+PR 2's engine overhaul (scatter collision resolution, bucketed round
+calendar, numpy bincount accelerator) left the hot path a black box.
+:class:`EngineTelemetry` is its flight recorder: one cheap per-round
+counter set, materialized on :attr:`repro.radio.metrics.RunResult.
+telemetry` when a run is invoked with ``telemetry=True`` and ``None``
+otherwise.  The field is excluded from ``RunResult`` equality, so
+telemetry-enabled runs stay bit-identical to the frozen reference engine
+(the golden tests enforce this).
+
+The per-protocol-component energy aggregate exposes the quantities the
+paper's analyses budget directly (per-phase awake rounds, the
+Ghaffari–Portmann / Cornejo–Kuhn accounting style) without every
+benchmark recomputing them from per-node ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .registry import Registry
+
+__all__ = ["EngineTelemetry"]
+
+
+@dataclass
+class EngineTelemetry:
+    """Counters for one :func:`repro.radio.engine.run_protocol` run.
+
+    Round-shape counters partition the processed (populated) rounds:
+    ``rounds_processed == zero_tx_rounds + one_tx_rounds +
+    scatter_dict_rounds + scatter_bincount_rounds``.
+    """
+
+    #: Populated rounds the main loop processed.
+    rounds_processed: int = 0
+    #: Empty rounds the calendar clock jumped over (sleep fast-forward).
+    rounds_skipped: int = 0
+    #: Rounds resolved by the 0-transmitter fast path (silence for all).
+    zero_tx_rounds: int = 0
+    #: Rounds resolved by the lone-transmitter fast path.
+    one_tx_rounds: int = 0
+    #: Multi-transmitter rounds tallied by the dict scatter.
+    scatter_dict_rounds: int = 0
+    #: Multi-transmitter rounds tallied by the numpy weighted bincount.
+    scatter_bincount_rounds: int = 0
+    #: Distinct-round heap pushes (calendar slot creations).
+    heap_pushes: int = 0
+    #: Calendar slots served from the slot pool.
+    slot_reuses: int = 0
+    #: Calendar slots freshly allocated (pool empty).
+    slot_allocs: int = 0
+    #: Wall-clock duration of the run, seconds.
+    wall_s: float = 0.0
+    #: Aggregate energy ledger over all nodes, by protocol component.
+    energy_by_component: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> int:
+        """Sum of the per-component energy ledger (== awake node-rounds)."""
+        return sum(self.energy_by_component.values())
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-serializable flat record (the JSONL ``run`` payload)."""
+        return {
+            "rounds_processed": self.rounds_processed,
+            "rounds_skipped": self.rounds_skipped,
+            "zero_tx_rounds": self.zero_tx_rounds,
+            "one_tx_rounds": self.one_tx_rounds,
+            "scatter_dict_rounds": self.scatter_dict_rounds,
+            "scatter_bincount_rounds": self.scatter_bincount_rounds,
+            "heap_pushes": self.heap_pushes,
+            "slot_reuses": self.slot_reuses,
+            "slot_allocs": self.slot_allocs,
+            "wall_s": self.wall_s,
+            "energy_by_component": dict(self.energy_by_component),
+        }
+
+    def publish(self, registry: Registry) -> None:
+        """Accumulate this run into ``registry`` under ``engine.*`` names."""
+        registry.counter("engine.runs").inc()
+        registry.counter("engine.rounds.processed").inc(self.rounds_processed)
+        registry.counter("engine.rounds.skipped").inc(self.rounds_skipped)
+        registry.counter("engine.rounds.zero_tx").inc(self.zero_tx_rounds)
+        registry.counter("engine.rounds.one_tx").inc(self.one_tx_rounds)
+        registry.counter("engine.rounds.scatter_dict").inc(
+            self.scatter_dict_rounds
+        )
+        registry.counter("engine.rounds.scatter_bincount").inc(
+            self.scatter_bincount_rounds
+        )
+        registry.counter("engine.calendar.heap_pushes").inc(self.heap_pushes)
+        registry.counter("engine.calendar.slot_reuses").inc(self.slot_reuses)
+        registry.counter("engine.calendar.slot_allocs").inc(self.slot_allocs)
+        for component, rounds in sorted(self.energy_by_component.items()):
+            registry.counter(f"engine.energy.{component}").inc(rounds)
+        registry.histogram("engine.wall_s").observe(self.wall_s)

@@ -50,6 +50,14 @@ The pre-optimization engine is preserved verbatim in
 ``repro.radio._engine_reference`` and the golden tests in
 ``tests/radio/test_engine_golden.py`` assert both produce bit-identical
 :class:`~repro.radio.metrics.RunResult`s and traces.
+
+Telemetry (PR 3): ``run_protocol(..., telemetry=True)`` attaches an
+:class:`~repro.obs.telemetry.EngineTelemetry` — which fast path resolved
+each round, calendar heap/slot-pool behaviour, rounds the clock jumped,
+per-component energy, wall time — to ``RunResult.telemetry``.  The
+counters tick at per-round granularity, never per node per round, and
+never branch on observations or RNG, so results are bit-identical with
+telemetry on or off (the golden and property tests enforce both).
 """
 
 from __future__ import annotations
@@ -72,8 +80,11 @@ try:  # Optional dense-round scatter accelerator; dict scatter is the fallback.
 except ImportError:  # pragma: no cover - numpy-less environments
     _np = None
 
+from time import perf_counter
+
 from ..errors import MessageSizeError, ProtocolError, SimulationError
 from ..graphs.graph import Graph
+from ..obs.telemetry import EngineTelemetry
 from .actions import TAG_LISTEN, TAG_SLEEP, TAG_SLEEP_UNTIL, TAG_TRANSMIT
 from .metrics import NodeStats, RunResult
 from .models import CollisionModel
@@ -145,6 +156,7 @@ def run_protocol(
     check_model_compatibility: bool = True,
     crash_schedule: Optional[Dict[int, int]] = None,
     wake_schedule: Optional[Dict[int, int]] = None,
+    telemetry: bool = False,
 ) -> RunResult:
     """Simulate ``protocol`` on every node of ``graph`` under ``model``.
 
@@ -187,6 +199,14 @@ def run_protocol(
         clock, ``ctx.now``, starts there too).  The paper assumes
         synchronous wake-up (all zeros); this knob quantifies how much
         that assumption carries (experiment A3).
+    telemetry:
+        When true, attach an :class:`~repro.obs.telemetry.
+        EngineTelemetry` (hot-path counters, calendar behaviour,
+        per-component energy, wall time) to the result's ``telemetry``
+        field.  The run itself is bit-identical either way: the counters
+        maintained for it are a handful of per-round integer increments
+        that never touch RNG state, scheduling order, or observations,
+        and the field is excluded from ``RunResult`` equality.
     """
     if check_model_compatibility and model.name not in protocol.compatible_models:
         raise SimulationError(
@@ -246,6 +266,21 @@ def run_protocol(
     np_scatter_threshold = 400 + (total_directed + 2 * num_nodes) // 10
     scatter_arrays = None  # (targets, sources, tx_vector), built lazily
 
+    # Hot-path telemetry (see EngineTelemetry).  All counters tick at
+    # per-round (or per-slot-creation) granularity — never per node per
+    # round — so maintaining them unconditionally costs a few integer
+    # increments per processed round; the zero-transmitter and
+    # clock-jump counts are derived after the loop rather than paid
+    # inside it.
+    tel_one_tx = 0
+    tel_scatter_dict = 0
+    tel_scatter_np = 0
+    tel_heap_pushes = 0
+    tel_slot_reuses = 0
+    tel_slot_allocs = 0
+    tel_rounds = 0
+    tel_start = perf_counter() if telemetry else 0.0
+
     # ------------------------------------------------------------------
     # Boot every node: build its context, pull the first action.
     # ------------------------------------------------------------------
@@ -271,6 +306,7 @@ def run_protocol(
         ``action`` would execute.  Consecutive sleeps collapse without
         touching the calendar.
         """
+        nonlocal tel_heap_pushes, tel_slot_reuses, tel_slot_allocs
         ctx = runner.ctx
         send = runner.send
         while True:
@@ -296,9 +332,15 @@ def run_protocol(
                 when = ctx._now
                 slot = calendar_get(when)
                 if slot is None:
-                    slot = slot_pool.pop() if slot_pool else ([], [], [])
+                    if slot_pool:
+                        slot = slot_pool.pop()
+                        tel_slot_reuses += 1
+                    else:
+                        slot = ([], [], [])
+                        tel_slot_allocs += 1
                     calendar[when] = slot
                     heappush(round_heap, when)
+                    tel_heap_pushes += 1
                 if tag == TAG_TRANSMIT:
                     payload = action.payload
                     if message_bits is not None:
@@ -365,6 +407,12 @@ def run_protocol(
     # checks before scheduling.
     fast_schedule = crash_schedule is None and message_bits is None
 
+    # Populated rounds are processed in increasing order, so the span
+    # [first processed, last processed] minus the processed count is the
+    # number of rounds the calendar clock jumped over.
+    first_round = round_heap[0] if round_heap else 0
+    last_round = first_round
+
     while round_heap:
         current_round = round_heap[0]
         if current_round >= max_rounds:
@@ -379,6 +427,8 @@ def run_protocol(
         current_slot = calendar.pop(current_round)
         bucket, tx_nodes, tx_payloads = current_slot
         tx_count = len(tx_nodes)
+        tel_rounds += 1
+        last_round = current_round
 
         # Collision resolution.  0- and 1-transmitter rounds need no
         # scatter: everyone hears silence, or membership in the lone
@@ -393,6 +443,7 @@ def run_protocol(
         tx_map: Optional[Dict[int, Any]] = None
         counts_list: Optional[List[float]] = None
         if tx_count == 1:
+            tel_one_tx += 1
             lone_neighbors = neighbor_sets[tx_nodes[0]]
             lone_observation = (
                 message(tx_payloads[0]) if obs_one is None else obs_one
@@ -402,6 +453,7 @@ def run_protocol(
                 use_np_scatter
                 and sum(map(degrees_at, tx_nodes)) > np_scatter_threshold
             ):
+                tel_scatter_np += 1
                 if scatter_arrays is None:
                     targets = _np.fromiter(
                         chain_from_iterable(adjacency),
@@ -419,6 +471,7 @@ def run_protocol(
                 ).tolist()
                 tx_vector[tx_nodes] = 0.0
             else:
+                tel_scatter_dict += 1
                 # One C-level pipeline: index the adjacency tuples, chain
                 # them, and tally — no Python-level per-transmitter loop.
                 _count_elements(
@@ -586,9 +639,15 @@ def run_protocol(
                     if next_slot is None:
                         next_slot = calendar_get(next_round)
                         if next_slot is None:
-                            next_slot = slot_pool.pop() if slot_pool else ([], [], [])
+                            if slot_pool:
+                                next_slot = slot_pool.pop()
+                                tel_slot_reuses += 1
+                            else:
+                                next_slot = ([], [], [])
+                                tel_slot_allocs += 1
                             calendar[next_round] = next_slot
                             heappush(round_heap, next_round)
+                            tel_heap_pushes += 1
                         next_bucket, next_txn, next_txp = next_slot
                     if tag == TAG_LISTEN:
                         next_bucket.append((runner, _LISTEN))
@@ -613,6 +672,30 @@ def run_protocol(
     # ------------------------------------------------------------------
     # Collect results.
     # ------------------------------------------------------------------
+    run_telemetry: Optional[EngineTelemetry] = None
+    if telemetry:
+        energy_totals: Dict[str, int] = {}
+        energy_totals_get = energy_totals.get
+        for runner in runners:
+            for component, charged in runner.ctx.energy_by_component.items():
+                energy_totals[component] = energy_totals_get(component, 0) + charged
+        run_telemetry = EngineTelemetry(
+            rounds_processed=tel_rounds,
+            rounds_skipped=(
+                (last_round - first_round + 1) - tel_rounds if tel_rounds else 0
+            ),
+            zero_tx_rounds=(
+                tel_rounds - tel_one_tx - tel_scatter_dict - tel_scatter_np
+            ),
+            one_tx_rounds=tel_one_tx,
+            scatter_dict_rounds=tel_scatter_dict,
+            scatter_bincount_rounds=tel_scatter_np,
+            heap_pushes=tel_heap_pushes,
+            slot_reuses=tel_slot_reuses,
+            slot_allocs=tel_slot_allocs,
+            wall_s=perf_counter() - tel_start,
+            energy_by_component=energy_totals,
+        )
     stats = tuple(
         NodeStats(
             node=runner.node,
@@ -634,4 +717,5 @@ def run_protocol(
         rounds=rounds,
         node_stats=stats,
         node_info=tuple(runner.ctx.info for runner in runners),
+        telemetry=run_telemetry,
     )

@@ -9,26 +9,71 @@ per-node breakdowns and the instrumentation protocols recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..graphs.graph import Graph
+from ..obs.telemetry import EngineTelemetry
 from .node import Decision
 
-__all__ = ["NodeStats", "RunResult"]
+__all__ = ["FrozenLedger", "NodeStats", "RunResult"]
+
+
+class FrozenLedger(dict):
+    """Immutable, hashable ``component -> rounds`` energy ledger.
+
+    :class:`NodeStats` is a frozen dataclass, but historically carried a
+    plain mutable ``Dict`` — so "frozen" stats could be silently edited
+    in place and ``hash(stats)`` raised.  A ``dict`` subclass keeps
+    every read path (``items()``, equality with plain dicts, JSON
+    serialization) intact while all mutators raise ``TypeError``.
+    """
+
+    __slots__ = ()
+
+    def _immutable(self, *args: Any, **kwargs: Any) -> None:
+        raise TypeError(
+            "NodeStats.energy_by_component is immutable; "
+            "build a new NodeStats instead of mutating the ledger"
+        )
+
+    __setitem__ = _immutable
+    __delitem__ = _immutable
+    __ior__ = _immutable
+    clear = _immutable
+    pop = _immutable
+    popitem = _immutable
+    setdefault = _immutable
+    update = _immutable
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(frozenset(self.items()))
 
 
 @dataclass(frozen=True)
 class NodeStats:
-    """Per-node accounting for one run."""
+    """Per-node accounting for one run.
+
+    Fully immutable (and therefore hashable): the energy ledger is
+    coerced to a :class:`FrozenLedger` on construction, whatever mapping
+    the caller passed.
+    """
 
     node: int
     transmit_rounds: int
     listen_rounds: int
     finish_round: int
     decision: Decision
-    energy_by_component: Dict[str, int] = field(default_factory=dict)
+    energy_by_component: Mapping[str, int] = field(default_factory=dict)
     #: True iff the node was crash-stopped by fault injection.
     crashed: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.energy_by_component, FrozenLedger):
+            object.__setattr__(
+                self,
+                "energy_by_component",
+                FrozenLedger(self.energy_by_component),
+            )
 
     @property
     def awake_rounds(self) -> int:
@@ -45,6 +90,13 @@ class RunResult:
     ledger.  ``node_info`` holds each node's free-form instrumentation
     dict (phase logs, statuses, ...), used by the lemma-validation
     experiments.
+
+    ``telemetry`` carries the engine's hot-path flight recorder
+    (:class:`~repro.obs.telemetry.EngineTelemetry`) when the run was
+    invoked with ``telemetry=True`` and ``None`` otherwise.  It is
+    excluded from equality so telemetry-enabled runs compare equal to
+    the frozen reference engine's output (the golden tests rely on
+    this).
     """
 
     graph: Graph
@@ -54,6 +106,9 @@ class RunResult:
     rounds: int
     node_stats: Tuple[NodeStats, ...]
     node_info: Tuple[Dict[str, Any], ...]
+    telemetry: Optional[EngineTelemetry] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # MIS output

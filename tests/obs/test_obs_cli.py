@@ -1,0 +1,117 @@
+"""End-to-end CLI tests: ``--telemetry`` / ``--cprofile`` on real
+commands, then ``repro-mis obs summarize`` on the produced file."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import read_jsonl
+from repro.obs.registry import NULL_REGISTRY, get_registry
+
+
+def run_with_telemetry(path, extra=()):
+    argv = [
+        "--profile", "fast", "run", "cd-mis",
+        "--n", "12", "--trials", "2", "--telemetry", str(path), *extra,
+    ]
+    assert main(argv) == 0
+    return read_jsonl(path, strict=True)  # strict: schema must validate
+
+
+class TestTelemetryOption:
+    def test_run_writes_valid_jsonl(self, tmp_path):
+        records = run_with_telemetry(tmp_path / "t.jsonl")
+        types = [record["type"] for record in records]
+        assert types[0] == "meta"
+        assert types[-1] == "summary"
+        assert "progress" in types
+        summary = records[-1]
+        assert summary["counters"]["engine.runs"] == 2
+        assert summary["counters"]["exec.trials.total"] == 2
+        # The fast-path breakdown partitions the processed rounds.
+        counters = summary["counters"]
+        assert counters["engine.rounds.processed"] == (
+            counters.get("engine.rounds.zero_tx", 0)
+            + counters.get("engine.rounds.one_tx", 0)
+            + counters.get("engine.rounds.scatter_dict", 0)
+            + counters.get("engine.rounds.scatter_bincount", 0)
+        )
+        assert summary["histograms"]["engine.wall_s"]["count"] == 2
+
+    def test_session_restores_null_registry(self, tmp_path):
+        assert get_registry() is NULL_REGISTRY
+        run_with_telemetry(tmp_path / "t.jsonl")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_cache_stats_land_in_summary(self, tmp_path):
+        extra = ("--cache", "--cache-dir", str(tmp_path / "cache"))
+        run_with_telemetry(tmp_path / "one.jsonl", extra)
+        records = run_with_telemetry(tmp_path / "two.jsonl", extra)
+        cache = records[-1]["cache"]
+        assert cache["hits"] == 2 and cache["misses"] == 0
+        assert records[-1]["counters"]["exec.trials.cache_hits"] == 2
+
+    def test_pooled_run_merges_worker_counters(self, tmp_path):
+        records = run_with_telemetry(tmp_path / "t.jsonl", ("--jobs", "2"))
+        counters = records[-1]["counters"]
+        assert counters["engine.runs"] == 2
+        assert counters["exec.trials.computed"] == 2
+
+
+class TestObsSummarize:
+    def test_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_with_telemetry(path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "rounds processed" in out
+        assert "energy by component" in out
+        assert "trials: 2 total" in out
+
+    def test_multiple_files(self, tmp_path, capsys):
+        one, two = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_with_telemetry(one)
+        run_with_telemetry(two)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(one), str(two)]) == 0
+        out = capsys.readouterr().out
+        assert str(one) in out and str(two) in out
+
+    def test_missing_file_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize", str(tmp_path / "nope.jsonl")])
+
+    def test_strict_mode_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize", "--strict", str(path)])
+        # Tolerant mode renders (exit 1: no usable records).
+        assert main(["obs", "summarize", str(path)]) == 1
+
+
+class TestCProfileOption:
+    def test_writes_profile_table(self, tmp_path):
+        out_dir = tmp_path / "profiles"
+        argv = [
+            "--profile", "fast", "run", "cd-mis",
+            "--n", "10", "--trials", "1", "--cprofile", str(out_dir),
+        ]
+        assert main(argv) == 0
+        table = out_dir / "profile_cli_run.txt"
+        assert table.exists()
+        content = table.read_text()
+        assert "cProfile: cli_run" in content
+        assert "cumulative" in content
+
+    def test_combines_with_telemetry(self, tmp_path):
+        argv = [
+            "--profile", "fast", "run", "cd-mis", "--n", "10", "--trials", "1",
+            "--telemetry", str(tmp_path / "t.jsonl"),
+            "--cprofile", str(tmp_path / "profiles"),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "profiles" / "profile_cli_run.txt").exists()
+        records = read_jsonl(tmp_path / "t.jsonl", strict=True)
+        assert records[-1]["type"] == "summary"

@@ -1,0 +1,188 @@
+"""Tests for the metric registry: instruments, interning, null parity,
+cross-process snapshot/merge."""
+
+import pickle
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    NullRegistry,
+    Registry,
+    Timer,
+    get_registry,
+    recording,
+    set_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        hist = Histogram("wall")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("empty").mean == 0.0
+
+    def test_timer_observes_elapsed_seconds(self):
+        timer = Timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_histogram_record_round_trip(self):
+        hist = Histogram("a")
+        hist.observe(2.0)
+        hist.observe(5.0)
+        other = Histogram("b")
+        other.observe(1.0)
+        other.merge_record(hist.to_record())
+        assert other.count == 3
+        assert other.total == 8.0
+        assert other.minimum == 1.0
+        assert other.maximum == 5.0
+
+    def test_merge_empty_record_is_noop(self):
+        hist = Histogram("a")
+        hist.merge_record(Histogram("empty").to_record())
+        assert hist.count == 0
+        assert hist.minimum is None
+
+
+class TestRegistry:
+    def test_instruments_are_interned_by_name(self):
+        registry = Registry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.timer("t") is registry.timer("t")
+
+    def test_name_kind_collisions_raise(self):
+        registry = Registry()
+        registry.counter("x")
+        registry.histogram("h")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        with pytest.raises(ValueError):
+            registry.timer("x")
+        with pytest.raises(ValueError):
+            registry.counter("h")
+        with pytest.raises(ValueError):
+            registry.timer("h")  # plain histogram, not a timer
+
+    def test_counter_values_sorted(self):
+        registry = Registry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        assert list(registry.counter_values()) == ["a", "b"]
+        assert registry.counter_values() == {"a": 1, "b": 2}
+
+    def test_snapshot_is_picklable(self):
+        registry = Registry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(1.5)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_merge_simulated_pool_workers(self):
+        # Two "workers" record independently; the parent folds both
+        # snapshots in — counters add, histograms combine exactly.
+        parent = Registry()
+        for trials, walls in ((2, [0.5, 1.5]), (3, [0.25, 0.75, 2.0])):
+            worker = Registry()
+            worker.counter("trials").inc(trials)
+            for wall in walls:
+                worker.histogram("wall").observe(wall)
+            parent.merge(worker.snapshot())
+        assert parent.counter("trials").value == 5
+        wall = parent.histogram("wall")
+        assert wall.count == 5
+        assert wall.total == 5.0
+        assert wall.minimum == 0.25
+        assert wall.maximum == 2.0
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        null.counter("x").inc(10)
+        null.histogram("h").observe(1.0)
+        with null.timer("t").time():
+            pass
+        assert null.counter_values() == {}
+        assert null.histogram_records() == {}
+        assert null.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_merge_is_noop(self):
+        null = NullRegistry()
+        null.merge({"counters": {"x": 5}, "histograms": {}})
+        assert null.counter_values() == {}
+
+    def test_instruments_are_shared_singletons(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+        assert null.timer("a") is null.histogram("b")
+
+    def test_null_recording_parity(self):
+        """The same instrumented code runs under both registries; only
+        the recording one accumulates state."""
+
+        def instrumented(registry):
+            registry.counter("events").inc(7)
+            with registry.timer("span").time():
+                registry.histogram("size").observe(42.0)
+
+        null, real = NullRegistry(), Registry()
+        instrumented(null)
+        instrumented(real)
+        assert null.snapshot() == {"counters": {}, "histograms": {}}
+        assert real.counter_values() == {"events": 7}
+        assert real.histogram_records()["size"]["count"] == 1
+
+
+class TestCurrentRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert get_registry().enabled is False
+
+    def test_set_registry_returns_previous(self):
+        registry = Registry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            assert set_registry(previous) is registry
+        assert get_registry() is previous
+
+    def test_recording_scopes_and_restores(self):
+        before = get_registry()
+        with recording() as registry:
+            assert get_registry() is registry
+            assert registry.enabled
+            registry.counter("x").inc()
+        assert get_registry() is before
+        assert registry.counter("x").value == 1
+
+    def test_recording_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert get_registry() is before

@@ -4,7 +4,7 @@ import pytest
 
 from repro.graphs import path_graph
 from repro.radio import Decision
-from repro.radio.metrics import NodeStats, RunResult
+from repro.radio.metrics import FrozenLedger, NodeStats, RunResult
 
 
 def make_result(decisions, energies, rounds=10):
@@ -104,3 +104,61 @@ class TestSummary:
         assert "MIS-OK" in valid.summary()
         invalid = make_result([Decision.UNDECIDED, Decision.UNDECIDED], [1, 1])
         assert "INVALID" in invalid.summary()
+
+
+class TestFrozenLedger:
+    """Regression: NodeStats is frozen=True, so its energy ledger must be
+    immutable and hashable too (a plain dict field silently allowed
+    mutation and broke hash()).
+    """
+
+    def make_stats(self, ledger=None):
+        return NodeStats(
+            node=0,
+            transmit_rounds=1,
+            listen_rounds=2,
+            finish_round=5,
+            decision=Decision.IN_MIS,
+            energy_by_component=ledger or {"competition": 2, "check": 1},
+        )
+
+    def test_ledger_is_coerced_to_frozen(self):
+        stats = self.make_stats()
+        assert isinstance(stats.energy_by_component, FrozenLedger)
+
+    def test_mutation_raises(self):
+        ledger = self.make_stats().energy_by_component
+        with pytest.raises(TypeError):
+            ledger["competition"] = 99
+        with pytest.raises(TypeError):
+            del ledger["check"]
+        with pytest.raises(TypeError):
+            ledger.update({"extra": 1})
+        with pytest.raises(TypeError):
+            ledger.pop("check")
+        with pytest.raises(TypeError):
+            ledger.clear()
+        with pytest.raises(TypeError):
+            ledger.setdefault("other", 0)
+
+    def test_stats_are_hashable(self):
+        a, b = self.make_stats(), self.make_stats()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_ledger_equals_plain_dict(self):
+        ledger = self.make_stats().energy_by_component
+        assert ledger == {"competition": 2, "check": 1}
+        assert dict(ledger) == {"competition": 2, "check": 1}
+
+    def test_ledger_hash_matches_contents(self):
+        one = FrozenLedger({"a": 1, "b": 2})
+        two = FrozenLedger({"b": 2, "a": 1})
+        assert hash(one) == hash(two)
+
+    def test_ledger_json_round_trip(self):
+        import json
+
+        ledger = self.make_stats().energy_by_component
+        assert json.loads(json.dumps(ledger)) == dict(ledger)
