@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.constants import ConstantsProfile
 from repro.core import CDMISProtocol
+from repro.faults import FaultPlan
 from repro.graphs import gnp_random_graph
 from repro.radio import CD, Listen, Protocol, Sleep, Transmit, run_protocol
 from repro.radio._engine_reference import run_protocol_reference
@@ -46,7 +47,8 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 
 #: JSON schema tag, bumped on layout changes.
 #: /2 adds the ``telemetry_overhead`` section (obs instrumentation cost).
-SCHEMA = "bench-engine/2"
+#: /3 adds the ``fault_overhead`` section (no-op FaultPlan fast-path cost).
+SCHEMA = "bench-engine/3"
 
 
 class DenseTraffic(Protocol):
@@ -147,6 +149,20 @@ def test_perf_algorithm1_end_to_end(benchmark, constants):
     assert result.is_valid_mis()
 
 
+def test_perf_noop_fault_plan(benchmark):
+    """Dense traffic with an empty FaultPlan — the fault layer promises
+    a zero-overhead fast path (a no-op plan normalizes away before the
+    round loop; the CLI bench gates it at --max-fault-overhead)."""
+    graph, protocol, model, seed, _ = _dense_scenario()
+    plan = FaultPlan()
+
+    result = benchmark(
+        lambda: run_protocol(graph, protocol, model, seed=seed, faults=plan)
+    )
+    assert result.rounds == 50
+    assert result == run_protocol(graph, protocol, model, seed=seed)
+
+
 def test_perf_telemetry_enabled(benchmark):
     """Dense traffic with telemetry on — compare against the plain
     dense scenario to see the instrumentation cost (the CLI bench gates
@@ -210,6 +226,7 @@ def measure(quick=False):
         "headline": HEADLINE_SCENARIO,
         "scenarios": scenarios,
         "telemetry_overhead": measure_telemetry_overhead(repetitions),
+        "fault_overhead": measure_fault_overhead(repetitions),
     }
 
 
@@ -236,6 +253,34 @@ def measure_telemetry_overhead(repetitions):
         "disabled_s": round(disabled_s, 6),
         "enabled_s": round(enabled_s, 6),
         "overhead_frac": round(enabled_s / disabled_s - 1.0, 4),
+    }
+
+
+def measure_fault_overhead(repetitions):
+    """Cost of passing an empty :class:`FaultPlan` on the dense scenario.
+
+    The fault layer's contract is a zero-overhead fast path: a plan
+    with nothing configured normalizes to the exact same engine path as
+    ``faults=None``, so fault-free runs pay nothing for the injection
+    hook.  The CLI's ``--check --max-fault-overhead`` gates the
+    measured fraction in CI.
+    """
+    graph, protocol, model, seed, _ = _dense_scenario()
+    plan = FaultPlan()
+    run_protocol(graph, protocol, model, seed=seed, faults=plan)  # warm
+    no_plan_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed), repetitions
+    )
+    noop_plan_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed, faults=plan),
+        repetitions,
+    )
+    return {
+        "scenario": HEADLINE_SCENARIO,
+        "repetitions": repetitions,
+        "no_plan_s": round(no_plan_s, 6),
+        "noop_plan_s": round(noop_plan_s, 6),
+        "overhead_frac": round(noop_plan_s / no_plan_s - 1.0, 4),
     }
 
 
@@ -279,6 +324,10 @@ def main(argv=None):
                         metavar="FRAC",
                         help="with --check, also fail if telemetry overhead "
                              "exceeds this fraction (e.g. 0.05 for 5%%)")
+    parser.add_argument("--max-fault-overhead", type=float, default=None,
+                        metavar="FRAC",
+                        help="with --check, also fail if a no-op FaultPlan "
+                             "costs more than this fraction over faults=None")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -302,6 +351,12 @@ def main(argv=None):
         f"enabled {overhead['enabled_s'] * 1e3:.2f}ms  "
         f"overhead {overhead['overhead_frac']:+.1%}"
     )
+    fault_overhead = report["fault_overhead"]
+    print(
+        f"noop-fault overhead: none {fault_overhead['no_plan_s'] * 1e3:.2f}ms  "
+        f"noop plan {fault_overhead['noop_plan_s'] * 1e3:.2f}ms  "
+        f"overhead {fault_overhead['overhead_frac']:+.1%}"
+    )
 
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -316,6 +371,13 @@ def main(argv=None):
                 failures.append(
                     f"telemetry overhead {overhead['overhead_frac']:.1%} "
                     f"exceeds --max-overhead {args.max_overhead:.1%}"
+                )
+        if args.max_fault_overhead is not None:
+            if fault_overhead["overhead_frac"] > args.max_fault_overhead:
+                failures.append(
+                    f"noop fault-plan overhead "
+                    f"{fault_overhead['overhead_frac']:.1%} exceeds "
+                    f"--max-fault-overhead {args.max_fault_overhead:.1%}"
                 )
         if failures:
             for failure in failures:

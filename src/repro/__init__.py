@@ -32,6 +32,7 @@ from .errors import (
     SimulationError,
     ValidationError,
 )
+from .faults import CrashEvent, FaultPlan, JamWindow, parse_fault_spec
 from .graphs import Graph
 from .radio import (
     BEEPING,
@@ -58,6 +59,10 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "ValidationError",
+    "CrashEvent",
+    "FaultPlan",
+    "JamWindow",
+    "parse_fault_spec",
     "Graph",
     "BEEPING",
     "CD",

@@ -130,6 +130,9 @@ class CampaignCell:
     mean_energy_mean: float
     rounds_mean: float
     mis_size_mean: float
+    #: Seeds whose trials were quarantined by the retry policy (0 when
+    #: every trial completed) — the cell aggregates cover survivors only.
+    quarantined: int = 0
 
 
 @dataclass
@@ -143,6 +146,9 @@ class CampaignResult:
         headers = [
             "protocol", "workload", "n", "fail%", "maxE", "meanE", "rounds", "|MIS|",
         ]
+        show_quarantine = any(cell.quarantined for cell in self.cells)
+        if show_quarantine:
+            headers.append("quar")
         rows = [
             (
                 cell.protocol,
@@ -154,6 +160,7 @@ class CampaignResult:
                 cell.rounds_mean,
                 cell.mis_size_mean,
             )
+            + ((cell.quarantined,) if show_quarantine else ())
             for cell in self.cells
         ]
         return render_table(
@@ -175,7 +182,7 @@ class CampaignResult:
             [
                 "protocol", "model", "workload", "n", "trials", "failure_rate",
                 "max_energy_mean", "mean_energy_mean", "rounds_mean",
-                "mis_size_mean",
+                "mis_size_mean", "quarantined",
             ]
         )
         for cell in self.cells:
@@ -183,7 +190,7 @@ class CampaignResult:
                 [
                     cell.protocol, cell.model, cell.workload, cell.n, cell.trials,
                     cell.failure_rate, cell.max_energy_mean, cell.mean_energy_mean,
-                    cell.rounds_mean, cell.mis_size_mean,
+                    cell.rounds_mean, cell.mis_size_mean, cell.quarantined,
                 ]
             )
         return buffer.getvalue()
@@ -193,6 +200,11 @@ class CampaignResult:
         return sum(
             round(cell.failure_rate * cell.trials) for cell in self.cells
         )
+
+    @property
+    def total_quarantined(self) -> int:
+        """Seeds quarantined across the whole grid (partial-failure tally)."""
+        return sum(cell.quarantined for cell in self.cells)
 
 
 def load_campaign(path: Union[str, Path]) -> CampaignSpec:
@@ -248,6 +260,11 @@ def run_campaign(
                         progress=progress,
                     )
                 registry.counter("campaign.cells").inc()
+                # A cell whose every trial was quarantined has no
+                # outcome distribution to average — report NaN rather
+                # than crash (or fake a zero).
+                measured = bool(summary.outcomes)
+                nan = float("nan")
                 result.cells.append(
                     CampaignCell(
                         protocol=protocol_name,
@@ -256,10 +273,15 @@ def run_campaign(
                         n=n,
                         trials=summary.trials,
                         failure_rate=summary.failure_rate,
-                        max_energy_mean=summary.max_energy_summary().mean,
-                        mean_energy_mean=summary.mean_energy_summary().mean,
-                        rounds_mean=summary.rounds_summary().mean,
-                        mis_size_mean=summary.mis_size_summary().mean,
+                        max_energy_mean=summary.max_energy_summary().mean
+                        if measured else nan,
+                        mean_energy_mean=summary.mean_energy_summary().mean
+                        if measured else nan,
+                        rounds_mean=summary.rounds_summary().mean
+                        if measured else nan,
+                        mis_size_mean=summary.mis_size_summary().mean
+                        if measured else nan,
+                        quarantined=len(summary.quarantined),
                     )
                 )
     return result

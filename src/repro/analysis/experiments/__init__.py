@@ -18,6 +18,7 @@ from .backoff_probe import BackoffProbe, run_backoff_experiment
 from .energy_breakdown import run_energy_breakdown
 from .delta_sweep import run_delta_sweep
 from .luby_phase_props import run_luby_phase_properties
+from .robustness import RobustnessReport, run_robustness_study
 
 __all__ = [
     "EXPERIMENTS",
@@ -34,4 +35,6 @@ __all__ = [
     "run_energy_breakdown",
     "run_delta_sweep",
     "run_luby_phase_properties",
+    "RobustnessReport",
+    "run_robustness_study",
 ]

@@ -245,6 +245,14 @@ def _run_a3() -> str:
     )
 
 
+def _run_robust() -> str:
+    from .robustness import run_robustness_study
+
+    return run_robustness_study(
+        n=64, trials=4, constants=_constants()
+    ).to_table()
+
+
 def _run_a7() -> str:
     import random as _random
 
@@ -283,6 +291,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
     "A2": ExperimentSpec("A2", "unknown-Delta scheme overhead (1.1 footnote)", _run_a2),
     "A3": ExperimentSpec("A3", "synchronous wake-up sensitivity", _run_a3),
     "A7": ExperimentSpec("A7", "MIS output-size comparison", _run_a7),
+    "ROBUST": ExperimentSpec(
+        "ROBUST",
+        "degradation under injected faults (crash/recovery/skew/noise)",
+        _run_robust,
+    ),
 }
 
 

@@ -1,0 +1,226 @@
+"""Adversarial robustness: degradation under injected faults.
+
+The paper's guarantees assume a fault-free radio network and synchronous
+wake-up.  This experiment drives both MIS algorithms through the
+:mod:`repro.faults` injection layer and quantifies how gracefully each
+assumption degrades:
+
+1. **crash-stop** — a growing fraction of nodes crash a third into the
+   run; survivors' output is scored by coverage (fraction of surviving
+   nodes dominated by a surviving MIS node) and by the
+   independence-violation rate among surviving MIS members,
+2. **crash–recovery** — crashed nodes restart with fresh protocol state
+   after a fixed delay; we measure how long the network takes to
+   re-stabilize after the last restart and the energy overhead relative
+   to the fault-free run of the same seed,
+3. **wake-up skew** — nodes start up to ``s`` rounds apart; the failure
+   rate collapsing as skew grows is the measured justification for the
+   paper's synchronous wake-up assumption,
+4. **channel noise** — every reception is independently erased with
+   probability ``p`` (jam-free message loss); the failure rate maps the
+   margin the protocols have against an imperfect channel.
+
+A run that exhausts its (generous) round budget under faults counts as a
+failure rather than an error: non-termination *is* the degradation being
+measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...constants import ConstantsProfile
+from ...core import CDMISProtocol, NoCDEnergyMISProtocol
+from ...errors import SimulationError
+from ...faults import FaultPlan
+from ...graphs.generators import gnp_random_graph
+from ...radio.engine import run_protocol
+from ...radio.models import CD, NO_CD
+from ..tables import render_table
+
+__all__ = ["RobustnessReport", "run_robustness_study"]
+
+#: Round-budget multiplier for faulty runs: faults legitimately stretch
+#: executions past the fault-free watchdog, and hitting the budget is
+#: scored as a failure, not raised as an error.
+_FAULT_ROUND_SLACK = 3
+
+
+@dataclass
+class RobustnessReport:
+    """Rendered-table bundle for the four degradation studies."""
+
+    n: int
+    trials: int
+    crash_rows: List[Tuple] = field(default_factory=list)
+    recovery_rows: List[Tuple] = field(default_factory=list)
+    skew_rows: List[Tuple] = field(default_factory=list)
+    noise_rows: List[Tuple] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        scale = f"n={self.n}, {self.trials} trials/row"
+        sections = [
+            render_table(
+                ["crashed", "coverage", "indep viol rate", "non-term"],
+                self.crash_rows,
+                title=f"crash-stop faults, Algorithm 2 ({scale})",
+            ),
+            render_table(
+                ["crashed", "recovery", "coverage", "stabilize rds", "energy ovh"],
+                self.recovery_rows,
+                title=f"crash-recovery faults, Algorithm 2 ({scale})",
+            ),
+            render_table(
+                ["max skew", "failure rate"],
+                self.skew_rows,
+                title=f"wake-up skew, Algorithm 1 ({scale})",
+            ),
+            render_table(
+                ["drop p", "failure rate", "coverage"],
+                self.noise_rows,
+                title=f"channel noise (message loss), Algorithm 1 ({scale})",
+            ),
+        ]
+        return "\n\n".join(sections)
+
+
+def _faulty_run(graph, protocol, model, seed, plan, budget):
+    """Run under a fault plan; None means the budget ran out."""
+    try:
+        return run_protocol(
+            graph, protocol, model, seed=seed, max_rounds=budget, faults=plan
+        )
+    except SimulationError:
+        return None
+
+
+def _round_budget(protocol, n: int, delta: int) -> Optional[int]:
+    hint = protocol.max_rounds_hint(n, delta)
+    return _FAULT_ROUND_SLACK * 4 * hint if hint else None
+
+
+def run_robustness_study(
+    n: int = 96,
+    trials: int = 8,
+    constants: Optional[ConstantsProfile] = None,
+    base_seed: int = 0,
+) -> RobustnessReport:
+    """Execute all four degradation studies and return the report.
+
+    Deterministic in ``(n, trials, constants, base_seed)``: every trial
+    derives its topology seed and its :class:`~repro.faults.FaultPlan`
+    seed from ``base_seed``, so reruns reproduce bit-identically.
+    """
+    constants = constants or ConstantsProfile.practical()
+    report = RobustnessReport(n=n, trials=trials)
+    degree = 8.0 / (n - 1)
+
+    # Algorithm 2 is the interesting crash target: its MIS nodes keep
+    # announcing until the very last phase, so crashing them mid-run
+    # strands neighbors that already retired OUT believing they were
+    # dominated.  (Algorithm 1's winners terminate the instant they
+    # confirm — crashing them changes nothing.)
+    crash_protocol = NoCDEnergyMISProtocol(constants=constants)
+    probe = gnp_random_graph(n, degree, seed=0)
+    crash_round = (
+        crash_protocol.schedule_for(n, probe.max_degree()).total_rounds // 3
+    )
+
+    for fraction in (0.0, 0.1, 0.25, 0.5):
+        coverage = violations = nonterm = 0.0
+        for trial in range(trials):
+            seed = base_seed + trial
+            graph = gnp_random_graph(n, degree, seed=seed)
+            plan = FaultPlan(
+                seed=seed, crash_fraction=fraction, crash_round=crash_round
+            )
+            budget = _round_budget(crash_protocol, n, graph.max_degree())
+            result = _faulty_run(graph, crash_protocol, NO_CD, seed, plan, budget)
+            if result is None:
+                nonterm += 1
+                continue
+            coverage += result.surviving_coverage()
+            violations += result.independence_violation_rate()
+        completed = max(trials - nonterm, 1)
+        report.crash_rows.append(
+            (
+                f"{100 * fraction:.0f}%",
+                round(coverage / completed, 3),
+                round(violations / completed, 3),
+                f"{nonterm:.0f}/{trials}",
+            )
+        )
+
+    for fraction, recovery in ((0.1, 8), (0.25, 8), (0.25, 32)):
+        coverage = stabilize = overhead = 0.0
+        completed = 0
+        for trial in range(trials):
+            seed = base_seed + trial
+            graph = gnp_random_graph(n, degree, seed=seed)
+            plan = FaultPlan(
+                seed=seed,
+                crash_fraction=fraction,
+                crash_round=crash_round,
+                crash_recovery=recovery,
+            )
+            budget = _round_budget(crash_protocol, n, graph.max_degree())
+            result = _faulty_run(graph, crash_protocol, NO_CD, seed, plan, budget)
+            if result is None:
+                continue
+            baseline = run_protocol(
+                graph, crash_protocol, NO_CD, seed=seed, max_rounds=budget
+            )
+            completed += 1
+            coverage += result.surviving_coverage()
+            stabilize += result.time_to_stabilize()
+            overhead += result.energy_overhead_vs(baseline)
+        completed = max(completed, 1)
+        report.recovery_rows.append(
+            (
+                f"{100 * fraction:.0f}%",
+                f"+{recovery}",
+                round(coverage / completed, 3),
+                round(stabilize / completed, 1),
+                f"{100 * overhead / completed:+.1f}%",
+            )
+        )
+
+    skew_protocol = CDMISProtocol(constants=constants)
+    for skew in (0, 1, 2, 4, 8, 32):
+        failures = 0
+        for trial in range(trials):
+            seed = base_seed + trial
+            graph = gnp_random_graph(n, degree, seed=seed)
+            plan = FaultPlan(seed=seed, max_wake_skew=skew)
+            budget = _round_budget(skew_protocol, n, graph.max_degree())
+            result = _faulty_run(graph, skew_protocol, CD, seed, plan, budget)
+            if result is None or not result.is_valid_mis():
+                failures += 1
+        report.skew_rows.append((skew, round(failures / trials, 3)))
+
+    for drop_p in (0.0, 0.01, 0.05, 0.15):
+        failures = terminated = 0
+        coverage = 0.0
+        for trial in range(trials):
+            seed = base_seed + trial
+            graph = gnp_random_graph(n, degree, seed=seed)
+            plan = FaultPlan(seed=seed, drop_p=drop_p)
+            budget = _round_budget(skew_protocol, n, graph.max_degree())
+            result = _faulty_run(graph, skew_protocol, CD, seed, plan, budget)
+            if result is None:
+                failures += 1
+                continue
+            terminated += 1
+            if not result.is_valid_mis():
+                failures += 1
+            coverage += result.surviving_coverage()
+        report.noise_rows.append(
+            (
+                drop_p,
+                round(failures / trials, 3),
+                round(coverage / max(terminated, 1), 3),
+            )
+        )
+
+    return report

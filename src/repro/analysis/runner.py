@@ -30,7 +30,9 @@ from ..exec.executor import (
     get_execution_defaults,
     make_executor,
 )
+from ..exec.resilience import QuarantinedTrial, RetryPolicy
 from ..exec.seeds import graph_seed, protocol_seed
+from ..faults.plan import FaultPlan
 from ..graphs.graph import Graph
 from ..obs.registry import get_registry
 from ..radio.engine import run_protocol
@@ -93,6 +95,9 @@ class TrialSummary:
     graph_name: str
     outcomes: List[TrialOutcome]
     results: List[RunResult] = field(default_factory=list)  # kept if requested
+    #: Seeds the retry policy gave up on (empty without quarantines) —
+    #: explicit partial-failure accounting for resilient batteries.
+    quarantined: List[QuarantinedTrial] = field(default_factory=list)
 
     @property
     def trials(self) -> int:
@@ -128,18 +133,29 @@ class TrialSummary:
 
     def describe(self) -> str:
         """Multi-line human-readable report."""
-        energy = self.max_energy_summary()
-        mean_energy = self.mean_energy_summary()
-        rounds = self.rounds_summary()
         low, high = self.failure_rate_interval()
-        return (
+        report = (
             f"{self.protocol_name}@{self.model_name} on {self.graph_name}: "
             f"{self.trials} trials, {self.failures} failures "
-            f"(rate {self.failure_rate:.3f}, 95% CI [{low:.3f}, {high:.3f}])\n"
-            f"  max-energy  {energy}\n"
-            f"  mean-energy {mean_energy}\n"
-            f"  rounds      {rounds}"
+            f"(rate {self.failure_rate:.3f}, 95% CI [{low:.3f}, {high:.3f}])"
         )
+        if self.outcomes:
+            report += (
+                f"\n  max-energy  {self.max_energy_summary()}"
+                f"\n  mean-energy {self.mean_energy_summary()}"
+                f"\n  rounds      {self.rounds_summary()}"
+            )
+        if self.quarantined:
+            lines = "\n".join(
+                f"    {trial.record.describe()}"
+                f"{' [cached]' if trial.from_cache else ''}"
+                for trial in self.quarantined
+            )
+            report += (
+                f"\n  quarantined {len(self.quarantined)} seed"
+                f"{'s' if len(self.quarantined) != 1 else ''}:\n{lines}"
+            )
+        return report
 
 
 def _trial_seeds(
@@ -164,6 +180,8 @@ def run_trials(
     graph_spec: Optional[str] = None,
     coupled_seeds: bool = False,
     progress: Optional[ProgressCallback] = None,
+    faults: Union[FaultPlan, None, bool] = None,
+    policy: Union[RetryPolicy, None, bool] = None,
 ) -> TrialSummary:
     """Run ``protocol`` for every seed and aggregate.
 
@@ -192,6 +210,18 @@ def run_trials(
     progress:
         Optional callback receiving
         :class:`~repro.exec.executor.ProgressEvent` updates.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` applied to every trial
+        (``None`` inherits the process-wide default, ``False`` disables
+        it explicitly).  The plan joins the cache key, so faulty and
+        fault-free batteries never collide.
+    policy:
+        Optional :class:`~repro.exec.resilience.RetryPolicy` (``None``
+        inherits the default, ``False`` disables).  With an active
+        policy a failing or hanging seed is retried, then quarantined —
+        the battery completes with the surviving trials and the summary
+        lists the quarantined seeds.  Ignored in ``keep_results`` mode,
+        which runs in-process and fails fast.
     """
     defaults = get_execution_defaults()
     if jobs is None:
@@ -200,6 +230,16 @@ def run_trials(
         cache = defaults.cache
     elif cache is False:
         cache = None
+    if faults is None:
+        faults = defaults.faults
+    elif faults is False:
+        faults = None
+    if faults is not None and faults.is_noop:
+        faults = None  # keep fault-free cache keys and the engine fast path
+    if policy is None:
+        policy = defaults.policy
+    elif policy is False:
+        policy = None
     seeds = list(seeds)
     model_name = model.name
 
@@ -217,6 +257,7 @@ def run_trials(
             seed=p_seed,
             max_rounds=max_rounds,
             telemetry=registry.enabled,
+            faults=faults,
         )
         report: ValidationReport = validate_run(result)
         if result.telemetry is not None:
@@ -262,6 +303,7 @@ def run_trials(
                 seed=p_seed,
                 max_rounds=max_rounds,
                 telemetry=registry.enabled,
+                faults=faults,
             )
             report = validate_run(result)
             if result.telemetry is not None:
@@ -301,10 +343,11 @@ def run_trials(
                 seed=seed,
                 max_rounds=max_rounds,
                 seed_mode=seed_mode,
+                faults=faults,
             )
 
     executor = make_executor(jobs)
-    outcomes = executor.execute(
+    raw = executor.execute(
         run_one,
         seeds,
         cache=cache,
@@ -312,11 +355,20 @@ def run_trials(
         encode=_outcome_to_record,
         decode=_outcome_from_record,
         progress=progress,
+        policy=policy,
     )
+    outcomes = []
+    quarantined: List[QuarantinedTrial] = []
+    for entry in raw:
+        if isinstance(entry, QuarantinedTrial):
+            quarantined.append(entry)
+        else:
+            outcomes.append(entry)
     return TrialSummary(
         protocol_name=protocol.name,
         model_name=model_name,
         graph_name=graph_name,
         outcomes=outcomes,
         results=[],
+        quarantined=quarantined,
     )

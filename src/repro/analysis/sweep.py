@@ -124,11 +124,11 @@ def run_size_sweep(
             graph_spec=f"{graph_spec}/n={n}" if graph_spec else None,
             progress=progress,
         )
-        energy = summary.max_energy_summary()
-        mean_energy = summary.mean_energy_summary()
-        rounds = summary.rounds_summary()
-        result.points.append(
-            SweepPoint(
+        if summary.outcomes:
+            energy = summary.max_energy_summary()
+            mean_energy = summary.mean_energy_summary()
+            rounds = summary.rounds_summary()
+            point = SweepPoint(
                 n=n,
                 trials=summary.trials,
                 failure_rate=summary.failure_rate,
@@ -138,6 +138,20 @@ def run_size_sweep(
                 rounds_mean=rounds.mean,
                 rounds_max=rounds.maximum,
             )
-        )
+        else:
+            # Every trial of the cell quarantined (retry policy gave up
+            # on all seeds): no distribution to average — report NaN.
+            nan = float("nan")
+            point = SweepPoint(
+                n=n,
+                trials=summary.trials,
+                failure_rate=summary.failure_rate,
+                max_energy_mean=nan,
+                max_energy_max=nan,
+                mean_energy_mean=nan,
+                rounds_mean=nan,
+                rounds_max=nan,
+            )
+        result.points.append(point)
     assert result is not None, "sizes must be non-empty"
     return result

@@ -17,6 +17,14 @@ counters, per-trial wall times, cache hits, structured progress) to a
 JSONL file for ``repro-mis obs summarize``; ``--cprofile [DIR]`` wraps
 the command in :mod:`cProfile` and writes a top-N table under ``DIR``
 (default ``benchmarks/results/``).
+
+Robustness options (same subcommands): ``--faults SPEC`` injects an
+adversarial fault plan (message loss, jamming, crash–recovery, wake
+skew — see :func:`repro.faults.parse_fault_spec` for the grammar) into
+every trial; ``--trial-timeout`` and ``--max-retries`` install a
+:class:`repro.exec.resilience.RetryPolicy` so failing or hanging trials
+are retried with backoff and then quarantined instead of aborting the
+battery.
 """
 
 from __future__ import annotations
@@ -142,6 +150,59 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="result cache directory (default: .repro-cache)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="adversarial fault plan, e.g. 'drop=0.05,jam=10..20@0.5,"
+        "crash=0.1@50+8,wake=16,seed=1' (see repro.faults.parse_fault_spec)",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any single trial that runs longer than this",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failing/hanging trial up to N times (with exponential "
+        "backoff) before quarantining its seed and continuing (default: 0, "
+        "fail fast)",
+    )
+
+
+def _faults_from_args(args):
+    """Parse --faults into a FaultPlan, or None when absent/noop."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .errors import ConfigurationError
+    from .faults import parse_fault_spec
+
+    try:
+        plan = parse_fault_spec(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    return None if plan.is_noop else plan
+
+
+def _policy_from_args(args):
+    """Build the RetryPolicy requested by --trial-timeout/--max-retries."""
+    timeout = getattr(args, "trial_timeout", None)
+    retries = getattr(args, "max_retries", 0)
+    if timeout is None and not retries:
+        return None
+    from .errors import ConfigurationError
+    from .exec.resilience import RetryPolicy
+
+    try:
+        return RetryPolicy(max_retries=retries, timeout_s=timeout)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cache_from_args(args):
@@ -474,6 +535,20 @@ def main(argv: Optional[list] = None) -> int:
     handler = handlers[args.command]
     telemetry_path = getattr(args, "telemetry", None)
     cprofile_dir = getattr(args, "cprofile", None)
+    faults = _faults_from_args(args)
+    policy = _policy_from_args(args)
+    if faults is not None or policy is not None:
+        # run_trials consults the process-wide execution defaults for
+        # faults/retry policy, so installing them here covers run,
+        # sweep, experiment, and campaign without per-handler plumbing.
+        from .exec.executor import execution_defaults
+
+        base_handler = handler
+
+        def handler(args, constants, _inner=base_handler):
+            with execution_defaults(faults=faults, policy=policy):
+                return _inner(args, constants)
+
     if telemetry_path is None and cprofile_dir is None:
         return handler(args, constants)
 

@@ -164,7 +164,12 @@ class NoCDEnergyMISProtocol(Protocol):
 
     def run(self, ctx: NodeContext) -> ProtocolRun:
         schedule = self.schedule_for(ctx.n, ctx.delta)
-        status = yield from self.run_phases(ctx, schedule, base_round=0)
+        # A node restarted by a crash–recovery fault plan anchors its
+        # phase calendar at the restart round; everyone else anchors at
+        # the shared round 0, so the per-phase synchronization guard
+        # still catches (documents) skewed wake-up.
+        base = ctx.restart_round if ctx.restart_round is not None else 0
+        status = yield from self.run_phases(ctx, schedule, base_round=base)
         if status == _IN_MIS:
             ctx.decide(Decision.IN_MIS)
         elif status == _OUT_MIS:

@@ -14,11 +14,17 @@ from *how* the trials are executed:
 * :mod:`repro.exec.pool` — a fork-based process pool that partitions a
   seed list into chunks and merges results in seed order, so parallel
   results are bit-identical to sequential execution;
+* :mod:`repro.exec.resilience` — graceful degradation for long
+  campaigns: per-trial timeouts, bounded retries with exponential
+  backoff and deterministic jitter (:class:`RetryPolicy`), and
+  quarantine records persisted through the cache so resumed campaigns
+  skip poisoned seeds instead of re-dying on them;
 * :mod:`repro.exec.executor` — the facade: :class:`SequentialExecutor`
   and :class:`ProcessPoolExecutor` behind one :class:`TrialExecutor`
-  interface with cache integration and progress-callback hooks, plus
-  process-wide execution defaults the CLI sets from ``--jobs`` /
-  ``--cache`` / ``--resume``.
+  interface with cache integration, progress-callback hooks, and
+  retry/quarantine handling, plus process-wide execution defaults the
+  CLI sets from ``--jobs`` / ``--cache`` / ``--resume`` / ``--faults``
+  / ``--trial-timeout`` / ``--max-retries``.
 
 Trials of a battery are independent randomized executions (the very
 property the paper's algorithms exploit), so any partition of the seed
@@ -37,6 +43,13 @@ from .executor import (
     make_executor,
 )
 from .pool import fork_available, partition_chunks
+from .resilience import (
+    QuarantinedTrial,
+    QuarantineRecord,
+    RetryPolicy,
+    TrialTimeoutError,
+    is_quarantine_record,
+)
 from .seeds import derive_seed, graph_seed, protocol_seed
 
 __all__ = [
@@ -54,6 +67,11 @@ __all__ = [
     "make_executor",
     "fork_available",
     "partition_chunks",
+    "QuarantinedTrial",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "TrialTimeoutError",
+    "is_quarantine_record",
     "derive_seed",
     "graph_seed",
     "protocol_seed",

@@ -100,8 +100,14 @@ def trial_key(
     seed: int,
     max_rounds: Optional[int] = None,
     seed_mode: str = "decoupled",
+    faults: Any = None,
 ) -> str:
-    """Content-addressed key of one trial's full identity."""
+    """Content-addressed key of one trial's full identity.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, when given) joins
+    the identity only when present, so fault-free trials keep their
+    historical keys and existing caches stay valid.
+    """
     payload = {
         "protocol": protocol_fingerprint(protocol),
         "model": model_name,
@@ -110,6 +116,8 @@ def trial_key(
         "max_rounds": max_rounds,
         "seed_mode": seed_mode,
     }
+    if faults is not None:
+        payload["faults"] = _canonical(faults)
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 

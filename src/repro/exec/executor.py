@@ -38,11 +38,32 @@ import time
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..obs.registry import Registry, get_registry, recording
 from .cache import ResultCache
-from .pool import fork_available, run_in_pool
+from .pool import fork_available, run_in_pool, run_resilient_in_pool
+from .resilience import (
+    QuarantinedTrial,
+    QuarantineRecord,
+    RetryPolicy,
+    TrialError,
+    is_quarantine_record,
+    run_resilient_sequential,
+)
+
+if TYPE_CHECKING:  # import cycle guard: repro.faults imports exec.seeds
+    from ..faults.plan import FaultPlan
 
 __all__ = [
     "ProgressEvent",
@@ -91,6 +112,7 @@ class TrialExecutor(ABC):
         encode: Optional[Callable[[Any], Dict]] = None,
         decode: Optional[Callable[[Dict], Any]] = None,
         progress: Optional[ProgressCallback] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> List[Any]:
         """Run ``run_one(seed)`` for every seed, in seed order.
 
@@ -98,6 +120,16 @@ class TrialExecutor(ABC):
         looked up first; hits skip execution and misses are persisted on
         completion (``encode``/``decode`` translate between outcomes and
         the cache's JSON records).
+
+        With an active :class:`~repro.exec.resilience.RetryPolicy`, a
+        seed that keeps failing (or hanging, under ``timeout_s``) is
+        retried up to the policy's budget and then **quarantined**: its
+        result slot holds a :class:`QuarantinedTrial` instead of an
+        outcome, the battery continues, and the quarantine record is
+        persisted through the cache so resumed batteries skip the
+        poisoned seed outright.  Without a policy, worker exceptions
+        propagate and abort the battery (the historical fail-fast
+        behaviour).
         """
         seeds = list(seeds)
         total = len(seeds)
@@ -124,6 +156,7 @@ class TrialExecutor(ABC):
                     elapsed = time.perf_counter() - begin
                 return outcome, elapsed, trial_registry.snapshot()
 
+        quarantine_skips = 0
         for index, seed in enumerate(seeds):
             key = None
             if cache is not None and key_for is not None:
@@ -131,7 +164,16 @@ class TrialExecutor(ABC):
             if key is not None:
                 record = cache.get(key)
                 if record is not None:
-                    results[index] = decode(record) if decode else record
+                    if is_quarantine_record(record):
+                        # A previously poisoned seed: resume skips it
+                        # rather than re-dying on it.
+                        results[index] = QuarantinedTrial(
+                            QuarantineRecord.from_record(record),
+                            from_cache=True,
+                        )
+                        quarantine_skips += 1
+                    else:
+                        results[index] = decode(record) if decode else record
                     cache_hits += 1
                     continue
                 keys[index] = key
@@ -168,12 +210,37 @@ class TrialExecutor(ABC):
             done += 1
             emit()
 
+        def on_failure(
+            index: int, seed: int, attempts: int, error: TrialError
+        ) -> None:
+            nonlocal done
+            error_type, message, trace = error
+            record = QuarantineRecord(
+                seed=seed,
+                attempts=attempts,
+                error_type=error_type,
+                message=message,
+                traceback=trace,
+            )
+            results[index] = QuarantinedTrial(record)
+            key = keys.get(index)
+            if key is not None and cache is not None:
+                cache.put(key, record.to_record())
+            if instrument:
+                registry.counter("exec.trials.quarantined").inc()
+            done += 1
+            emit()
+
         if pending:
-            self._dispatch(run_one, pending, on_result)
+            self._dispatch(run_one, pending, on_result, policy, on_failure)
         if instrument:
             registry.counter("exec.batteries").inc()
             registry.counter("exec.trials.total").inc(total)
             registry.counter("exec.trials.cache_hits").inc(cache_hits)
+            if quarantine_skips:
+                registry.counter("exec.trials.quarantine_skips").inc(
+                    quarantine_skips
+                )
             registry.histogram("exec.jobs").observe(self.jobs)
             registry.histogram("exec.battery_wall_s").observe(
                 time.monotonic() - start
@@ -186,8 +253,14 @@ class TrialExecutor(ABC):
         run_one: Callable[[int], Any],
         pending: List[Tuple[int, int]],
         on_result: Callable[[int, Any], None],
+        policy: Optional[RetryPolicy] = None,
+        on_failure: Optional[Callable[[int, int, int, TrialError], None]] = None,
     ) -> None:
-        """Execute every (index, seed) pair, reporting via ``on_result``."""
+        """Execute every (index, seed) pair, reporting via ``on_result``.
+
+        With an active ``policy``, exhausted seeds report via
+        ``on_failure`` instead of raising.
+        """
 
 
 class SequentialExecutor(TrialExecutor):
@@ -195,7 +268,14 @@ class SequentialExecutor(TrialExecutor):
 
     jobs = 1
 
-    def _dispatch(self, run_one, pending, on_result) -> None:
+    def _dispatch(
+        self, run_one, pending, on_result, policy=None, on_failure=None
+    ) -> None:
+        if policy is not None and policy.active:
+            run_resilient_sequential(
+                run_one, pending, policy, on_result, on_failure
+            )
+            return
         for index, seed in pending:
             on_result(index, run_one(seed))
 
@@ -205,7 +285,9 @@ class ProcessPoolExecutor(TrialExecutor):
 
     Falls back to sequential execution when ``fork`` is unavailable
     (non-POSIX platforms) or the battery is too small to amortize a
-    pool — either way the outcomes are identical.
+    pool — either way the outcomes are identical.  Under an active
+    retry policy the chunked pool is replaced by the supervised
+    fork-per-trial pool, whose process kills bound hung trials.
     """
 
     def __init__(self, jobs: int, chunk_size: Optional[int] = None):
@@ -214,7 +296,19 @@ class ProcessPoolExecutor(TrialExecutor):
         self.jobs = jobs
         self.chunk_size = chunk_size
 
-    def _dispatch(self, run_one, pending, on_result) -> None:
+    def _dispatch(
+        self, run_one, pending, on_result, policy=None, on_failure=None
+    ) -> None:
+        if policy is not None and policy.active:
+            if not fork_available():
+                run_resilient_sequential(
+                    run_one, pending, policy, on_result, on_failure
+                )
+                return
+            run_resilient_in_pool(
+                run_one, pending, self.jobs, policy, on_result, on_failure
+            )
+            return
         if self.jobs <= 1 or len(pending) <= 1 or not fork_available():
             for index, seed in pending:
                 on_result(index, run_one(seed))
@@ -244,6 +338,8 @@ class ExecutionDefaults:
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    policy: Optional[RetryPolicy] = None
+    faults: Optional["FaultPlan"] = None
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -258,25 +354,32 @@ def get_execution_defaults() -> ExecutionDefaults:
 def execution_defaults(
     jobs: Optional[int] = None,
     cache: Union[ResultCache, None, bool] = None,
+    policy: Union[RetryPolicy, None, bool] = None,
+    faults: Union["FaultPlan", None, bool] = None,
 ):
     """Temporarily install execution defaults for a code region.
 
-    ``None`` leaves a field at its previous default; ``cache=False``
-    explicitly disables caching inside the region.  The CLI wraps each
-    command in this so experiment harnesses inherit ``--jobs`` and
-    ``--cache`` without explicit plumbing.
+    ``None`` leaves a field at its previous default; ``cache=False`` /
+    ``policy=False`` / ``faults=False`` explicitly clear that field
+    inside the region.  The CLI wraps each command in this so experiment
+    harnesses inherit ``--jobs``, ``--cache``, ``--faults``, and the
+    retry policy without explicit plumbing.
     """
     global _DEFAULTS
     previous = _DEFAULTS
-    if cache is None:
-        new_cache = previous.cache
-    elif cache is False:
-        new_cache = None
-    else:
-        new_cache = cache
+
+    def resolve(value, inherited):
+        if value is None:
+            return inherited
+        if value is False:
+            return None
+        return value
+
     _DEFAULTS = ExecutionDefaults(
         jobs=previous.jobs if jobs is None else jobs,
-        cache=new_cache,
+        cache=resolve(cache, previous.cache),
+        policy=resolve(policy, previous.policy),
+        faults=resolve(faults, previous.faults),
     )
     try:
         yield _DEFAULTS

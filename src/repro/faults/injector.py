@@ -1,0 +1,148 @@
+"""Compilation of a :class:`FaultPlan` against one concrete run.
+
+The engines know nothing about plan structure: they call
+:func:`compile_fault_plan` once per run and receive a
+:class:`CompiledFaultPlan` with exactly three hooks —
+
+* ``channel(round, node, observation)`` — the collision-resolution hook,
+  applied to every perceived observation (``None`` when the plan has no
+  channel faults, so fault-free runs never pay a call);
+* ``crashes`` — merged ``node -> [(round, recovery_delay), ...]``
+  timeline combining the plan's crash events with any legacy
+  ``crash_schedule`` entries (``None`` when empty);
+* ``wake`` — the effective wake schedule: plan-generated skew offsets
+  overridden by any explicit ``wake_schedule`` entries (``None`` when
+  both are absent).
+
+Both engines compile the same plan to the same hooks, which is what the
+golden bit-identity suite leans on for faulty runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .plan import DROP_SALT, JAM_SALT, FaultPlan, fault_roll
+
+__all__ = [
+    "CompiledFaultPlan",
+    "compile_fault_plan",
+    "restart_rng",
+    "validate_crash_schedule",
+]
+
+
+def validate_crash_schedule(crash_schedule: Mapping[int, int]) -> None:
+    """Reject malformed ``crash_schedule`` entries up front.
+
+    Mirrors the engine's wake-schedule validation: a negative or
+    non-integer crash round raises :class:`ConfigurationError` naming
+    the offending node, instead of silently never (or always) crashing.
+    """
+    for node, crash_round in crash_schedule.items():
+        if isinstance(crash_round, bool) or not isinstance(crash_round, int):
+            raise ConfigurationError(
+                f"crash round for node {node} must be an int, "
+                f"got {crash_round!r}"
+            )
+        if crash_round < 0:
+            raise ConfigurationError(
+                f"crash round for node {node} must be non-negative, "
+                f"got {crash_round}"
+            )
+
+
+def restart_rng(seed: int, node: int, incarnation: int) -> random.Random:
+    """Fresh RNG stream for a recovered node's ``incarnation``-th restart.
+
+    Extends the engines' per-node seeding mix with an incarnation term,
+    so a restarted node draws coins independent of its pre-crash self
+    (and of every other node) while staying fully seed-deterministic.
+    """
+    return random.Random(
+        (seed * 0x9E3779B9 + node * 0x85EBCA6B + incarnation * 0xC2B2AE35)
+        & 0xFFFFFFFF
+    )
+
+
+@dataclass
+class CompiledFaultPlan:
+    """A plan materialized against one (model, graph size, schedules)."""
+
+    channel: Optional[Callable[[int, int, object], object]]
+    crashes: Optional[Dict[int, List[Tuple[int, Optional[int]]]]]
+    wake: Optional[Dict[int, int]]
+
+
+def _make_channel(plan: FaultPlan, model) -> Callable[[int, int, object], object]:
+    """Build the per-observation perturbation closure.
+
+    Jamming wins over message loss: a jammed round reads the model's
+    "many transmitters" outcome regardless of actual traffic (silence
+    under no-CD, collision under CD, beep under beeping).  Message loss
+    only erases observations that heard something — silence cannot be
+    dropped into anything quieter.
+    """
+    seed = plan.seed
+    drop_p = plan.drop_p
+    jams = tuple(
+        (window.start, window.stop, window.probability, window.nodes)
+        for window in plan.jams
+    )
+    obs_zero = model.observation_zero
+    obs_many = model.observation_many
+
+    def perturb(round_: int, node: int, observation):
+        for start, stop, probability, nodes in jams:
+            if start <= round_ < stop and (nodes is None or node in nodes):
+                if probability >= 1.0 or fault_roll(
+                    seed, round_, node, JAM_SALT
+                ) < probability:
+                    return obs_many
+        if drop_p and observation is not obs_zero:
+            if drop_p >= 1.0 or fault_roll(
+                seed, round_, node, DROP_SALT
+            ) < drop_p:
+                return obs_zero
+        return observation
+
+    return perturb
+
+
+def compile_fault_plan(
+    plan: FaultPlan,
+    model,
+    num_nodes: int,
+    crash_schedule: Optional[Mapping[int, int]] = None,
+    wake_schedule: Optional[Mapping[int, int]] = None,
+) -> CompiledFaultPlan:
+    """Materialize ``plan`` for one run, merging the legacy schedules.
+
+    ``crash_schedule`` entries become crash-stop events alongside the
+    plan's own; explicit ``wake_schedule`` entries override the plan's
+    generated skew offsets node by node.
+    """
+    channel = _make_channel(plan, model) if plan.has_channel_faults else None
+
+    crashes = plan.crash_events_for(num_nodes)
+    if crash_schedule:
+        for node, crash_round in crash_schedule.items():
+            crashes.setdefault(node, []).append((crash_round, None))
+        for events in crashes.values():
+            events.sort(key=lambda event: event[0])
+    if not crashes:
+        crashes = None
+
+    wake = plan.wake_schedule_for(num_nodes)
+    if wake_schedule:
+        if wake is None:
+            wake = dict(wake_schedule)
+        else:
+            wake.update(wake_schedule)
+    if not wake:
+        wake = None
+
+    return CompiledFaultPlan(channel=channel, crashes=crashes, wake=wake)

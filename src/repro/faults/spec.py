@@ -1,0 +1,155 @@
+"""Compact text grammar for fault plans (the CLI's ``--faults SPEC``).
+
+A spec is a comma-separated list of ``key=value`` fragments:
+
+``drop=P``
+    Per-round message-loss probability in ``[0, 1]``.
+
+``jam=START..STOP[@P]``
+    Jamming window over rounds ``[START, STOP)``, active with per-round
+    probability ``P`` (default 1).  Repeat the key, or join windows with
+    ``+``, for multiple windows: ``jam=0..8+20..24@0.5``.
+
+``crash=FRAC@ROUND[+DELAY]``
+    Crash a random fraction ``FRAC`` of nodes at ``ROUND``; with
+    ``+DELAY`` they recover after ``DELAY`` rounds, otherwise they
+    crash-stop.
+
+``crash=NODE:ROUND[+DELAY]``
+    Crash one explicit node (repeat the key for more nodes).
+
+``wake=SKEW``
+    Deterministic per-node wake offsets in ``[0, SKEW]`` rounds.
+
+``seed=K``
+    Fault-plan seed separating the fault coins from the protocol coins
+    (default 0).
+
+Example::
+
+    --faults "drop=0.05,jam=10..20,crash=0.2@64+32,wake=8,seed=3"
+
+Errors raise :class:`~repro.errors.ConfigurationError` naming the
+offending fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .plan import CrashEvent, FaultPlan, JamWindow
+
+__all__ = ["parse_fault_spec"]
+
+
+def _fail(fragment: str, detail: str) -> None:
+    raise ConfigurationError(f"bad --faults fragment {fragment!r}: {detail}")
+
+
+def _parse_float(fragment: str, text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        _fail(fragment, f"{what} must be a number, got {text!r}")
+
+
+def _parse_int(fragment: str, text: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        _fail(fragment, f"{what} must be an integer, got {text!r}")
+
+
+def _split_delay(fragment: str, text: str) -> Tuple[str, Optional[int]]:
+    """Strip a trailing ``+DELAY`` recovery suffix, if present."""
+    if "+" not in text:
+        return text, None
+    head, _, tail = text.rpartition("+")
+    return head, _parse_int(fragment, tail, "recovery delay")
+
+
+def _parse_jam(fragment: str, value: str) -> List[JamWindow]:
+    windows = []
+    for window_text in value.split("+"):
+        rounds_text, _, probability_text = window_text.partition("@")
+        if ".." not in rounds_text:
+            _fail(fragment, "expected START..STOP[@P]")
+        start_text, _, stop_text = rounds_text.partition("..")
+        start = _parse_int(fragment, start_text, "jam start")
+        stop = _parse_int(fragment, stop_text, "jam stop")
+        probability = (
+            _parse_float(fragment, probability_text, "jam probability")
+            if probability_text
+            else 1.0
+        )
+        windows.append(JamWindow(start, stop, probability))
+    return windows
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
+
+    See the module docstring for the grammar.  Validation of the parsed
+    values (probability ranges, round signs) happens in the plan's own
+    constructors, so every path raises ``ConfigurationError``.
+    """
+    drop_p = 0.0
+    jams: List[JamWindow] = []
+    explicit_crashes: Dict[int, List[CrashEvent]] = {}
+    crash_fraction = 0.0
+    crash_round = 0
+    crash_recovery: Optional[int] = None
+    max_wake_skew = 0
+    seed = 0
+
+    for fragment in text.split(","):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        key, separator, value = fragment.partition("=")
+        if not separator or not value:
+            _fail(fragment, "expected key=value")
+        key = key.strip()
+        value = value.strip()
+        if key == "drop":
+            drop_p = _parse_float(fragment, value, "drop probability")
+        elif key == "jam":
+            jams.extend(_parse_jam(fragment, value))
+        elif key == "crash":
+            if ":" in value:
+                node_text, _, round_text = value.partition(":")
+                round_text, delay = _split_delay(fragment, round_text)
+                node = _parse_int(fragment, node_text, "crash node")
+                round_ = _parse_int(fragment, round_text, "crash round")
+                explicit_crashes.setdefault(node, []).append(
+                    CrashEvent(round_, delay)
+                )
+            elif "@" in value:
+                fraction_text, _, round_text = value.partition("@")
+                round_text, delay = _split_delay(fragment, round_text)
+                crash_fraction = _parse_float(
+                    fragment, fraction_text, "crash fraction"
+                )
+                crash_round = _parse_int(fragment, round_text, "crash round")
+                crash_recovery = delay
+            else:
+                _fail(fragment, "expected FRAC@ROUND[+DELAY] or NODE:ROUND[+DELAY]")
+        elif key == "wake":
+            max_wake_skew = _parse_int(fragment, value, "wake skew")
+        elif key == "seed":
+            seed = _parse_int(fragment, value, "seed")
+        else:
+            _fail(fragment, f"unknown key {key!r} "
+                            "(expected drop/jam/crash/wake/seed)")
+
+    return FaultPlan(
+        seed=seed,
+        drop_p=drop_p,
+        jams=tuple(jams),
+        crashes={node: tuple(events) for node, events in explicit_crashes.items()},
+        crash_fraction=crash_fraction,
+        crash_round=crash_round,
+        crash_recovery=crash_recovery,
+        max_wake_skew=max_wake_skew,
+    )

@@ -25,6 +25,12 @@ import random
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import MessageSizeError, ProtocolError, SimulationError
+from ..faults.injector import (
+    compile_fault_plan,
+    restart_rng,
+    validate_crash_schedule,
+)
+from ..faults.plan import FaultPlan
 from ..graphs.graph import Graph
 from .actions import Action, Listen, Sleep, SleepUntil, Transmit
 from .metrics import NodeStats, RunResult
@@ -65,7 +71,8 @@ class _NodeRunner:
     """Bookkeeping for one node's coroutine between engine events."""
 
     __slots__ = ("node", "generator", "ctx", "transmit_rounds", "listen_rounds",
-                 "finish_round", "done", "crashed")
+                 "finish_round", "done", "crashed", "restarts",
+                 "last_restart_round")
 
     def __init__(self, node: int, generator, ctx: NodeContext):
         self.node = node
@@ -76,6 +83,8 @@ class _NodeRunner:
         self.finish_round = -1
         self.done = False
         self.crashed = False
+        self.restarts = 0
+        self.last_restart_round = -1
 
 
 def run_protocol_reference(
@@ -89,6 +98,7 @@ def run_protocol_reference(
     check_model_compatibility: bool = True,
     crash_schedule: Optional[Dict[int, int]] = None,
     wake_schedule: Optional[Dict[int, int]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Simulate ``protocol`` on every node of ``graph`` under ``model``.
 
@@ -131,15 +141,46 @@ def run_protocol_reference(
         clock, ``ctx.now``, starts there too).  The paper assumes
         synchronous wake-up (all zeros); this knob quantifies how much
         that assumption carries (experiment A3).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` — message loss,
+        jamming, crash–recovery, and wake-skew injection, identical in
+        semantics to the optimized engine's parameter so the golden
+        suite can compare faulty runs too.
     """
     if check_model_compatibility and model.name not in protocol.compatible_models:
         raise SimulationError(
             f"protocol {protocol.name!r} supports models "
             f"{protocol.compatible_models}, not {model.name!r}"
         )
+    if crash_schedule is not None:
+        validate_crash_schedule(crash_schedule)
     if max_rounds is None:
         hint = protocol.max_rounds_hint(graph.num_nodes, graph.max_degree())
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
+
+    # Fault-plan compilation, identical to the optimized engine's: the
+    # channel hook perturbs observations at collision-resolution time,
+    # crash_events merges plan crashes with the legacy crash_schedule,
+    # and the plan's wake skew (with explicit overrides) replaces
+    # wake_schedule.
+    fault_channel = None
+    crash_events: Optional[Dict[int, List[Tuple[int, Optional[int]]]]] = None
+    if faults is not None and not faults.is_noop:
+        compiled = compile_fault_plan(
+            faults,
+            model,
+            graph.num_nodes,
+            crash_schedule=crash_schedule,
+            wake_schedule=wake_schedule,
+        )
+        fault_channel = compiled.channel
+        crash_events = compiled.crashes
+        wake_schedule = compiled.wake
+    elif crash_schedule is not None:
+        crash_events = {
+            node: [(crash_round, None)]
+            for node, crash_round in crash_schedule.items()
+        }
 
     runners: List[_NodeRunner] = []
     # (round, tiebreak, node); tiebreak keeps heap comparisons total.
@@ -198,16 +239,40 @@ def run_protocol_reference(
                 ctx._now = action.target
                 continue
             if isinstance(action, (Transmit, Listen)):
-                if crash_schedule is not None:
-                    crash_round = crash_schedule.get(runner.node)
-                    if crash_round is not None and ctx._now >= crash_round:
-                        # Crash-stop: the node never executes this (or
-                        # any later) action.
-                        runner.done = True
-                        runner.crashed = True
-                        runner.finish_round = crash_round
+                if crash_events is not None:
+                    events = crash_events.get(runner.node)
+                    if events and ctx._now >= events[0][0]:
+                        crash_round, recovery_delay = events.pop(0)
                         runner.generator.close()
-                        return
+                        if recovery_delay is None:
+                            # Crash-stop: the node never executes this
+                            # (or any later) action.
+                            runner.done = True
+                            runner.crashed = True
+                            runner.finish_round = crash_round
+                            return
+                        # Crash-recovery: restart the protocol from
+                        # scratch at crash_round + delay with a fresh
+                        # incarnation-salted RNG stream and fresh
+                        # decision/info state; the energy ledger carries
+                        # over.
+                        runner.restarts += 1
+                        restart_round = crash_round + recovery_delay
+                        runner.last_restart_round = restart_round
+                        ledger = ctx.energy_by_component
+                        ctx = NodeContext(
+                            runner.node,
+                            restart_rng(seed, runner.node, runner.restarts),
+                            n=graph.num_nodes,
+                            delta=graph.max_degree(),
+                        )
+                        ctx.energy_by_component = ledger
+                        ctx._now = restart_round
+                        ctx.restart_round = restart_round
+                        runner.ctx = ctx
+                        runner.generator = protocol.run(ctx)
+                        send_value = _BOOT
+                        continue
                 if isinstance(action, Transmit) and message_bits is not None:
                     bits = payload_bits(action.payload)
                     if bits > message_bits:
@@ -273,6 +338,12 @@ def run_protocol_reference(
                 talking = [t for t in neighbor_set if t in transmitters]
             lone_payload = transmitters[talking[0]] if len(talking) == 1 else None
             observations[node] = model.resolve(len(talking), lone_payload)
+            if fault_channel is not None:
+                # Collision-resolution hook: the fault channel perturbs
+                # what this perceiver reads (jam wins over drop).
+                observations[node] = fault_channel(
+                    current_round, node, observations[node]
+                )
 
         # Charge energy, trace, and resume everyone who acted.
         for node in acting:
@@ -320,6 +391,8 @@ def run_protocol_reference(
             decision=runner.ctx.decision,
             energy_by_component=dict(runner.ctx.energy_by_component),
             crashed=runner.crashed,
+            restarts=runner.restarts,
+            last_restart_round=runner.last_restart_round,
         )
         for runner in runners
     )

@@ -83,6 +83,12 @@ except ImportError:  # pragma: no cover - numpy-less environments
 from time import perf_counter
 
 from ..errors import MessageSizeError, ProtocolError, SimulationError
+from ..faults.injector import (
+    compile_fault_plan,
+    restart_rng,
+    validate_crash_schedule,
+)
+from ..faults.plan import FaultPlan
 from ..graphs.graph import Graph
 from ..obs.telemetry import EngineTelemetry
 from .actions import TAG_LISTEN, TAG_SLEEP, TAG_SLEEP_UNTIL, TAG_TRANSMIT
@@ -129,7 +135,8 @@ class _NodeRunner:
     """Bookkeeping for one node's coroutine between engine events."""
 
     __slots__ = ("node", "generator", "send", "ctx", "transmit_rounds",
-                 "listen_rounds", "finish_round", "done", "crashed")
+                 "listen_rounds", "finish_round", "done", "crashed",
+                 "restarts", "last_restart_round")
 
     def __init__(self, node: int, generator, ctx: NodeContext):
         self.node = node
@@ -143,6 +150,8 @@ class _NodeRunner:
         self.finish_round = -1
         self.done = False
         self.crashed = False
+        self.restarts = 0
+        self.last_restart_round = -1
 
 
 def run_protocol(
@@ -157,6 +166,7 @@ def run_protocol(
     crash_schedule: Optional[Dict[int, int]] = None,
     wake_schedule: Optional[Dict[int, int]] = None,
     telemetry: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Simulate ``protocol`` on every node of ``graph`` under ``model``.
 
@@ -207,12 +217,23 @@ def run_protocol(
         maintained for it are a handful of per-round integer increments
         that never touch RNG state, scheduling order, or observations,
         and the field is excluded from ``RunResult`` equality.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` — composable,
+        deterministically seeded message loss, jamming, crash–recovery,
+        and wake-skew injection (see :mod:`repro.faults`).  Composes
+        with ``crash_schedule``/``wake_schedule``: legacy crash entries
+        become crash-stop events, explicit wake entries override the
+        plan's generated skew.  ``None`` (or a no-op plan) takes the
+        fault-free fast path bit-identical to a run without the
+        parameter.
     """
     if check_model_compatibility and model.name not in protocol.compatible_models:
         raise SimulationError(
             f"protocol {protocol.name!r} supports models "
             f"{protocol.compatible_models}, not {model.name!r}"
         )
+    if crash_schedule is not None:
+        validate_crash_schedule(crash_schedule)
     # Graph-wide parameters, computed once for the whole run (the seed
     # engine re-evaluated max_degree/num_nodes per node at boot).
     num_nodes = graph.num_nodes
@@ -222,6 +243,30 @@ def run_protocol(
     if max_rounds is None:
         hint = protocol.max_rounds_hint(num_nodes, delta)
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
+
+    # Fault-plan compilation (see repro.faults).  ``fault_channel`` is
+    # the collision-resolution hook; ``crash_events`` the merged
+    # node -> [(round, recovery_delay)] timeline (recovery_delay None =
+    # crash-stop, subsuming the legacy crash_schedule).  Both stay None
+    # on the fault-free path, so no per-round cost is added.
+    fault_channel = None
+    crash_events: Optional[Dict[int, List[Tuple[int, Optional[int]]]]] = None
+    if faults is not None and not faults.is_noop:
+        compiled = compile_fault_plan(
+            faults,
+            model,
+            num_nodes,
+            crash_schedule=crash_schedule,
+            wake_schedule=wake_schedule,
+        )
+        fault_channel = compiled.channel
+        crash_events = compiled.crashes
+        wake_schedule = compiled.wake
+    elif crash_schedule is not None:
+        crash_events = {
+            node: [(crash_round, None)]
+            for node, crash_round in crash_schedule.items()
+        }
 
     runners: List[_NodeRunner] = []
 
@@ -319,16 +364,47 @@ def run_protocol(
             except AttributeError:
                 tag = None
             if tag == TAG_TRANSMIT or tag == TAG_LISTEN:
-                if crash_schedule is not None:
-                    crash_round = crash_schedule.get(runner.node)
-                    if crash_round is not None and ctx._now >= crash_round:
-                        # Crash-stop: the node never executes this (or
-                        # any later) action.
-                        runner.done = True
-                        runner.crashed = True
-                        runner.finish_round = crash_round
+                if crash_events is not None:
+                    events = crash_events.get(runner.node)
+                    if events and ctx._now >= events[0][0]:
+                        crash_round, recovery_delay = events.pop(0)
                         runner.generator.close()
-                        return
+                        if recovery_delay is None:
+                            # Crash-stop: the node never executes this
+                            # (or any later) action.
+                            runner.done = True
+                            runner.crashed = True
+                            runner.finish_round = crash_round
+                            return
+                        # Crash-recovery: restart the protocol from
+                        # scratch at crash_round + delay — fresh RNG
+                        # stream (incarnation-salted), fresh
+                        # decision/info state, local clock resumed at
+                        # the restart round.  Energy spent before the
+                        # crash stays on the carried-over ledger.
+                        runner.restarts += 1
+                        restart_round = crash_round + recovery_delay
+                        runner.last_restart_round = restart_round
+                        ledger = ctx.energy_by_component
+                        ctx = NodeContext(
+                            runner.node,
+                            restart_rng(seed, runner.node, runner.restarts),
+                            n=num_nodes,
+                            delta=delta,
+                        )
+                        ctx.energy_by_component = ledger
+                        ctx._now = restart_round
+                        ctx.restart_round = restart_round
+                        runner.ctx = ctx
+                        runner.generator = protocol.run(ctx)
+                        runner.send = send = runner.generator.send
+                        try:
+                            action = send(None)
+                        except StopIteration:
+                            runner.done = True
+                            runner.finish_round = restart_round
+                            return
+                        continue
                 when = ctx._now
                 slot = calendar_get(when)
                 if slot is None:
@@ -405,7 +481,7 @@ def run_protocol(
     # The specialized loops below inline advance()'s fast path; that is
     # only valid when a fresh transmit/listen needs no crash or congest
     # checks before scheduling.
-    fast_schedule = crash_schedule is None and message_bits is None
+    fast_schedule = crash_events is None and message_bits is None
 
     # Populated rounds are processed in increasing order, so the span
     # [first processed, last processed] minus the processed count is the
@@ -488,7 +564,7 @@ def run_protocol(
         # taxes the common case.
         next_round = current_round + 1
         next_slot: Optional[_Slot] = None
-        if record_trace or sender_side:
+        if record_trace or sender_side or fault_channel is not None:
             for runner, payload in bucket:
                 node = runner.node
                 listening = payload is _LISTEN
@@ -526,6 +602,13 @@ def run_protocol(
                             observation = message(
                                 tx_map[(neighbor_sets[node] & tx_keys).pop()]
                             )
+                    if fault_channel is not None:
+                        # Collision-resolution hook: the fault channel
+                        # perturbs what this perceiver reads (jam wins
+                        # over drop; see repro.faults.injector).
+                        observation = fault_channel(
+                            current_round, node, observation
+                        )
                 else:
                     observation = None
                 if listening:
@@ -705,6 +788,8 @@ def run_protocol(
             decision=runner.ctx.decision,
             energy_by_component=dict(runner.ctx.energy_by_component),
             crashed=runner.crashed,
+            restarts=runner.restarts,
+            last_restart_round=runner.last_restart_round,
         )
         for runner in runners
     )

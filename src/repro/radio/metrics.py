@@ -66,6 +66,10 @@ class NodeStats:
     energy_by_component: Mapping[str, int] = field(default_factory=dict)
     #: True iff the node was crash-stopped by fault injection.
     crashed: bool = False
+    #: Crash–recovery restarts this node went through (0 without them).
+    restarts: int = 0
+    #: Round at which the node's latest restart began (-1 = never).
+    last_restart_round: int = -1
 
     def __post_init__(self) -> None:
         if not isinstance(self.energy_by_component, FrozenLedger):
@@ -165,6 +169,52 @@ class RunResult:
             if node in mis or self.graph.neighbor_set(node) & mis
         )
         return covered / len(survivors)
+
+    @property
+    def restarted_nodes(self) -> FrozenSet[int]:
+        """Nodes that went through at least one crash–recovery restart."""
+        return frozenset(
+            stats.node for stats in self.node_stats if stats.restarts
+        )
+
+    def independence_violation_rate(self) -> float:
+        """Fraction of surviving MIS nodes with a surviving MIS neighbor.
+
+        Under crash–recovery or channel noise a restarted node can join
+        the MIS beside an already-committed neighbor, so independence is
+        no longer guaranteed — this measures how often that happens.
+        0.0 means the surviving output is still an independent set.
+        """
+        mis = self.mis - self.crashed_nodes
+        if not mis:
+            return 0.0
+        violating = sum(
+            1 for node in mis if self.graph.neighbor_set(node) & mis
+        )
+        return violating / len(mis)
+
+    def time_to_stabilize(self) -> int:
+        """Rounds the last restarted node needed to re-terminate.
+
+        Maximum of ``finish_round - last_restart_round`` over restarted
+        nodes (0 without restarts): how long recovery took to settle
+        after the final crash–recovery event.
+        """
+        settle = 0
+        for stats in self.node_stats:
+            if stats.restarts and stats.finish_round >= 0:
+                settle = max(settle, stats.finish_round - stats.last_restart_round)
+        return settle
+
+    def energy_overhead_vs(self, baseline: "RunResult") -> float:
+        """Fractional total-energy overhead versus a fault-free baseline.
+
+        E.g. ``0.25`` means the faulty run spent 25% more awake rounds
+        than ``baseline`` (same graph/protocol/seed, no fault plan).
+        """
+        if baseline.total_energy == 0:
+            return 0.0
+        return self.total_energy / baseline.total_energy - 1.0
 
     # ------------------------------------------------------------------
     # Energy / round summaries

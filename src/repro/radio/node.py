@@ -59,6 +59,7 @@ class NodeContext:
         "delta",
         "decision",
         "info",
+        "restart_round",
         "_now",
         "_component",
         "energy_by_component",
@@ -72,6 +73,11 @@ class NodeContext:
         self.decision = Decision.UNDECIDED
         #: Free-form instrumentation dict, surfaced in RunResult.node_info.
         self.info: Dict[str, Any] = {}
+        #: Round at which a crash–recovery fault plan restarted this node
+        #: with fresh protocol state, or None for a normal (round-0 or
+        #: wake-scheduled) start.  Protocols whose barrier arithmetic is
+        #: anchored to their start round consult this to re-anchor.
+        self.restart_round: Optional[int] = None
         self._now = 0
         self._component = "default"
         self.energy_by_component: Dict[str, int] = {}

@@ -1,0 +1,218 @@
+"""FaultPlan construction, validation, derived schedules, and the
+``--faults`` spec grammar."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import CrashEvent, FaultPlan, JamWindow, fault_roll, parse_fault_spec
+from repro.faults.plan import DROP_SALT, JAM_SALT
+
+
+class TestValidation:
+    @pytest.mark.parametrize("drop_p", [-0.1, 1.5])
+    def test_drop_probability_range(self, drop_p):
+        with pytest.raises(ConfigurationError, match="drop probability"):
+            FaultPlan(drop_p=drop_p)
+
+    def test_jam_window_stop_before_start(self):
+        with pytest.raises(ConfigurationError, match="jam window stop"):
+            JamWindow(10, 10)
+
+    def test_jam_window_negative_start(self):
+        with pytest.raises(ConfigurationError, match="jam window start"):
+            JamWindow(-1, 5)
+
+    def test_jam_probability_range(self):
+        with pytest.raises(ConfigurationError, match="jam probability"):
+            JamWindow(0, 5, probability=2.0)
+
+    def test_jams_must_hold_windows(self):
+        with pytest.raises(ConfigurationError, match="JamWindow"):
+            FaultPlan(jams=((0, 5),))
+
+    @pytest.mark.parametrize("bad_round", [-1, 2.5, True, "3"])
+    def test_crash_event_round_must_be_nonnegative_int(self, bad_round):
+        with pytest.raises(ConfigurationError, match="crash round"):
+            CrashEvent(bad_round)
+
+    @pytest.mark.parametrize("bad_delay", [0, -3, 1.5, True])
+    def test_crash_event_recovery_delay_positive(self, bad_delay):
+        with pytest.raises(ConfigurationError, match="recovery delay"):
+            CrashEvent(5, bad_delay)
+
+    def test_crash_fraction_range(self):
+        with pytest.raises(ConfigurationError, match="crash fraction"):
+            FaultPlan(crash_fraction=1.2)
+
+    def test_crash_recovery_zero_rejected(self):
+        with pytest.raises(ConfigurationError, match="recovery delay"):
+            FaultPlan(crash_fraction=0.1, crash_recovery=0)
+
+    def test_wake_skew_nonnegative(self):
+        with pytest.raises(ConfigurationError, match="wake skew"):
+            FaultPlan(max_wake_skew=-2)
+
+    def test_crash_node_ids_nonnegative(self):
+        with pytest.raises(ConfigurationError, match="crash node ids"):
+            FaultPlan(crashes={-1: 5})
+
+
+class TestNormalization:
+    def test_default_plan_is_noop(self):
+        assert FaultPlan().is_noop
+        assert FaultPlan(seed=17).is_noop  # a seed alone injects nothing
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(drop_p=0.01),
+            FaultPlan(jams=(JamWindow(0, 5),)),
+            FaultPlan(crashes={3: 7}),
+            FaultPlan(crash_fraction=0.5, crash_round=10),
+            FaultPlan(max_wake_skew=2),
+        ],
+        ids=["drop", "jam", "crashes", "fraction", "wake"],
+    )
+    def test_any_fault_defeats_noop(self, plan):
+        assert not plan.is_noop
+
+    def test_crash_shorthands_canonicalize(self):
+        plan = FaultPlan(
+            crashes={
+                5: 9,  # bare round -> crash-stop event
+                2: CrashEvent(4, 3),
+                8: [CrashEvent(20), CrashEvent(6, 2)],
+            }
+        )
+        assert plan.crashes == (
+            (2, (CrashEvent(4, 3),)),
+            (5, (CrashEvent(9),)),
+            (8, (CrashEvent(6, 2), CrashEvent(20))),  # round-sorted
+        )
+
+    def test_canonical_plans_compare_equal(self):
+        # Equality (and therefore cache-key identity) is representation
+        # independent: dict order and event order do not matter.
+        first = FaultPlan(crashes={1: [CrashEvent(8), CrashEvent(2, 4)], 0: 3})
+        second = FaultPlan(crashes={0: 3, 1: [CrashEvent(2, 4), CrashEvent(8)]})
+        assert first == second
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan(
+            seed=3,
+            drop_p=0.05,
+            jams=(JamWindow(10, 20, 0.5),),
+            crash_fraction=0.2,
+            crash_round=64,
+            crash_recovery=32,
+            max_wake_skew=8,
+        )
+        text = plan.describe()
+        for expected in ("seed=3", "drop=0.05", "jam=10..20@0.5",
+                         "crash=0.2@64+32", "wake<=8"):
+            assert expected in text
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestDerivedSchedules:
+    def test_crash_events_drop_out_of_graph_nodes(self):
+        plan = FaultPlan(crashes={2: 5, 99: 5})
+        assert plan.crash_events_for(10) == {2: [(5, None)]}
+
+    def test_crash_fraction_sample_size_and_determinism(self):
+        plan = FaultPlan(seed=7, crash_fraction=0.25, crash_round=12,
+                         crash_recovery=4)
+        events = plan.crash_events_for(40)
+        assert len(events) == 10  # int(0.25 * 40)
+        assert all(timeline == [(12, 4)] for timeline in events.values())
+        assert events == plan.crash_events_for(40)
+        # A different plan seed crashes a different subset.
+        other = FaultPlan(seed=8, crash_fraction=0.25, crash_round=12,
+                          crash_recovery=4)
+        assert set(other.crash_events_for(40)) != set(events)
+
+    def test_explicit_and_fraction_crashes_merge_sorted(self):
+        plan = FaultPlan(seed=0, crashes={0: CrashEvent(50)},
+                         crash_fraction=1.0, crash_round=10)
+        events = plan.crash_events_for(4)
+        assert events[0] == [(10, None), (50, None)]
+
+    def test_wake_schedule_bounds_and_determinism(self):
+        plan = FaultPlan(seed=5, max_wake_skew=6)
+        schedule = plan.wake_schedule_for(200)
+        assert set(schedule) == set(range(200))
+        assert all(0 <= offset <= 6 for offset in schedule.values())
+        assert len(set(schedule.values())) > 1  # actually skewed
+        assert schedule == plan.wake_schedule_for(200)
+        assert FaultPlan(seed=5).wake_schedule_for(200) is None
+
+
+class TestFaultRoll:
+    def test_uniform_range_and_determinism(self):
+        draws = [fault_roll(1, r, n, DROP_SALT)
+                 for r in range(20) for n in range(20)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        assert fault_roll(1, 3, 4, DROP_SALT) == fault_roll(1, 3, 4, DROP_SALT)
+
+    def test_salts_decorrelate_draws(self):
+        assert fault_roll(1, 3, 4, DROP_SALT) != fault_roll(1, 3, 4, JAM_SALT)
+        assert fault_roll(1, 3, 4, DROP_SALT) != fault_roll(2, 3, 4, DROP_SALT)
+        assert fault_roll(1, 3, 4, DROP_SALT) != fault_roll(1, 4, 4, DROP_SALT)
+        assert fault_roll(1, 3, 4, DROP_SALT) != fault_roll(1, 3, 5, DROP_SALT)
+
+    def test_roughly_uniform(self):
+        draws = [fault_roll(9, r, n, JAM_SALT)
+                 for r in range(100) for n in range(10)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+
+class TestSpecGrammar:
+    def test_full_spec_round_trip(self):
+        plan = parse_fault_spec(
+            "drop=0.05, jam=10..20@0.5, crash=0.2@64+32, wake=8, seed=3"
+        )
+        assert plan == FaultPlan(
+            seed=3,
+            drop_p=0.05,
+            jams=(JamWindow(10, 20, 0.5),),
+            crash_fraction=0.2,
+            crash_round=64,
+            crash_recovery=32,
+            max_wake_skew=8,
+        )
+
+    def test_explicit_node_crashes_accumulate(self):
+        plan = parse_fault_spec("crash=2:10+8,crash=7:15")
+        assert plan.crashes == (
+            (2, (CrashEvent(10, 8),)),
+            (7, (CrashEvent(15),)),
+        )
+
+    def test_joined_jam_windows(self):
+        plan = parse_fault_spec("jam=0..8+20..24@0.5")
+        assert plan.jams == (JamWindow(0, 8), JamWindow(20, 24, 0.5))
+
+    def test_empty_fragments_are_skipped(self):
+        assert parse_fault_spec("drop=0.1,,  ,").drop_p == 0.1
+
+    @pytest.mark.parametrize(
+        "spec, detail",
+        [
+            ("drop=bogus", "must be a number"),
+            ("jam=5", "START..STOP"),
+            ("crash=5", "FRAC@ROUND"),
+            ("drop", "key=value"),
+            ("zap=1", "unknown key"),
+        ],
+    )
+    def test_errors_name_the_fragment(self, spec, detail):
+        with pytest.raises(ConfigurationError, match=detail) as excinfo:
+            parse_fault_spec(spec)
+        assert "--faults fragment" in str(excinfo.value)
+
+    def test_parsed_values_hit_plan_validation(self):
+        # Range/sign checks live in the plan constructors; the parser
+        # still surfaces them as ConfigurationError.
+        with pytest.raises(ConfigurationError, match="crash round"):
+            parse_fault_spec("crash=0.5@-3")

@@ -112,6 +112,83 @@ def test_crash_and_wake_combined_bit_identical():
     )
 
 
+# ----------------------------------------------------------------------
+# Fault plans: the bit-identity contract covers faulty runs too.
+# ----------------------------------------------------------------------
+
+from repro.faults import CrashEvent, FaultPlan, JamWindow  # noqa: E402
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan(seed=3, drop_p=0.05),
+        FaultPlan(seed=3, jams=(JamWindow(5, 15), JamWindow(30, 40, 0.4))),
+        FaultPlan(seed=3, crashes={2: CrashEvent(10, 8), 7: 15}),
+        FaultPlan(seed=3, crash_fraction=0.2, crash_round=12, crash_recovery=6),
+        FaultPlan(seed=3, max_wake_skew=4),
+        FaultPlan(
+            seed=3,
+            drop_p=0.02,
+            jams=(JamWindow(8, 12),),
+            crashes={1: [CrashEvent(6, 4), CrashEvent(25)]},
+            crash_fraction=0.1,
+            crash_round=20,
+            max_wake_skew=2,
+        ),
+    ],
+    ids=["drop", "jam", "crash-recovery", "fraction", "wake-skew", "kitchen-sink"],
+)
+@pytest.mark.parametrize("model", [CD, BEEPING], ids=lambda m: m.name)
+def test_fault_plans_bit_identical(plan, model):
+    # Generous budget: faults legitimately stretch runs past the
+    # fault-free watchdog, and watchdog errors are not what is under
+    # test here.
+    assert_bit_identical(
+        GRAPH_SMALL,
+        CDMISProtocol(constants=FAST),
+        model,
+        seed=6,
+        faults=plan,
+        max_rounds=50_000,
+        check_model_compatibility=False,
+    )
+
+
+def test_fault_plan_composes_with_legacy_schedules_bit_identical():
+    assert_bit_identical(
+        GRAPH_SMALL,
+        CDMISProtocol(constants=FAST),
+        CD,
+        seed=2,
+        faults=FaultPlan(seed=1, drop_p=0.03, crashes={4: CrashEvent(7, 5)}),
+        crash_schedule={0: 5, 9: 12},
+        wake_schedule={node: node % 3 for node in GRAPH_SMALL.nodes},
+        max_rounds=50_000,
+    )
+
+
+def test_noop_fault_plan_bit_identical_to_none():
+    protocol = CDMISProtocol(constants=FAST)
+    baseline = run_protocol(GRAPH_SMALL, protocol, CD, seed=8)
+    with_noop = run_protocol(GRAPH_SMALL, protocol, CD, seed=8, faults=FaultPlan())
+    assert with_noop == baseline
+
+
+@pytest.mark.parametrize("model", [CD, NO_CD, BEEPING], ids=lambda m: m.name)
+def test_dense_traffic_faults_bit_identical(model):
+    # Fixed-length scripts terminate under any channel, so this covers
+    # the no-CD perturbation path (where jam reads as silence) without
+    # depending on an MIS protocol converging under noise.
+    plan = FaultPlan(
+        seed=4,
+        drop_p=0.1,
+        jams=(JamWindow(3, 9, 0.5),),
+        crashes={5: CrashEvent(4, 3), 11: 8},
+    )
+    assert_bit_identical(GRAPH_DENSE, DenseTraffic(rounds=20), model, 9, faults=plan)
+
+
 class DenseTraffic(Protocol):
     """Every node alternates transmit/listen — drives the scatter path,
     including the heavy-round (numpy-accelerated, when available) branch."""

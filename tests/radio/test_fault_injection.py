@@ -3,8 +3,10 @@
 import pytest
 
 from repro.core import CDMISProtocol
+from repro.errors import ConfigurationError
 from repro.graphs import empty_graph, gnp_random_graph, path_graph, star_graph
 from repro.radio import CD, Decision, Listen, Sleep, Transmit, run_protocol
+from repro.radio._engine_reference import run_protocol_reference
 from tests.radio.test_engine import ScriptProtocol
 
 
@@ -71,6 +73,46 @@ class TestCrashSemantics:
             empty_graph(1), protocol, CD, seed=0, crash_schedule={0: 100}
         )
         assert not result.node_stats[0].crashed
+
+
+class TestCrashScheduleValidation:
+    """Malformed crash schedules fail fast in *both* engines.
+
+    Regression: crash rounds were previously unvalidated — a float
+    round silently never (or always) crashed depending on comparison
+    luck, and a negative round crashed before round zero.
+    """
+
+    ENGINES = [run_protocol, run_protocol_reference]
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=["optimized", "reference"])
+    @pytest.mark.parametrize("bad_round", [2.5, "3", None, True])
+    def test_non_int_crash_round_raises_naming_node(self, engine, bad_round):
+        protocol = ScriptProtocol({0: [Listen()]})
+        with pytest.raises(ConfigurationError, match="node 0 must be an int"):
+            engine(
+                empty_graph(1), protocol, CD, seed=0,
+                crash_schedule={0: bad_round},
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=["optimized", "reference"])
+    def test_negative_crash_round_raises_naming_node(self, engine):
+        protocol = ScriptProtocol({0: [Listen()], 5: [Listen()]})
+        with pytest.raises(
+            ConfigurationError, match="node 5 must be non-negative"
+        ):
+            engine(
+                empty_graph(6), protocol, CD, seed=0,
+                crash_schedule={5: -1},
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=["optimized", "reference"])
+    def test_valid_schedule_untouched(self, engine):
+        protocol = ScriptProtocol({0: [Listen(), Listen()]})
+        result = engine(
+            empty_graph(1), protocol, CD, seed=0, crash_schedule={0: 1}
+        )
+        assert result.node_stats[0].crashed
 
 
 class TestSurvivorMetrics:
