@@ -17,6 +17,7 @@ Quickstart
 True
 """
 
+from .claims import Claim, ClaimVerdict, verify_claims
 from .constants import ConstantsProfile
 from .core import (
     BeepingMISProtocol,
@@ -48,6 +49,9 @@ from .radio import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Claim",
+    "ClaimVerdict",
+    "verify_claims",
     "ConstantsProfile",
     "BeepingMISProtocol",
     "CDMISProtocol",

@@ -151,9 +151,13 @@ def bootstrap_ci(
         statistic([data[rng.randrange(count)] for _ in range(count)])
         for _ in range(resamples)
     )
+    # Interpolated quantiles (via the shared percentile helper) rather
+    # than truncating-index selection: int(alpha * (resamples - 1))
+    # rounds both endpoints toward the median, biasing intervals narrow
+    # at low resample counts.
     alpha = (1.0 - confidence) / 2.0
-    low = estimates[int(alpha * (resamples - 1))]
-    high = estimates[int((1.0 - alpha) * (resamples - 1))]
+    low = percentile(estimates, 100.0 * alpha)
+    high = percentile(estimates, 100.0 * (1.0 - alpha))
     return (low, high)
 
 

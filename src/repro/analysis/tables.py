@@ -13,14 +13,19 @@ __all__ = ["render_table", "render_series", "format_cell"]
 
 
 def format_cell(value) -> str:
-    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    """Render one cell: floats get 4 significant digits, rest ``str``.
+
+    Floats follow a single ``%.4g`` rule, so the same magnitude always
+    renders the same way across every table (scientific notation only
+    when four significant digits cannot express the value), and a float
+    that happens to be integral (``5200.0``) matches the plain-``str``
+    rendering of the equal int in a neighboring column.
+    """
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
         if value == 0:
             return "0"
-        if abs(value) >= 1000 or abs(value) < 0.001:
-            return f"{value:.3e}"
         return f"{value:.4g}"
     return str(value)
 

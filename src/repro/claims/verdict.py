@@ -1,0 +1,96 @@
+"""Verdict semantics: predicate results -> one of four verdicts.
+
+``reproduced``
+    every strict predicate decided and passed — the guarantee holds as
+    stated, statistically confirmed.
+``shape-only``
+    the qualitative form holds (every shape predicate decided and
+    passed) but the strict statement either decidedly failed or could
+    not be decided within budget.  This is the honest encoding of
+    EXPERIMENTS.md's E4 caveat: Algorithm 2's asymptotics beat the
+    Davies-style baseline, yet its absolute energy at laptop sizes does
+    not.
+``not-reproduced``
+    a strict predicate decidedly failed and the shape predicates offer
+    no (decided) fallback.
+``inconclusive``
+    not enough statistical evidence either way within the trial budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .spec import Claim, EvalContext, Measurements, PredicateResult
+
+__all__ = ["VERDICTS", "ClaimVerdict", "decide_verdict", "evaluate_claim"]
+
+VERDICTS = ("reproduced", "shape-only", "not-reproduced", "inconclusive")
+
+
+def decide_verdict(
+    strict: Sequence[PredicateResult], shape: Sequence[PredicateResult]
+) -> str:
+    """Map strict/shape predicate results to a verdict."""
+    strict_ok = bool(strict) and all(r.decided and r.passed for r in strict)
+    strict_failed = any(r.decided and not r.passed for r in strict)
+    shape_ok = bool(shape) and all(r.decided and r.passed for r in shape)
+    shape_failed = any(r.decided and not r.passed for r in shape)
+
+    if strict_ok:
+        return "reproduced"
+    if strict_failed:
+        if shape_ok:
+            return "shape-only"
+        if shape_failed or not shape:
+            return "not-reproduced"
+        return "inconclusive"
+    # strict undecided: the shape fallback may still be decidable
+    return "shape-only" if shape_ok else "inconclusive"
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """One claim's final verdict plus the evidence behind it."""
+
+    claim_id: str
+    verdict: str
+    strict: Tuple[PredicateResult, ...]
+    shape: Tuple[PredicateResult, ...]
+    trials_used: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def converged(self) -> bool:
+        return all(r.decided for r in self.strict + self.shape)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "claim_id": self.claim_id,
+            "verdict": self.verdict,
+            "trials_used": self.trials_used,
+            "budget_exhausted": self.budget_exhausted,
+            "strict": [r.to_record() for r in self.strict],
+            "shape": [r.to_record() for r in self.shape],
+        }
+
+
+def evaluate_claim(
+    claim: Claim,
+    measurements: Measurements,
+    context: EvalContext,
+    *,
+    budget_exhausted: bool = False,
+) -> ClaimVerdict:
+    """Evaluate every predicate of a claim and fold into a verdict."""
+    strict = tuple(p.evaluate(measurements, context) for p in claim.strict)
+    shape = tuple(p.evaluate(measurements, context) for p in claim.shape)
+    return ClaimVerdict(
+        claim_id=claim.claim_id,
+        verdict=decide_verdict(strict, shape),
+        strict=strict,
+        shape=shape,
+        trials_used=measurements.trials_used,
+        budget_exhausted=budget_exhausted,
+    )

@@ -7,6 +7,9 @@ Subcommands
 ``lowerbound``  — the Theorem 1 budget sweep on the hard instance.
 ``experiment``  — run a registered experiment (E1..E12) at quick scale.
 ``campaign``    — run a declarative JSON campaign file.
+``claims``      — machine-checked verification of the paper's claims
+                  (``claims list | verify | report``); writes
+                  ``benchmarks/results/CLAIMS.json``.
 ``obs``         — observability utilities (``obs summarize`` renders a
                   telemetry JSONL report).
 ``list``        — list algorithms, models, topologies, experiments.
@@ -317,6 +320,67 @@ def build_parser() -> argparse.ArgumentParser:
     apps_parser.add_argument("--topology", default="udg")
     apps_parser.add_argument("--seed", type=int, default=0)
 
+    claims_parser = subparsers.add_parser(
+        "claims", help="verify the paper's registered claims (machine-checked)"
+    )
+    claims_sub = claims_parser.add_subparsers(dest="claims_command", required=True)
+    claims_list = claims_sub.add_parser(
+        "list", help="list the registered claims and their predicates"
+    )
+    claims_list.add_argument(
+        "--quick",
+        action="store_true",
+        help="show the quick tier's workload scales instead of the full tier",
+    )
+    claims_verify = claims_sub.add_parser(
+        "verify",
+        help="adaptively sample trials and produce per-claim verdicts",
+    )
+    claims_verify.add_argument(
+        "claim_ids",
+        nargs="*",
+        metavar="CLAIM",
+        help="claim ids to verify (default: all registered claims)",
+    )
+    claims_verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick tier: smaller sweeps and looser rate bounds (CI scale)",
+    )
+    claims_verify.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        metavar="TRIALS",
+        help="trial budget per workload group; sampling stops (possibly "
+        "inconclusive) once a group has spent it",
+    )
+    claims_verify.add_argument("--seed", type=int, default=0)
+    claims_verify.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="claims document path (default: benchmarks/results/CLAIMS.json)",
+    )
+    _add_execution_options(claims_verify)
+    _add_obs_options(claims_verify)
+    claims_report = claims_sub.add_parser(
+        "report",
+        help="render the markdown report from an existing claims document",
+    )
+    claims_report.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="claims document to read (default: benchmarks/results/CLAIMS.json)",
+    )
+    claims_report.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the markdown report to a file",
+    )
+
     obs_parser = subparsers.add_parser(
         "obs", help="observability utilities for telemetry JSONL files"
     )
@@ -492,6 +556,86 @@ def _command_apps(args, constants: ConstantsProfile) -> int:
     return 0
 
 
+def _command_claims(args, constants: ConstantsProfile) -> int:
+    from .claims import registered_claims
+    from .errors import ConfigurationError
+
+    tier = "quick" if getattr(args, "quick", False) else "full"
+    registry = registered_claims(tier, constants)
+
+    if args.claims_command == "list":
+        print(f"registered claims ({tier} tier):")
+        for claim in registry.values():
+            experiments = ", ".join(claim.ref.experiments)
+            print(f"  {claim.claim_id} [{claim.ref.statement}; {experiments}]")
+            print(f"    {claim.title}")
+            print(
+                f"    strict: {len(claim.strict)} predicate(s), "
+                f"shape: {len(claim.shape)}, workload: "
+                f"{type(claim.workload).__name__}"
+            )
+        return 0
+
+    if args.claims_command == "report":
+        from .claims import DEFAULT_CLAIMS_PATH, load_claims_json, render_markdown
+
+        try:
+            document = load_claims_json(args.json or DEFAULT_CLAIMS_PATH)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        markdown = render_markdown(document)
+        print(markdown)
+        if args.output:
+            from .analysis.export import save_text
+
+            save_text(markdown, args.output)
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+
+    # verify
+    from .claims import (
+        DEFAULT_CLAIMS_PATH,
+        build_document,
+        render_markdown,
+        verify_claims,
+        write_claims_json,
+    )
+    from .obs.session import current_progress
+
+    selected = list(registry.values())
+    if args.claim_ids:
+        unknown = [cid for cid in args.claim_ids if cid not in registry]
+        if unknown:
+            raise SystemExit(
+                f"unknown claim id(s) {unknown}; see 'repro-mis claims list'"
+            )
+        selected = [registry[cid] for cid in args.claim_ids]
+
+    result = verify_claims(
+        selected,
+        tier=tier,
+        constants=constants,
+        profile=args.profile,
+        jobs=args.jobs,
+        cache=_cache_from_args(args),
+        budget=args.budget,
+        base_seed=args.seed,
+        progress=current_progress(),
+    )
+    document = build_document(result)
+    path = write_claims_json(document, args.json or DEFAULT_CLAIMS_PATH)
+    print(render_markdown(document))
+    print(f"wrote {path}", file=sys.stderr)
+    counts = result.counts
+    if counts.get("inconclusive"):
+        print(
+            f"warning: {counts['inconclusive']} claim(s) inconclusive "
+            f"(budget exhausted before the predicates decided)",
+            file=sys.stderr,
+        )
+    return 1 if counts.get("not-reproduced") else 0
+
+
 def _command_obs(args, constants: ConstantsProfile) -> int:
     from .obs.export import SchemaError
     from .obs.summary import summarize_files
@@ -528,6 +672,7 @@ def main(argv: Optional[list] = None) -> int:
         "lowerbound": _command_lowerbound,
         "experiment": _command_experiment,
         "campaign": _command_campaign,
+        "claims": _command_claims,
         "apps": _command_apps,
         "obs": _command_obs,
         "list": _command_list,

@@ -50,3 +50,60 @@ class TestBootstrapCI:
         # Resample means can drift a few ulp past the sample range.
         slack = 1e-9 * max(1.0, max(abs(v) for v in values))
         assert min(values) - slack <= low <= high <= max(values) + slack
+
+
+class TestBootstrapEndpointInterpolation:
+    """Regression tests for the interpolated percentile endpoints.
+
+    ``bootstrap_ci`` used to select endpoints by truncating index
+    (``estimates[int(alpha * (resamples - 1))]``), which rounds both
+    endpoints toward the median and biases intervals narrow at low
+    resample counts.  The pinned values below change if anyone
+    reintroduces index truncation.
+    """
+
+    VALUES = [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_pinned_values(self):
+        low, high = bootstrap_ci(self.VALUES, resamples=20, seed=7)
+        assert low == pytest.approx(3.77)
+        assert high == pytest.approx(10.735)
+        low50, high50 = bootstrap_ci(
+            self.VALUES, resamples=20, seed=7, confidence=0.5
+        )
+        assert low50 == pytest.approx(5.6)
+        assert high50 == pytest.approx(7.85)
+
+    def test_wider_than_truncating_index_selection(self):
+        # Replay the exact resample stream, then compare against the
+        # old truncating-index endpoints: the interpolated interval
+        # must reach at least as far up as them.
+        import random
+
+        rng = random.Random(7)
+        count = len(self.VALUES)
+        estimates = sorted(
+            sum(self.VALUES[rng.randrange(count)] for _ in range(count)) / count
+            for _ in range(20)
+        )
+        alpha = 0.025
+        old_low = estimates[int(alpha * 19)]
+        old_high = estimates[int((1.0 - alpha) * 19)]
+        low, high = bootstrap_ci(self.VALUES, resamples=20, seed=7)
+        assert low == pytest.approx(percentile(estimates, 2.5))
+        assert high == pytest.approx(percentile(estimates, 97.5))
+        # int() truncation rounds the upper index down, so the old code
+        # systematically pulled the upper endpoint toward the median.
+        assert high > old_high
+        assert (high - low) > (old_high - old_low)
+
+    @given(st.integers(0, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_endpoints_bracket_narrower_intervals(self, seed):
+        # Endpoints need not be members of the resample distribution
+        # (interpolation), but must bracket its median.
+        low, high = bootstrap_ci(self.VALUES, resamples=30, seed=seed)
+        mid = bootstrap_ci(
+            self.VALUES, resamples=30, seed=seed, confidence=0.01
+        )
+        assert low <= mid[0] <= mid[1] <= high

@@ -126,3 +126,34 @@ class TestValidation:
         # Empty stats -> empty MIS -> domination violations.
         with pytest.raises(ValidationError):
             validate_run(bad, strict=True)
+
+
+class TestFormatCellConsistency:
+    """One ``%.4g`` rule for floats, everywhere (claims report tables
+    reuse ``format_cell``, so drift here would desynchronize the
+    benchmark tables from the regenerated E1/E2/E4 tables)."""
+
+    def test_integral_float_matches_int_rendering(self):
+        assert format_cell(5200.0) == format_cell(5200) == "5200"
+        assert format_cell(-17.0) == format_cell(-17) == "-17"
+
+    def test_scientific_notation_threshold(self):
+        # %.4g switches to scientific only past 4 significant digits.
+        assert format_cell(9999.0) == "9999"
+        assert format_cell(10830.0) == "1.083e+04"
+        assert format_cell(0.0001234) == "0.0001234"
+        assert format_cell(0.00001234) == "1.234e-05"
+
+    def test_zero_and_negative_zero(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(-0.0) == "0"
+
+    def test_bools_never_hit_numeric_path(self):
+        assert format_cell(False) == "no"
+        assert format_cell(True) == "yes"
+
+    def test_same_magnitude_same_rendering(self):
+        # The property the report generator depends on: equal float
+        # values render identically regardless of which table emits them.
+        assert format_cell(446960.0) == "4.47e+05"
+        assert format_cell(446960.00000001) == "4.47e+05"

@@ -121,3 +121,66 @@ class TestGeometricMean:
             geometric_mean([1.0, 0.0])
         with pytest.raises(ConfigurationError):
             geometric_mean([])
+
+
+class TestWilsonBoundaries:
+    """Boundary behaviour the claims subsystem's rate predicates rely on."""
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_successes_low_is_exactly_zero(self, trials):
+        low, high = wilson_interval(0, trials)
+        assert low == 0.0
+        assert 0.0 < high <= 1.0
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_all_successes_high_is_exactly_one(self, trials):
+        low, high = wilson_interval(trials, trials)
+        assert high == 1.0
+        assert 0.0 <= low < 1.0
+
+    @given(st.integers(0, 100), st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_endpoints_stay_in_unit_interval(self, successes, extra):
+        trials = successes + extra
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_zero_z_collapses_to_proportion(self):
+        assert wilson_interval(3, 10, z=0.0) == (0.3, 0.3)
+
+
+class TestPercentileEdges:
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_extreme_quantiles_are_exact_min_max(self, values):
+        assert percentile(values, 0.0) == min(values)
+        assert percentile(values, 100.0) == max(values)
+
+    def test_duplicates_do_not_break_interpolation(self):
+        assert percentile([5.0, 5.0, 5.0, 5.0], 37.0) == 5.0
+
+    def test_unsorted_input_matches_sorted(self):
+        shuffled = [9.0, 1.0, 5.0, 3.0, 7.0]
+        assert percentile(shuffled, 60.0) == percentile(sorted(shuffled), 60.0)
+
+    def test_above_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 100.5)
+
+
+class TestGeometricMeanProperties:
+    @given(st.lists(st.floats(1e-3, 1e3), min_size=1, max_size=20),
+           st.floats(1e-2, 1e2))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_equivariance(self, values, scale):
+        scaled = geometric_mean([scale * value for value in values])
+        assert scaled == pytest.approx(scale * geometric_mean(values), rel=1e-9)
+
+    def test_pairwise_matches_sqrt_product(self):
+        assert geometric_mean([3.0, 12.0]) == pytest.approx(6.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([2.0, -1.0])

@@ -1,0 +1,114 @@
+"""Tests for the registered claims: structure and tier invariants."""
+
+import pytest
+
+from repro.claims.registry import TIERS, registered_claims
+from repro.claims.spec import (
+    BackoffWorkload,
+    BudgetWorkload,
+    HarnessWorkload,
+    PairedWorkload,
+    RateWorkload,
+    SweepWorkload,
+)
+from repro.constants import ConstantsProfile
+from repro.errors import ConfigurationError
+
+EXPECTED_IDS = {
+    "thm2-cd-energy",
+    "thm2-cd-rounds",
+    "thm2-beeping-equivalence",
+    "thm1-energy-lower-bound",
+    "lemma8-backoff-energy",
+    "lemma9-backoff-delivery",
+    "thm10-nocd-energy",
+    "thm10-nocd-rounds",
+    "thm2-thm10-failure-rate",
+    "lemma5-residual-shrinkage",
+    "sec5-energy-classes",
+    "lemma14-15-competition",
+}
+
+
+class TestRegistryStructure:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_all_headline_claims_registered(self, tier):
+        registry = registered_claims(tier)
+        assert set(registry) == EXPECTED_IDS
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_ids_match_keys_and_every_claim_has_strict(self, tier):
+        for claim_id, claim in registered_claims(tier).items():
+            assert claim.claim_id == claim_id
+            assert claim.strict, f"{claim_id} has no strict predicates"
+            assert claim.ref.experiments, f"{claim_id} names no experiment"
+            assert all(e.startswith("E") for e in claim.ref.experiments)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registered_claims("nightly")
+
+    def test_predicate_names_unique_within_claim(self):
+        for claim in registered_claims("full").values():
+            names = [p.name for p in claim.predicates()]
+            assert len(names) == len(set(names)), claim.claim_id
+
+
+class TestWorkloadSharing:
+    def test_theorem2_sweep_claims_share_a_workload(self):
+        registry = registered_claims("quick")
+        assert (
+            registry["thm2-cd-energy"].workload
+            == registry["thm2-cd-rounds"].workload
+        )
+
+    def test_theorem10_sweep_claims_share_a_workload(self):
+        registry = registered_claims("quick")
+        assert (
+            registry["thm10-nocd-energy"].workload
+            == registry["thm10-nocd-rounds"].workload
+        )
+
+    def test_backoff_lemmas_share_a_workload(self):
+        registry = registered_claims("quick")
+        assert (
+            registry["lemma8-backoff-energy"].workload
+            == registry["lemma9-backoff-delivery"].workload
+        )
+
+    def test_workload_kinds(self):
+        registry = registered_claims("quick")
+        kinds = {
+            "thm2-cd-energy": SweepWorkload,
+            "thm2-beeping-equivalence": PairedWorkload,
+            "thm1-energy-lower-bound": BudgetWorkload,
+            "lemma8-backoff-energy": BackoffWorkload,
+            "thm2-thm10-failure-rate": RateWorkload,
+            "lemma5-residual-shrinkage": HarnessWorkload,
+        }
+        for claim_id, workload_type in kinds.items():
+            assert isinstance(registry[claim_id].workload, workload_type)
+
+
+class TestTierScaling:
+    def test_quick_tier_runs_less(self):
+        quick = registered_claims("quick")
+        full = registered_claims("full")
+        quick_sweep = quick["thm2-cd-energy"].workload
+        full_sweep = full["thm2-cd-energy"].workload
+        assert max(quick_sweep.sizes) < max(full_sweep.sizes)
+        assert quick_sweep.trials < full_sweep.trials
+        quick_rate = quick["thm2-thm10-failure-rate"].workload
+        full_rate = full["thm2-thm10-failure-rate"].workload
+        assert quick_rate.trials < full_rate.trials
+
+    def test_workloads_hashable_and_frozen(self):
+        registry = registered_claims("quick")
+        for claim in registry.values():
+            hash(claim.workload)  # grouping relies on hashability
+            with pytest.raises(Exception):
+                claim.workload.__setattr__("trials", 0)
+
+    def test_constants_profile_accepted(self):
+        registry = registered_claims("quick", ConstantsProfile.fast())
+        assert set(registry) == EXPECTED_IDS

@@ -1,0 +1,170 @@
+"""Tests for the claims report: repro-claims/1 JSON and markdown."""
+
+import json
+
+import pytest
+
+from repro.claims.report import (
+    CLAIMS_SCHEMA,
+    build_document,
+    load_claims_json,
+    render_markdown,
+    write_claims_json,
+)
+from repro.claims.spec import (
+    Claim,
+    Measurements,
+    PaperRef,
+    PredicateResult,
+    SweepWorkload,
+)
+from repro.claims.verdict import ClaimVerdict
+from repro.claims.verify import VerificationResult
+from repro.errors import ConfigurationError
+
+
+def fitted_result(name="cd-energy-exponent", passed=True):
+    return PredicateResult(
+        name=name,
+        kind="exponent-band",
+        passed=passed,
+        decided=True,
+        detail="fit detail",
+        data={
+            "exponent": 1.04,
+            "ci_low": 0.90,
+            "ci_high": 1.18,
+            "model": "log n",
+            "band": [0.3, 1.7],
+        },
+    )
+
+
+def synthetic_result(verdict="reproduced"):
+    workload = SweepWorkload(protocols=("cd-mis", "naive-cd-luby"), sizes=(16, 64))
+    claim = Claim(
+        claim_id="thm2-cd-energy",
+        title="Algorithm 1 energy",
+        ref=PaperRef("Theorem 2", "§3", ("E1", "E2"), "O(log n) energy"),
+        workload=workload,
+        strict=(),
+        notes="a note for the report",
+    )
+    measurements = Measurements()
+    for protocol, scale in (("cd-mis", 1.0), ("naive-cd-luby", 2.0)):
+        measurements.models[protocol] = "cd"
+        for n, energy in ((16, 10.0), (64, 20.0)):
+            measurements.add_sweep_values(
+                protocol,
+                n,
+                {
+                    "max_energy": [scale * energy, scale * energy + 2.0],
+                    "mean_energy": [scale * energy / 2.0],
+                    "rounds": [30.0],
+                },
+            )
+    measurements.trials_used = 8
+    claim_verdict = ClaimVerdict(
+        claim_id=claim.claim_id,
+        verdict=verdict,
+        strict=(fitted_result(),),
+        shape=(),
+        trials_used=8,
+    )
+    return VerificationResult(
+        tier="quick",
+        profile="practical",
+        verdicts=[claim_verdict],
+        claims={claim.claim_id: claim},
+        measurements={claim.claim_id: measurements},
+    )
+
+
+class TestBuildDocument:
+    def test_document_structure(self):
+        document = build_document(synthetic_result())
+        assert document["schema"] == CLAIMS_SCHEMA
+        assert document["tier"] == "quick"
+        assert document["summary"] == {"reproduced": 1}
+        assert document["total_trials"] == 8
+        record = document["claims"][0]
+        assert record["claim_id"] == "thm2-cd-energy"
+        assert record["statement"] == "Theorem 2"
+        assert record["experiments"] == ["E1", "E2"]
+        assert record["workload"] == "SweepWorkload"
+
+    def test_series_embeds_sweep_summaries(self):
+        document = build_document(synthetic_result())
+        series = document["series"]["cd-mis"]
+        assert series["sizes"] == [16, 64]
+        assert series["trials"] == [2, 2]
+        assert series["max_energy_mean"][0] == pytest.approx(11.0)
+        assert series["max_energy_max"][1] == pytest.approx(22.0)
+
+
+class TestJsonRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        document = build_document(synthetic_result())
+        path = write_claims_json(document, tmp_path / "out" / "CLAIMS.json")
+        assert path.exists()  # parent dirs created
+        loaded = load_claims_json(path)
+        assert loaded == json.loads(json.dumps(document))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no claims document"):
+            load_claims_json(tmp_path / "absent.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_claims_json(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": "repro-claims/0"}))
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            load_claims_json(path)
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            load_claims_json(path)
+
+
+class TestRenderMarkdown:
+    def test_reproduced_run_renders_tables(self):
+        markdown = render_markdown(build_document(synthetic_result()))
+        assert "# Claims verification report" in markdown
+        assert "✅ reproduced" in markdown
+        assert "## E1 — headline complexity table" in markdown
+        assert "| cd-mis | cd | 64 |" in markdown
+        # E2 regenerates from the embedded series with the ratio column.
+        assert "naive-cd-luby maxE" in markdown
+        # The exponent note reads predicate data straight from the
+        # document — the report works offline from CLAIMS.json.
+        assert "bootstrap CI [0.90, 1.18]" in markdown
+        assert "Non-reproduced details" not in markdown
+
+    def test_failing_claim_gets_details_section(self):
+        markdown = render_markdown(
+            build_document(synthetic_result(verdict="shape-only"))
+        )
+        assert "🟡 shape-only" in markdown
+        assert "## Non-reproduced details" in markdown
+        assert "> a note for the report" in markdown
+
+    def test_empty_document_renders_placeholders(self):
+        document = {
+            "schema": CLAIMS_SCHEMA,
+            "tier": "quick",
+            "profile": "practical",
+            "summary": {},
+            "total_trials": 0,
+            "claims": [],
+            "series": {},
+        }
+        markdown = render_markdown(document)
+        assert "_no sweep series in this document_" in markdown
+        assert "_no CD sweep series in this document_" in markdown

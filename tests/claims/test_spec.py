@@ -1,0 +1,414 @@
+"""Tests for claim specs: Measurements, predicates, decision semantics."""
+
+import math
+
+import pytest
+
+from repro.claims.spec import (
+    BackoffEnergyBounds,
+    CeilingPredicate,
+    CellRateBounds,
+    Claim,
+    EvalContext,
+    ExponentBand,
+    ExponentGap,
+    LowerBoundConsistency,
+    MeanDominance,
+    Measurements,
+    PairedBitIdentity,
+    PaperRef,
+    RateBound,
+    ScalarBound,
+    SweepWorkload,
+)
+
+REF = PaperRef(
+    statement="Theorem T",
+    section="§0",
+    experiments=("E1",),
+    summary="a test claim",
+)
+
+
+def polylog_measurements(exponent, protocols=("alg",), sizes=(16, 64, 256),
+                         trials=4, noise=0.0):
+    """Sweep data following ``(log2 n)^exponent`` with optional jitter."""
+    measurements = Measurements()
+    for protocol in protocols:
+        for n in sizes:
+            base = math.log2(n) ** exponent
+            values = [
+                base * (1.0 + noise * ((trial % 3) - 1))
+                for trial in range(trials)
+            ]
+            measurements.add_sweep_values(
+                protocol, n, {"max_energy": values, "rounds": values}
+            )
+    return measurements
+
+
+class TestMeasurements:
+    def test_sweep_samples_sorted_and_filtered(self):
+        measurements = Measurements()
+        measurements.add_sweep_values("alg", 64, {"max_energy": [2.0]})
+        measurements.add_sweep_values("alg", 16, {"max_energy": [1.0]})
+        measurements.add_sweep_values("alg", 32, {"rounds": [9.0]})
+        samples = measurements.sweep_samples("alg", "max_energy")
+        assert list(samples) == [16, 64]  # 32 has no max_energy values
+        assert samples[16] == [1.0]
+
+    def test_sweep_values_accumulate_across_batches(self):
+        measurements = Measurements()
+        measurements.add_sweep_values("alg", 16, {"max_energy": [1.0]})
+        measurements.add_sweep_values("alg", 16, {"max_energy": [3.0]})
+        sizes, means = measurements.sweep_means("alg", "max_energy")
+        assert sizes == [16]
+        assert means == [2.0]
+
+    def test_cells_with_prefix(self):
+        measurements = Measurements()
+        measurements.cell("backoff/k=2")["k"] = 2
+        measurements.cell("rate/cd-mis")["trials"] = 5
+        under = measurements.cells_with_prefix("backoff/")
+        assert list(under) == ["backoff/k=2"]
+
+
+class TestExponentBand:
+    def test_clean_power_law_inside_band(self):
+        measurements = polylog_measurements(2.0)
+        predicate = ExponentBand(
+            name="band", protocol="alg", metric="max_energy",
+            low=1.5, high=2.5,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+        assert result.data["model"] == "log^2 n"
+        assert result.data["exponent"] == pytest.approx(2.0)
+
+    def test_outside_band_decided_fail(self):
+        measurements = polylog_measurements(3.0)
+        predicate = ExponentBand(
+            name="band", protocol="alg", metric="max_energy",
+            low=0.5, high=1.5,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed
+        assert result.decided
+
+    def test_no_data_is_undecided(self):
+        predicate = ExponentBand(
+            name="band", protocol="missing", metric="max_energy",
+            low=0.0, high=9.0,
+        )
+        result = predicate.evaluate(Measurements(), EvalContext())
+        assert not result.passed and not result.decided
+
+    def test_narrow_ci_decides_even_straddling_edge(self):
+        # Noise-free data gives a zero-width CI; a band edge through the
+        # point estimate is still decided by decide_ci_width.
+        measurements = polylog_measurements(2.0)
+        predicate = ExponentBand(
+            name="band", protocol="alg", metric="max_energy",
+            low=2.0, high=4.0,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.decided and result.passed
+
+
+class TestExponentGap:
+    def test_clear_gap_decided(self):
+        measurements = polylog_measurements(1.0, protocols=("fast",))
+        slow = polylog_measurements(3.0, protocols=("slow",))
+        measurements.sweeps.update(slow.sweeps)
+        predicate = ExponentGap(
+            name="gap", faster="fast", slower="slow",
+            metric="max_energy", min_gap=1.0,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+        assert result.data["gap"] == pytest.approx(2.0)
+
+    def test_missing_side_is_undecided(self):
+        measurements = polylog_measurements(1.0, protocols=("fast",))
+        predicate = ExponentGap(
+            name="gap", faster="fast", slower="slow", metric="max_energy"
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.decided
+
+
+class TestMeanDominance:
+    def test_dominance_holds(self):
+        measurements = polylog_measurements(1.0, protocols=("good",))
+        worse = polylog_measurements(2.0, protocols=("bad",))
+        measurements.sweeps.update(worse.sweeps)
+        predicate = MeanDominance(
+            name="dom", better="good", worse="bad",
+            metric="max_energy", margin=1.2,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+
+    def test_margin_violation_fails(self):
+        measurements = polylog_measurements(2.0, protocols=("good", "bad"))
+        predicate = MeanDominance(
+            name="dom", better="good", worse="bad",
+            metric="max_energy", margin=1.5,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+
+    def test_few_trials_undecided(self):
+        measurements = polylog_measurements(
+            1.0, protocols=("good", "bad"), trials=1
+        )
+        predicate = MeanDominance(
+            name="dom", better="good", worse="bad",
+            metric="max_energy", min_trials=2,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.decided
+
+    def test_no_common_sizes_undecided(self):
+        measurements = Measurements()
+        measurements.add_sweep_values("good", 16, {"max_energy": [1.0]})
+        measurements.add_sweep_values("bad", 64, {"max_energy": [9.0]})
+        predicate = MeanDominance(
+            name="dom", better="good", worse="bad", metric="max_energy"
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.decided
+
+
+class TestCeilingPredicate:
+    def test_respected_ceiling_reports_headroom(self):
+        measurements = polylog_measurements(1.0)
+        predicate = CeilingPredicate(
+            name="cap", protocol="alg", metric="max_energy",
+            ceiling=lambda n, constants: 10_000.0,
+            ceiling_label="big cap",
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+        assert result.data["headroom"] > 1.0
+
+    def test_violation_fails_decidedly(self):
+        measurements = polylog_measurements(2.0)
+        predicate = CeilingPredicate(
+            name="cap", protocol="alg", metric="max_energy",
+            ceiling=lambda n, constants: 1.0,
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+        assert result.data["violations"]
+
+    def test_ceiling_callable_excluded_from_equality(self):
+        first = CeilingPredicate(
+            name="cap", protocol="alg", metric="rounds",
+            ceiling=lambda n, constants: 1.0,
+        )
+        second = CeilingPredicate(
+            name="cap", protocol="alg", metric="rounds",
+            ceiling=lambda n, constants: 2.0,
+        )
+        assert first == second  # compare=False on the callable field
+
+
+class TestRateBound:
+    def cell(self, events, trials):
+        measurements = Measurements()
+        measurements.cell("rate/x").update(events=events, trials=trials)
+        return measurements
+
+    def test_at_most_decided_pass(self):
+        predicate = RateBound(name="r", cell="rate/x", bound=0.5)
+        result = predicate.evaluate(self.cell(1, 100), EvalContext())
+        assert result.passed and result.decided
+
+    def test_at_most_decided_fail(self):
+        predicate = RateBound(name="r", cell="rate/x", bound=0.1)
+        result = predicate.evaluate(self.cell(90, 100), EvalContext())
+        assert not result.passed and result.decided
+
+    def test_straddling_interval_undecided(self):
+        predicate = RateBound(name="r", cell="rate/x", bound=0.5)
+        result = predicate.evaluate(self.cell(5, 10), EvalContext())
+        assert not result.decided
+
+    def test_at_least_direction(self):
+        predicate = RateBound(
+            name="r", cell="rate/x", bound=0.5, direction="at_least"
+        )
+        result = predicate.evaluate(self.cell(99, 100), EvalContext())
+        assert result.passed and result.decided
+
+    def test_missing_cell_undecided(self):
+        predicate = RateBound(name="r", cell="rate/none", bound=0.5)
+        result = predicate.evaluate(Measurements(), EvalContext())
+        assert not result.decided
+
+
+class TestCellRateBounds:
+    def test_trivial_bound_auto_passes(self):
+        measurements = Measurements()
+        measurements.cell("p/a").update(events=0, trials=5, bound=0.01)
+        predicate = CellRateBounds(name="c", prefix="p/", trivial_below=0.05)
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+
+    def test_failing_cell_named(self):
+        measurements = Measurements()
+        measurements.cell("p/a").update(events=100, trials=100, bound=0.5)
+        measurements.cell("p/b").update(events=0, trials=100, bound=0.5)
+        predicate = CellRateBounds(name="c", prefix="p/", direction="at_least")
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+        assert "p/b" in result.detail
+
+    def test_cells_without_bound_ignored(self):
+        measurements = Measurements()
+        measurements.cell("p/meta").update(trials=5)
+        predicate = CellRateBounds(name="c", prefix="p/")
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.decided  # no usable cells yet
+
+
+class TestLowerBoundConsistency:
+    def test_refuted_cell_fails_decidedly(self):
+        measurements = Measurements()
+        # 0/200 with bound 0.5: Wilson upper << bound -> refuted.
+        measurements.cell("lb/a").update(events=0, trials=200, bound=0.5)
+        predicate = LowerBoundConsistency(name="lb", prefix="lb/")
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+
+    def test_needs_min_trials_to_pass(self):
+        measurements = Measurements()
+        measurements.cell("lb/a").update(events=10, trials=20, bound=0.4)
+        predicate = LowerBoundConsistency(
+            name="lb", prefix="lb/", min_trials=60
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.decided
+        measurements.cell("lb/a").update(events=40, trials=80)
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+
+    def test_trivial_bound_never_refutes(self):
+        measurements = Measurements()
+        measurements.cell("lb/a").update(events=0, trials=500, bound=0.01)
+        predicate = LowerBoundConsistency(
+            name="lb", prefix="lb/", min_trials=60, trivial_below=0.02
+        )
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+
+
+class TestBackoffEnergyBounds:
+    def backoff_cell(self, **overrides):
+        cell = {
+            "k": 4,
+            "sender_energy_max": 4,
+            "sender_energy_min": 4,
+            "receiver_energy_max": 10,
+            "receiver_cap": 20.0,
+        }
+        cell.update(overrides)
+        measurements = Measurements()
+        measurements.cell("backoff/k=4").update(cell)
+        return measurements
+
+    def test_exact_sender_energy_passes(self):
+        predicate = BackoffEnergyBounds(name="b")
+        result = predicate.evaluate(self.backoff_cell(), EvalContext())
+        assert result.passed and result.decided
+
+    def test_sender_above_k_fails(self):
+        predicate = BackoffEnergyBounds(name="b")
+        measurements = self.backoff_cell(sender_energy_max=5)
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+
+    def test_sender_below_k_fails(self):
+        # Lemma 8 is "exactly k", not "at most k".
+        predicate = BackoffEnergyBounds(name="b")
+        measurements = self.backoff_cell(sender_energy_min=3)
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+
+    def test_receiver_over_cap_fails_without_slack(self):
+        measurements = self.backoff_cell(receiver_energy_max=25)
+        strict = BackoffEnergyBounds(name="b")
+        loose = BackoffEnergyBounds(name="b", receiver_slack=2.0)
+        assert not strict.evaluate(measurements, EvalContext()).passed
+        assert loose.evaluate(measurements, EvalContext()).passed
+
+
+class TestPairedBitIdentity:
+    def pair(self, seed, delta=0):
+        fields = {
+            "valid": True, "mis_size": 5, "rounds": 40,
+            "max_energy": 12, "mean_energy": 8.5,
+        }
+        other = dict(fields)
+        other["rounds"] += delta
+        return {"seed": seed, "a": fields, "b": other}
+
+    def test_single_mismatch_decides_fail(self):
+        measurements = Measurements()
+        measurements.paired.append(self.pair(1, delta=1))
+        predicate = PairedBitIdentity(name="p")
+        result = predicate.evaluate(measurements, EvalContext())
+        assert not result.passed and result.decided
+        assert result.data["mismatches"][0]["field"] == "rounds"
+
+    def test_agreement_needs_min_pairs(self):
+        measurements = Measurements()
+        measurements.paired.append(self.pair(1))
+        predicate = PairedBitIdentity(name="p", min_pairs=3)
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and not result.decided
+        measurements.paired.extend([self.pair(2), self.pair(3)])
+        result = predicate.evaluate(measurements, EvalContext())
+        assert result.passed and result.decided
+
+
+class TestScalarBound:
+    def test_directions(self):
+        measurements = Measurements()
+        measurements.scalars["ratio"] = 0.4
+        at_most = ScalarBound(name="s", key="ratio", bound=0.5)
+        at_least = ScalarBound(
+            name="s", key="ratio", bound=0.5, direction="at_least"
+        )
+        assert at_most.evaluate(measurements, EvalContext()).passed
+        assert not at_least.evaluate(measurements, EvalContext()).passed
+
+    def test_missing_scalar_undecided(self):
+        predicate = ScalarBound(name="s", key="nope", bound=1.0)
+        result = predicate.evaluate(Measurements(), EvalContext())
+        assert not result.decided
+
+
+class TestClaim:
+    def test_predicates_concatenates_strict_then_shape(self):
+        strict = ScalarBound(name="strict", key="x", bound=1.0)
+        shape = ScalarBound(name="shape", key="x", bound=2.0)
+        claim = Claim(
+            claim_id="c",
+            title="t",
+            ref=REF,
+            workload=SweepWorkload(protocols=("alg",), sizes=(16, 32)),
+            strict=(strict,),
+            shape=(shape,),
+        )
+        assert claim.predicates() == (strict, shape)
+
+    def test_result_record_round_trip(self):
+        predicate = ScalarBound(name="s", key="x", bound=1.0)
+        measurements = Measurements()
+        measurements.scalars["x"] = 0.5
+        record = predicate.evaluate(measurements, EvalContext()).to_record()
+        assert record["name"] == "s"
+        assert record["passed"] is True
+        assert record["data"]["value"] == 0.5

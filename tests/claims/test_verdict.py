@@ -1,0 +1,120 @@
+"""Tests for the verdict fold: predicate results -> one of four verdicts."""
+
+import pytest
+
+from repro.claims.spec import (
+    Claim,
+    EvalContext,
+    Measurements,
+    PaperRef,
+    PredicateResult,
+    ScalarBound,
+    SweepWorkload,
+)
+from repro.claims.verdict import (
+    VERDICTS,
+    ClaimVerdict,
+    decide_verdict,
+    evaluate_claim,
+)
+
+
+def result(passed, decided, name="p"):
+    return PredicateResult(
+        name=name, kind="test", passed=passed, decided=decided, detail=""
+    )
+
+
+OK = result(True, True)
+FAIL = result(False, True)
+UNDECIDED = result(False, False)
+
+
+class TestDecideVerdict:
+    def test_all_strict_decided_pass(self):
+        assert decide_verdict([OK, OK], []) == "reproduced"
+        assert decide_verdict([OK], [FAIL]) == "reproduced"  # shape moot
+
+    def test_strict_fail_with_shape_fallback(self):
+        assert decide_verdict([FAIL, OK], [OK]) == "shape-only"
+
+    def test_strict_fail_without_fallback(self):
+        assert decide_verdict([FAIL], []) == "not-reproduced"
+        assert decide_verdict([FAIL], [FAIL]) == "not-reproduced"
+        assert decide_verdict([FAIL], [OK, FAIL]) == "not-reproduced"
+
+    def test_strict_fail_shape_undecided(self):
+        assert decide_verdict([FAIL], [UNDECIDED]) == "inconclusive"
+
+    def test_strict_undecided_falls_back_to_shape(self):
+        assert decide_verdict([UNDECIDED], [OK]) == "shape-only"
+        assert decide_verdict([UNDECIDED], [UNDECIDED]) == "inconclusive"
+        assert decide_verdict([UNDECIDED], []) == "inconclusive"
+
+    def test_no_strict_predicates_never_reproduced(self):
+        assert decide_verdict([], [OK]) == "shape-only"
+        assert decide_verdict([], []) == "inconclusive"
+
+    def test_every_output_is_a_known_verdict(self):
+        for strict in ([OK], [FAIL], [UNDECIDED], []):
+            for shape in ([OK], [FAIL], [UNDECIDED], []):
+                assert decide_verdict(strict, shape) in VERDICTS
+
+
+class TestClaimVerdict:
+    def test_converged_requires_all_decided(self):
+        verdict = ClaimVerdict(
+            claim_id="c", verdict="reproduced",
+            strict=(OK,), shape=(UNDECIDED,),
+        )
+        assert not verdict.converged
+        verdict = ClaimVerdict(
+            claim_id="c", verdict="reproduced", strict=(OK,), shape=(FAIL,)
+        )
+        assert verdict.converged
+
+    def test_to_record_shape(self):
+        record = ClaimVerdict(
+            claim_id="c", verdict="reproduced",
+            strict=(OK,), shape=(), trials_used=7,
+        ).to_record()
+        assert record["claim_id"] == "c"
+        assert record["trials_used"] == 7
+        assert record["strict"][0]["passed"] is True
+        assert record["shape"] == []
+
+
+class TestEvaluateClaim:
+    def make_claim(self, strict_bound, shape_bound):
+        ref = PaperRef("Thm", "§1", ("E1",), "s")
+        return Claim(
+            claim_id="c",
+            title="t",
+            ref=ref,
+            workload=SweepWorkload(protocols=("alg",), sizes=(16, 32)),
+            strict=(ScalarBound(name="strict", key="x", bound=strict_bound),),
+            shape=(ScalarBound(name="shape", key="x", bound=shape_bound),),
+        )
+
+    def test_wires_measurements_through(self):
+        measurements = Measurements()
+        measurements.scalars["x"] = 1.5
+        measurements.trials_used = 9
+        verdict = evaluate_claim(
+            self.make_claim(1.0, 2.0), measurements, EvalContext()
+        )
+        assert verdict.verdict == "shape-only"
+        assert verdict.trials_used == 9
+        assert not verdict.budget_exhausted
+
+    def test_budget_exhausted_propagates(self):
+        measurements = Measurements()
+        measurements.scalars["x"] = 0.5
+        verdict = evaluate_claim(
+            self.make_claim(1.0, 2.0),
+            measurements,
+            EvalContext(),
+            budget_exhausted=True,
+        )
+        assert verdict.verdict == "reproduced"
+        assert verdict.budget_exhausted

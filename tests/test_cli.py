@@ -96,3 +96,71 @@ class TestCommands:
     def test_experiment_unknown(self):
         with pytest.raises(KeyError):
             main(["experiment", "E42"])
+
+
+class TestClaimsParser:
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["claims", "verify"])
+        assert args.claims_command == "verify"
+        assert args.claim_ids == []
+        assert not args.quick
+        assert args.budget is None
+        assert args.seed == 0
+        assert args.json is None
+
+    def test_verify_flags(self):
+        args = build_parser().parse_args(
+            ["claims", "verify", "thm2-cd-energy", "--quick",
+             "--budget", "50", "--jobs", "2", "--json", "out.json"]
+        )
+        assert args.claim_ids == ["thm2-cd-energy"]
+        assert args.quick and args.budget == 50 and args.jobs == 2
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["claims", "verify", "--budget", "0"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["claims"])
+
+
+class TestClaimsCommands:
+    def test_list(self, capsys):
+        assert main(["claims", "list", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "quick tier" in output
+        assert "thm2-cd-energy" in output
+        assert "lemma9-backoff-delivery" in output
+
+    def test_verify_unknown_claim_rejected(self):
+        with pytest.raises(SystemExit, match="unknown claim"):
+            main(["claims", "verify", "thm99-bogus", "--quick"])
+
+    def test_verify_single_claim_writes_document(self, tmp_path, capsys):
+        path = tmp_path / "CLAIMS.json"
+        code = main(
+            ["claims", "verify", "lemma5-residual-shrinkage",
+             "--quick", "--json", str(path)]
+        )
+        assert code == 0
+        assert "lemma5-residual-shrinkage" in capsys.readouterr().out
+        import json as json_module
+
+        document = json_module.loads(path.read_text())
+        assert document["schema"] == "repro-claims/1"
+        assert document["claims"][0]["claim_id"] == "lemma5-residual-shrinkage"
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "CLAIMS.json"
+        assert main(
+            ["claims", "verify", "lemma5-residual-shrinkage",
+             "--quick", "--json", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["claims", "report", "--json", str(path)]) == 0
+        assert "# Claims verification report" in capsys.readouterr().out
+
+    def test_report_missing_document_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no claims document"):
+            main(["claims", "report", "--json", str(tmp_path / "nope.json")])
