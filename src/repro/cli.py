@@ -397,6 +397,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on malformed or unknown records instead of skipping them",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived campaign service (HTTP/JSON API with "
+        "global trial dedup; see docs/API.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="shard worker count; trial keys hash onto shards "
+        "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="shared result cache directory (default: .repro-cache); job "
+        "state persists under <cache-dir>/service/jobs",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=10_000,
+        metavar="N",
+        help="per-client budget of concurrently in-flight computed trials "
+        "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--submit-rate",
+        type=float,
+        default=50.0,
+        metavar="PER_S",
+        help="per-client sustained submissions/second (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--submit-burst",
+        type=_positive_int,
+        default=100,
+        metavar="N",
+        help="per-client submission burst size (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any single trial running longer than this "
+        "(activates fork-per-trial isolation for units)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries before quarantining a failing/hanging trial seed "
+        "(default: 0, fail fast)",
+    )
+
     subparsers.add_parser("list", help="list algorithms/models/experiments")
     return parser
 
@@ -648,6 +716,28 @@ def _command_obs(args, constants: ConstantsProfile) -> int:
     return 0 if count else 1
 
 
+def _command_serve(args, constants: ConstantsProfile) -> int:
+    from .exec.cache import DEFAULT_CACHE_DIR, ResultCache
+    from .service.limits import LimitPolicy
+    from .service.server import serve_forever
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    limits = LimitPolicy(
+        max_inflight_trials=args.max_inflight,
+        submit_rate=args.submit_rate,
+        submit_burst=args.submit_burst,
+    )
+    serve_forever(
+        args.host,
+        args.port,
+        cache,
+        workers=args.workers,
+        policy=_policy_from_args(args),
+        limits=limits,
+    )
+    return 0
+
+
 def _command_list(args, constants: ConstantsProfile) -> int:
     print("algorithms:")
     for name in sorted(_PROTOCOLS):
@@ -675,6 +765,7 @@ def main(argv: Optional[list] = None) -> int:
         "claims": _command_claims,
         "apps": _command_apps,
         "obs": _command_obs,
+        "serve": _command_serve,
         "list": _command_list,
     }
     handler = handlers[args.command]

@@ -22,9 +22,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+try:  # POSIX-only; the cache degrades to lock-free appends without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -161,12 +168,23 @@ class ResultCache:
     loses at most the trial in flight.  Shards load lazily on first
     lookup; malformed lines — e.g. a half-written tail from a crash —
     are skipped rather than fatal.
+
+    Writes are safe under concurrency from both threads and processes:
+    each record lands as a single ``O_APPEND`` ``os.write`` of one full
+    line, serialized by an exclusive ``flock`` on the shard file (where
+    available), so concurrent writers — e.g. the campaign service's
+    sharded workers — can target the same shard without interleaving or
+    dropping records.  In-memory state is guarded by a thread lock.
+    Different processes still keep independent in-memory indexes: a
+    record written by another process after this process loaded the
+    shard is not visible until a fresh instance reloads it.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.stats = CacheStats()
         self._shards: Dict[str, Dict[str, Dict]] = {}
+        self._lock = threading.RLock()
 
     def _shard_path(self, prefix: str) -> Path:
         return self.root / f"{prefix}.jsonl"
@@ -186,38 +204,62 @@ class ResultCache:
             self._shards[prefix] = shard
         return shard
 
+    def _append_line(self, path: Path, data: bytes) -> None:
+        """Atomically append one full line to a shard file.
+
+        A single ``os.write`` to an ``O_APPEND`` descriptor under an
+        exclusive ``flock`` — the unit other processes observe is the
+        whole line, never a torn prefix.
+        """
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                os.write(fd, data)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
     def get(self, key: str) -> Optional[Dict]:
         """Look up a trial record; counts a hit or a miss."""
-        record = self._shard(key[:2]).get(key)
-        if record is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return record
+        with self._lock:
+            record = self._shard(key[:2]).get(key)
+            if record is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return record
 
     def put(self, key: str, record: Dict) -> None:
-        """Persist one trial record (append + flush) and index it."""
-        self._shard(key[:2])[key] = record
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Persist one trial record (atomic append) and index it."""
         line = json.dumps({"key": key, "record": record}, sort_keys=True)
-        with open(self._shard_path(key[:2]), "a") as handle:
-            handle.write(line + "\n")
-        self.stats.writes += 1
+        with self._lock:
+            self._shard(key[:2])[key] = record
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._append_line(
+                self._shard_path(key[:2]), (line + "\n").encode("utf-8")
+            )
+            self.stats.writes += 1
 
     def __contains__(self, key: str) -> bool:
-        return key in self._shard(key[:2])
+        with self._lock:
+            return key in self._shard(key[:2])
 
     def __len__(self) -> int:
         """Number of distinct cached trials on disk (loads all shards)."""
-        total = 0
-        seen = set()
-        if self.root.exists():
-            for path in self.root.glob("*.jsonl"):
-                seen.add(path.stem)
-        seen.update(self._shards)
-        for prefix in seen:
-            total += len(self._shard(prefix))
-        return total
+        with self._lock:
+            total = 0
+            seen = set()
+            if self.root.exists():
+                for path in self.root.glob("*.jsonl"):
+                    seen.add(path.stem)
+            seen.update(self._shards)
+            for prefix in seen:
+                total += len(self._shard(prefix))
+            return total
 
     def __bool__(self) -> bool:
         # An *empty* cache is still a cache: never let ``__len__`` make
@@ -226,10 +268,11 @@ class ResultCache:
 
     def clear(self) -> None:
         """Drop every cached record, in memory and on disk."""
-        self._shards.clear()
-        if self.root.exists():
-            for path in self.root.glob("*.jsonl"):
-                path.unlink()
+        with self._lock:
+            self._shards.clear()
+            if self.root.exists():
+                for path in self.root.glob("*.jsonl"):
+                    path.unlink()
 
     def __repr__(self) -> str:
         return f"ResultCache(root={str(self.root)!r}, stats={self.stats})"

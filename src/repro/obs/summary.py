@@ -145,6 +145,41 @@ def _exec_section(
     return "\n".join(lines)
 
 
+def _cache_section(records: List[Dict[str, Any]]) -> Optional[str]:
+    """Result-cache report from the summary records' ``cache`` stats."""
+    snapshots = [
+        record["cache"]
+        for record in records
+        if record["type"] == "summary" and isinstance(record.get("cache"), dict)
+    ]
+    if not snapshots:
+        return None
+    hits = sum(int(snap.get("hits", 0)) for snap in snapshots)
+    misses = sum(int(snap.get("misses", 0)) for snap in snapshots)
+    writes = sum(int(snap.get("writes", 0)) for snap in snapshots)
+    lookups = hits + misses
+    hit_rate = hits / lookups if lookups else 0.0
+    return (
+        "result cache\n"
+        f"  lookups: {lookups} ({hits} hits, {misses} misses), "
+        f"writes: {writes}\n"
+        f"  hit rate: {hit_rate:.4f} ({_percentage(hits, lookups)})"
+    )
+
+
+def _service_section(counters: Dict[str, int]) -> Optional[str]:
+    service = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith("service.")
+    }
+    if not service:
+        return None
+    return "campaign service\n" + _format_table(
+        ["counter", "value"], [[name, value] for name, value in service.items()]
+    )
+
+
 def _histogram_section(histograms: Dict[str, Dict[str, float]]) -> Optional[str]:
     populated = {
         name: hist for name, hist in sorted(histograms.items()) if hist["count"]
@@ -194,6 +229,8 @@ def summarize_records(
 
     for section in (
         _exec_section(counters, histograms),
+        _cache_section(records),
+        _service_section(counters),
         _engine_section(counters),
         _energy_section(counters),
         _histogram_section(histograms),
@@ -207,7 +244,7 @@ def summarize_records(
         other = {
             name: value
             for name, value in counters.items()
-            if not name.startswith(("engine.", "exec.", "trials."))
+            if not name.startswith(("engine.", "exec.", "trials.", "service."))
         }
         if other:
             sections.append(

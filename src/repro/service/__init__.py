@@ -1,0 +1,71 @@
+"""Campaign service: a long-running asyncio job API over the exec stack.
+
+``repro-mis serve`` promotes the one-shot CLI into a service: an
+HTTP/JSON API (stdlib asyncio, no extra dependencies) accepts run /
+sweep / batch / claims-verification submissions, decomposes them into
+*trial units* keyed by the content-addressed
+:func:`repro.exec.cache.trial_key` hashes, and dispatches the units to
+sharded workers (``shard = hash(trial_key) % workers``).  Because the
+unit key is the same hash the CLI's ``--cache`` path uses, identical
+cells dedupe globally: a unit already cached is served instantly, a
+unit already in flight for another job is subscribed to rather than
+recomputed, and everything a worker finishes persists through the
+shared :class:`~repro.exec.cache.ResultCache` — so service results are
+bit-identical to the same workload run via ``repro-mis run/sweep`` and
+a restarted service resumes unfinished jobs from the cache.
+
+Modules
+-------
+``units``      trial-unit payloads: normalization, key derivation,
+               execution through :func:`repro.analysis.runner.run_trials`
+``jobs``       job specs (run | sweep | batch | claims), decomposition,
+               state machine, result assembly
+``dedup``      the global in-flight index keyed by trial keys
+``limits``     per-client token-bucket submission rates and in-flight
+               trial budgets
+``scheduler``  sharded worker loops, job tracking, graceful shutdown,
+               persisted job state
+``httpd``      minimal asyncio HTTP/1.1 plumbing (requests, JSON
+               responses, chunked streaming)
+``server``     the :class:`CampaignService` routes and ``serve`` loop
+``client``     stdlib client + ``python -m repro.service.client`` CLI
+"""
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "LimitPolicy",
+    "TokenBucket",
+    "Scheduler",
+    "CampaignService",
+    "ServiceClient",
+    "TrialUnitSpec",
+    "serve_forever",
+]
+
+_EXPORTS = {
+    "ServiceClient": "client",
+    "JOB_KINDS": "jobs",
+    "JobSpec": "jobs",
+    "LimitPolicy": "limits",
+    "TokenBucket": "limits",
+    "Scheduler": "scheduler",
+    "CampaignService": "server",
+    "serve_forever": "server",
+    "TrialUnitSpec": "units",
+}
+
+
+def __getattr__(name):
+    # Lazy exports: keeps ``python -m repro.service.client`` free of the
+    # runpy double-import warning and spares short CLI invocations the
+    # asyncio/server import cost.
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

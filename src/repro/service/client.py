@@ -1,0 +1,248 @@
+"""Stdlib client for the campaign service.
+
+:class:`ServiceClient` wraps the JSON API over ``http.client`` (no
+dependencies beyond the standard library), including line-by-line
+iteration of the chunked ``/events`` stream.  ``python -m
+repro.service.client`` exposes the same surface on the command line for
+shell scripting and the CI smoke job:
+
+.. code-block:: console
+
+   $ python -m repro.service.client --url http://127.0.0.1:8765 \\
+       submit sweep '{"algorithm": "beeping-mis", "sizes": [64, 128]}'
+   $ python -m repro.service.client --url ... wait j-ab12cd34ef56
+   $ python -m repro.service.client --url ... events j-ab12cd34ef56
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service; carries the status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-request (the service
+    is ``Connection: close``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        conn = self._connection()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, decoded.get("error", "unknown error")
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # -- API surface ----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(
+        self, kind: str, spec: Dict[str, Any], client: str = "anonymous"
+    ) -> Dict[str, Any]:
+        """Submit a job; returns its descriptor (see ``job["id"]``)."""
+        payload = {"kind": kind, "spec": spec, "client": client}
+        return self._request("POST", "/v1/jobs", payload)["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's result document (raises 409 until done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its result document."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["status"] == "done":
+                return self.result(job_id)
+            if job["status"] == "failed":
+                raise ServiceError(500, job.get("error") or "job failed")
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s "
+                    f"({job['done_units']}/{job['total_units']} units)"
+                )
+            time.sleep(poll_interval)
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's repro-obs/1 records until it completes."""
+        conn = self._connection()
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except json.JSONDecodeError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            # http.client de-chunks transparently; records are one per
+            # line (JSONL), so buffer until each newline.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+            if buffer.strip():
+                yield json.loads(buffer)
+        finally:
+            conn.close()
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/shutdown")
+
+
+def _print(payload: Any) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="Command-line client for the repro campaign service.",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="service base URL (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--client",
+        default="cli",
+        help="client id for rate limiting (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="request/wait timeout in seconds (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("health", help="liveness check")
+    sub.add_parser("stats", help="scheduler and cache counters")
+    sub.add_parser("jobs", help="list jobs")
+    submit = sub.add_parser("submit", help="submit a job")
+    submit.add_argument("kind", choices=("run", "sweep", "batch", "claims"))
+    submit.add_argument("spec", help="job spec as a JSON object")
+    submit.add_argument(
+        "--wait", action="store_true", help="block until done, print result"
+    )
+    for name, description in (
+        ("status", "one job's descriptor"),
+        ("result", "a finished job's result document"),
+        ("wait", "block until done, print the result document"),
+        ("events", "stream the job's repro-obs/1 events"),
+    ):
+        command = sub.add_parser(name, help=description)
+        command.add_argument("job_id")
+    sub.add_parser("shutdown", help="gracefully stop the service")
+
+    args = parser.parse_args(argv)
+    service = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.command == "health":
+            _print(service.health())
+        elif args.command == "stats":
+            _print(service.stats())
+        elif args.command == "jobs":
+            _print(service.jobs())
+        elif args.command == "submit":
+            try:
+                spec = json.loads(args.spec)
+            except json.JSONDecodeError as exc:
+                print(f"error: spec is not valid JSON: {exc}", file=sys.stderr)
+                return 2
+            job = service.submit(args.kind, spec, client=args.client)
+            if args.wait:
+                _print(service.wait(job["id"], timeout=args.timeout))
+            else:
+                _print(job)
+        elif args.command == "status":
+            _print(service.status(args.job_id))
+        elif args.command == "result":
+            _print(service.result(args.job_id))
+        elif args.command == "wait":
+            _print(service.wait(args.job_id, timeout=args.timeout))
+        elif args.command == "events":
+            for record in service.events(args.job_id):
+                print(json.dumps(record, sort_keys=True))
+        elif args.command == "shutdown":
+            _print(service.shutdown())
+    except (ServiceError, TimeoutError, ConnectionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

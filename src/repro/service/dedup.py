@@ -1,0 +1,94 @@
+"""Global trial dedup: one in-flight computation per trial key.
+
+The index sits in front of the shared result cache.  Resolving a unit
+answers one of three ways:
+
+* ``cached``   — the cache already holds the record: serve instantly;
+* ``inflight`` — some job is already computing this key: subscribe to
+  the existing :class:`UnitTask` instead of recomputing;
+* ``new``      — nobody has it: a fresh :class:`UnitTask` enters the
+  index and gets dispatched to its shard.
+
+Everything here runs on the event loop (no locks); workers hand
+completed records back via :meth:`DedupIndex.complete`, which persists
+through the cache, wakes every subscriber, and retires the entry — so
+the index only ever holds the in-flight frontier, not history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exec.cache import ResultCache
+from .units import TrialUnitSpec
+
+__all__ = ["UnitTask", "DedupIndex"]
+
+
+@dataclass
+class UnitTask:
+    """One in-flight trial unit and its completion state."""
+
+    key: str
+    unit: TrialUnitSpec
+    shard: int
+    record: Optional[Dict[str, Any]] = None
+    done: "asyncio.Event" = field(default_factory=asyncio.Event)
+    #: Jobs subscribed to this unit (the submitting job plus any job
+    #: that deduped onto it); notified on completion.
+    subscribers: List[Any] = field(default_factory=list)
+
+
+class DedupIndex:
+    """Key → in-flight :class:`UnitTask`, backed by the result cache."""
+
+    def __init__(self, cache: ResultCache, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.cache = cache
+        self.shards = shards
+        self._inflight: Dict[str, UnitTask] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def shard_of(self, key: str) -> int:
+        """Stable shard assignment: hash(trial_key) % workers."""
+        return int(key[:8], 16) % self.shards
+
+    def resolve(
+        self, key: str, unit: TrialUnitSpec
+    ) -> Tuple[str, Optional[Dict[str, Any]], Optional[UnitTask]]:
+        """Resolve one unit: ``(source, record, task)``.
+
+        ``source`` is ``"cached"`` (record set, no task), ``"inflight"``
+        (existing task to subscribe to), or ``"new"`` (fresh task, now
+        registered — the caller must dispatch it to ``task.shard``).
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Skip the cache lookup for in-flight keys: the record is
+            # not there yet, and counting a miss would be misleading.
+            return "inflight", None, existing
+        record = self.cache.get(key)
+        if record is not None:
+            return "cached", record, None
+        task = UnitTask(key=key, unit=unit, shard=self.shard_of(key))
+        self._inflight[key] = task
+        return "new", None, task
+
+    def complete(self, task: UnitTask, record: Dict[str, Any]) -> None:
+        """Persist a finished unit, wake subscribers, retire the entry."""
+        self.cache.put(task.key, record)
+        task.record = record
+        self._inflight.pop(task.key, None)
+        task.done.set()
+
+    def drain(self) -> List[UnitTask]:
+        """Forget every in-flight task (shutdown); returns them."""
+        tasks = list(self._inflight.values())
+        self._inflight.clear()
+        return tasks

@@ -1,0 +1,195 @@
+"""Minimal HTTP/1.1 plumbing over ``asyncio`` streams.
+
+The campaign service speaks a small, fixed JSON API; a full web
+framework is a dependency the repro pipeline must not take.  This
+module implements the handful of HTTP mechanics the API needs —
+request-line/header parsing, Content-Length bodies, JSON responses, and
+chunked transfer encoding for event streams — directly over
+``asyncio.StreamReader``/``StreamWriter``, in the spirit of the stdlib
+it builds on.  Connections are one-shot (``Connection: close``): the
+workload is API calls, not asset serving, and one-shot keeps the
+error-handling story trivially correct.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import ReproError
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "json_response",
+    "ChunkedResponse",
+    "STATUS_PHRASES",
+]
+
+#: Largest request body the service accepts (a campaign spec is small).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(ReproError):
+    """A malformed or unserviceable request; carries its status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON (empty body → empty object)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a closed socket."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close before any bytes
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, extra: str) -> bytes:
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Connection: close\r\n{extra}\r\n"
+    ).encode("latin-1")
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """A complete response: JSON body, Content-Length, close."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    extra = (
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    return _head(status, extra) + body
+
+
+class ChunkedResponse:
+    """Writer for a ``Transfer-Encoding: chunked`` streaming response.
+
+    Used by the ``/events`` endpoint to stream repro-obs/1 JSONL while
+    a job runs: each record is one chunk, so clients see events as they
+    happen without the service buffering the whole log.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        content_type: str = "application/x-ndjson",
+    ):
+        self._writer = writer
+        self._content_type = content_type
+        self._started = False
+
+    async def start(self) -> None:
+        self._writer.write(
+            _head(
+                200,
+                f"Content-Type: {self._content_type}\r\n"
+                "Transfer-Encoding: chunked\r\n",
+            )
+        )
+        self._started = True
+        await self._writer.drain()
+
+    async def send(self, data: bytes) -> None:
+        if not data:
+            return  # a zero-length chunk would terminate the stream
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def send_record(self, record: Dict[str, Any]) -> None:
+        await self.send(
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        )
+
+    async def end(self) -> None:
+        if self._started:
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()

@@ -1,0 +1,136 @@
+"""Multi-tenant admission control: submission rates and trial budgets.
+
+Two independent guards per client id:
+
+* a **token bucket** on submissions — ``submit_rate`` jobs/second
+  sustained, bursts up to ``submit_burst``;
+* an **in-flight trial budget** — at most ``max_inflight_trials``
+  not-yet-finished *computed* units per client (cached and deduped
+  units are free: they cost the service nothing).
+
+Both are service-configuration, not per-client negotiation; a rejected
+submission gets an HTTP 429 with the reason, and nothing about the job
+is retained.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["TokenBucket", "LimitPolicy", "TenantLimiter"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst < 1:
+            raise ValueError(
+                f"rate must be > 0 and burst >= 1, got rate={rate} burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class LimitPolicy:
+    """Service-wide per-client limits."""
+
+    max_inflight_trials: int = 10_000
+    submit_rate: float = 50.0
+    submit_burst: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_trials < 1:
+            raise ValueError(
+                f"max_inflight_trials must be >= 1, "
+                f"got {self.max_inflight_trials}"
+            )
+
+
+class _TenantState:
+    __slots__ = ("bucket", "inflight")
+
+    def __init__(self, policy: LimitPolicy, clock: Callable[[], float]):
+        self.bucket = TokenBucket(
+            policy.submit_rate, policy.submit_burst, clock
+        )
+        self.inflight = 0
+
+
+class TenantLimiter:
+    """Tracks per-client buckets and in-flight computed-unit counts."""
+
+    def __init__(
+        self,
+        policy: Optional[LimitPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or LimitPolicy()
+        self._clock = clock
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def _tenant(self, client: str) -> _TenantState:
+        state = self._tenants.get(client)
+        if state is None:
+            state = _TenantState(self.policy, self._clock)
+            self._tenants[client] = state
+        return state
+
+    def admit(self, client: str, new_units: int) -> Tuple[bool, str]:
+        """Admission check for one submission carrying ``new_units``
+        to-be-computed trials.  On success the units are charged to the
+        client; release them one at a time as they finish."""
+        state = self._tenant(client)
+        if not state.bucket.try_acquire():
+            return False, (
+                f"submission rate limit: client {client!r} exceeds "
+                f"{self.policy.submit_rate:g}/s "
+                f"(burst {self.policy.submit_burst})"
+            )
+        if state.inflight + new_units > self.policy.max_inflight_trials:
+            return False, (
+                f"in-flight trial budget: client {client!r} has "
+                f"{state.inflight} trials running; {new_units} more would "
+                f"exceed the limit of {self.policy.max_inflight_trials}"
+            )
+        state.inflight += new_units
+        return True, ""
+
+    def release(self, client: str, units: int = 1) -> None:
+        """Return finished (or cancelled) units to the client's budget."""
+        state = self._tenant(client)
+        state.inflight = max(0, state.inflight - units)
+
+    def inflight(self, client: str) -> int:
+        return self._tenant(client).inflight

@@ -1,0 +1,114 @@
+"""Concurrency tests for the result cache.
+
+The campaign service's sharded workers (and any multi-process campaign
+sharing one cache directory) append to the same JSONL shard files
+concurrently.  These tests hammer a single shard from many processes
+and many threads and assert that every record survives intact — no torn
+lines, no dropped records.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.pool import fork_available
+
+PREFIX = "ab"  # every key below lands in the same shard file
+
+
+def _key(worker: int, item: int) -> str:
+    return f"{PREFIX}{worker:04x}{item:04x}" + "0" * 54
+
+
+def _hammer_one_shard(root: str, worker: int, count: int) -> None:
+    cache = ResultCache(root)
+    for item in range(count):
+        cache.put(_key(worker, item), {"worker": worker, "item": item})
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+class TestMultiProcessWriters:
+    def test_single_shard_survives_concurrent_processes(self, tmp_path):
+        root = tmp_path / "cache"
+        workers, count = 8, 40
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(
+                target=_hammer_one_shard, args=(str(root), worker, count)
+            )
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+
+        # Every line in the shard file parses — no interleaved writes.
+        lines = (root / f"{PREFIX}.jsonl").read_text().splitlines()
+        assert len(lines) == workers * count
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["record"]["worker"] in range(workers)
+
+        # A fresh instance sees every record from every process.
+        fresh = ResultCache(root)
+        assert len(fresh) == workers * count
+        for worker in range(workers):
+            for item in range(count):
+                assert fresh.get(_key(worker, item)) == {
+                    "worker": worker,
+                    "item": item,
+                }
+
+
+class TestThreadedWriters:
+    def test_single_instance_shared_across_threads(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        workers, count = 8, 40
+
+        def hammer(worker: int) -> None:
+            for item in range(count):
+                key = _key(worker, item)
+                cache.put(key, {"worker": worker, "item": item})
+                assert cache.get(key) is not None
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.stats.writes == workers * count
+        assert cache.stats.hits == workers * count
+        fresh = ResultCache(tmp_path / "cache")
+        assert len(fresh) == workers * count
+
+
+class TestCacheStatsDivision:
+    def test_hit_rate_zero_lookups_is_zero(self):
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+        assert stats.to_record()["hit_rate"] == 0.0
+
+    def test_hit_rate_zero_lookups_with_writes(self):
+        # Writes alone must not perturb the rate (writes aren't lookups).
+        stats = CacheStats(writes=17)
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate_counts_only_lookups(self):
+        stats = CacheStats(hits=3, misses=1, writes=100)
+        assert stats.hit_rate == 0.75
+        assert stats.to_record() == {
+            "hits": 3,
+            "misses": 1,
+            "writes": 100,
+            "hit_rate": 0.75,
+        }

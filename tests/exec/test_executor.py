@@ -6,7 +6,9 @@ from repro.exec.cache import ResultCache
 from repro.exec.executor import (
     ExecutionDefaults,
     ProcessPoolExecutor,
+    ProgressEvent,
     SequentialExecutor,
+    TrialExecutor,
     execution_defaults,
     get_execution_defaults,
     make_executor,
@@ -118,6 +120,110 @@ class TestExecutors:
         assert all(event.cache_hits == 2 for event in events)
         assert events[-1].eta_s == 0.0
         assert events[-1].remaining == 0
+
+
+class ReversedCompletionExecutor(TrialExecutor):
+    """Completes pending trials in reverse submission order.
+
+    Models the pool's out-of-order chunk completions deterministically:
+    ``on_result`` fires for the *last* pending trial first, so progress
+    accounting and result placement must not assume arrival order.
+    """
+
+    jobs = 3
+
+    def _dispatch(
+        self, run_one, pending, on_result, policy=None, on_failure=None
+    ) -> None:
+        for index, seed in reversed(pending):
+            on_result(index, run_one(seed))
+
+
+class TestProgressEvent:
+    def test_remaining_counts_down(self):
+        event = ProgressEvent(
+            done=3, total=10, cache_hits=1, elapsed_s=0.5, eta_s=1.0
+        )
+        assert event.remaining == 7
+
+    def test_remaining_zero_when_done(self):
+        event = ProgressEvent(
+            done=10, total=10, cache_hits=0, elapsed_s=1.0, eta_s=0.0
+        )
+        assert event.remaining == 0
+
+    def test_remaining_empty_battery(self):
+        event = ProgressEvent(
+            done=0, total=0, cache_hits=0, elapsed_s=0.0, eta_s=None
+        )
+        assert event.remaining == 0
+
+
+class TestOutOfOrderProgress:
+    """Progress/ETA emission when pool completions arrive out of order."""
+
+    def test_done_is_monotonic_and_results_ordered(self):
+        events = []
+        results = ReversedCompletionExecutor().execute(
+            square, [1, 2, 3, 4], progress=events.append
+        )
+        assert results == [1, 4, 9, 16]  # seed order, not completion order
+        assert [event.done for event in events] == [0, 1, 2, 3, 4]
+        assert [event.remaining for event in events] == [4, 3, 2, 1, 0]
+        assert all(event.total == 4 for event in events)
+
+    def test_eta_none_until_first_completion_then_zero_at_end(self):
+        events = []
+        ReversedCompletionExecutor().execute(
+            square, [1, 2, 3], progress=events.append
+        )
+        assert events[0].eta_s is None  # nothing computed yet
+        assert all(event.eta_s is not None for event in events[1:])
+        assert events[-1].eta_s == 0.0
+
+    def test_elapsed_is_monotonic(self):
+        events = []
+        ReversedCompletionExecutor().execute(
+            square, [5, 6, 7], progress=events.append
+        )
+        elapsed = [event.elapsed_s for event in events]
+        assert elapsed == sorted(elapsed)
+
+    def test_cache_hits_counted_before_dispatch(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key_for = lambda seed: f"{seed:02d}" + "0" * 62  # noqa: E731
+        encode, decode = lambda v: {"v": v}, lambda r: r["v"]  # noqa: E731
+        ReversedCompletionExecutor().execute(
+            square, [1, 2], cache=cache, key_for=key_for,
+            encode=encode, decode=decode,
+        )
+        events = []
+        results = ReversedCompletionExecutor().execute(
+            square, [1, 2, 3, 4], cache=cache, key_for=key_for,
+            encode=encode, decode=decode, progress=events.append,
+        )
+        assert results == [1, 4, 9, 16]
+        # Initial event carries the cache hits; computed trials then
+        # arrive out of order without disturbing the counters.
+        assert [event.done for event in events] == [2, 3, 4]
+        assert all(event.cache_hits == 2 for event in events)
+        assert events[0].eta_s is None  # hits alone predict nothing
+        assert events[-1].eta_s == 0.0
+        assert events[-1].remaining == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_real_pool_progress_matches_sequential_accounting(self):
+        seeds = list(range(8))
+        pool_events, seq_events = [], []
+        pool = ProcessPoolExecutor(jobs=4).execute(
+            square, seeds, progress=pool_events.append
+        )
+        seq = SequentialExecutor().execute(
+            square, seeds, progress=seq_events.append
+        )
+        assert pool == seq
+        assert [e.done for e in pool_events] == [e.done for e in seq_events]
+        assert pool_events[-1].eta_s == 0.0 and pool_events[-1].remaining == 0
 
 
 class TestExecutionDefaults:

@@ -69,6 +69,40 @@ class TestObsSummarize:
         assert "energy by component" in out
         assert "trials: 2 total" in out
 
+    def test_cache_report_includes_hit_rate(self, tmp_path, capsys):
+        extra = ("--cache", "--cache-dir", str(tmp_path / "cache"))
+        run_with_telemetry(tmp_path / "one.jsonl", extra)
+        run_with_telemetry(tmp_path / "two.jsonl", extra)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(tmp_path / "two.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "result cache" in out
+        # Second run: 2 lookups, 2 hits, 0 writes — rate 1.0.
+        assert "lookups: 2 (2 hits, 0 misses), writes: 0" in out
+        assert "hit rate: 1.0000 (100.0%)" in out
+
+    def test_cache_report_zero_lookups(self, tmp_path, capsys):
+        # A session whose cache was never consulted (no trials) still
+        # reports a well-defined 0.0 hit rate, not NaN or a crash.
+        from repro.obs.export import JsonlWriter, meta_record, summary_record
+        from repro.obs.registry import Registry
+
+        path = tmp_path / "t.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.write(meta_record("run", []))
+            writer.write(
+                summary_record(
+                    Registry(),
+                    cache_stats={
+                        "hits": 0, "misses": 0, "writes": 0, "hit_rate": 0.0,
+                    },
+                )
+            )
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate: 0.0000 (n/a)" in out
+
     def test_multiple_files(self, tmp_path, capsys):
         one, two = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
         run_with_telemetry(one)

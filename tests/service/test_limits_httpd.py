@@ -1,0 +1,204 @@
+"""Token bucket / tenant limiter semantics and HTTP parsing."""
+
+import asyncio
+
+import pytest
+
+from repro.service.httpd import (
+    ChunkedResponse,
+    HttpError,
+    json_response,
+    read_request,
+)
+from repro.service.limits import LimitPolicy, TenantLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_is_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.available == 2.0
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestTenantLimiter:
+    def test_inflight_budget_charges_and_releases(self):
+        clock = FakeClock()
+        limiter = TenantLimiter(
+            LimitPolicy(max_inflight_trials=5, submit_rate=100, submit_burst=100),
+            clock=clock,
+        )
+        ok, _ = limiter.admit("alice", 4)
+        assert ok and limiter.inflight("alice") == 4
+        ok, reason = limiter.admit("alice", 2)
+        assert not ok and "in-flight trial budget" in reason
+        assert limiter.inflight("alice") == 4  # rejected charge rolled back
+        limiter.release("alice", 3)
+        ok, _ = limiter.admit("alice", 2)
+        assert ok
+
+    def test_tenants_are_independent(self):
+        clock = FakeClock()
+        limiter = TenantLimiter(
+            LimitPolicy(max_inflight_trials=2, submit_rate=100, submit_burst=100),
+            clock=clock,
+        )
+        assert limiter.admit("alice", 2)[0]
+        assert not limiter.admit("alice", 1)[0]
+        assert limiter.admit("bob", 2)[0]
+
+    def test_rate_limit_reason_names_the_client(self):
+        clock = FakeClock()
+        limiter = TenantLimiter(
+            LimitPolicy(submit_rate=1.0, submit_burst=1), clock=clock
+        )
+        assert limiter.admit("alice", 0)[0]
+        ok, reason = limiter.admit("alice", 0)
+        assert not ok and "alice" in reason and "rate" in reason
+
+    def test_cached_only_submissions_cost_no_budget(self):
+        clock = FakeClock()
+        limiter = TenantLimiter(
+            LimitPolicy(max_inflight_trials=1, submit_rate=100, submit_burst=100),
+            clock=clock,
+        )
+        for _ in range(5):
+            assert limiter.admit("alice", 0)[0]
+        assert limiter.inflight("alice") == 0
+
+
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_parses_post_with_body(self):
+        body = b'{"kind":"run"}'
+        request = _parse(
+            b"POST /v1/jobs?x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"x": "1"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == body
+
+    def test_json_body_round_trip(self):
+        body = b'{"kind": "sweep", "spec": {"sizes": [16]}}'
+        request = _parse(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.json() == {"kind": "sweep", "spec": {"sizes": [16]}}
+
+    def test_clean_close_returns_none(self):
+        assert _parse(b"") is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /x\r\n\r\n",  # missing version
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTrunc",  # EOF mid-head
+        ],
+    )
+    def test_malformed_requests_raise_http_errors(self, raw):
+        with pytest.raises(HttpError):
+            _parse(raw)
+
+    def test_oversized_body_is_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+            )
+        assert excinfo.value.status == 413
+
+    def test_bad_json_body_maps_to_400(self):
+        request = _parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_shape(self):
+        raw = json_response(200, {"a": 1})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert body == b'{"a": 1}\n'
+
+    def test_chunked_stream_framing(self):
+        class FakeWriter:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            async def drain(self):
+                pass
+
+        async def run():
+            writer = FakeWriter()
+            stream = ChunkedResponse(writer)
+            await stream.start()
+            await stream.send_record({"type": "meta"})
+            await stream.send(b"")  # must not emit a terminator
+            await stream.end()
+            return b"".join(writer.chunks)
+
+        raw = asyncio.run(run())
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        payload = b'{"type": "meta"}\n'
+        assert rest == b"%x\r\n" % len(payload) + payload + b"\r\n0\r\n\r\n"
