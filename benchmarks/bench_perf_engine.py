@@ -48,7 +48,23 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 #: JSON schema tag, bumped on layout changes.
 #: /2 adds the ``telemetry_overhead`` section (obs instrumentation cost).
 #: /3 adds the ``fault_overhead`` section (no-op FaultPlan fast-path cost).
-SCHEMA = "bench-engine/3"
+#: /4 adds the ``batch_throughput`` section (vectorized batch backend vs
+#:    per-trial scalar execution on a dense same-cell battery).
+SCHEMA = "bench-engine/4"
+
+#: Re-measurable report sections (--section re-runs exactly one of these
+#: and splices it into the existing report, leaving the rest untouched).
+SECTIONS = (
+    "scenarios",
+    "telemetry_overhead",
+    "fault_overhead",
+    "batch_throughput",
+)
+
+#: Acceptance floor for the batched backend: >= 10x single-thread
+#: throughput over the scalar engine on the dense same-cell battery
+#: (gated under --check with the --max-regression allowance).
+BATCH_SPEEDUP_TARGET = 10.0
 
 
 class DenseTraffic(Protocol):
@@ -196,9 +212,8 @@ def _best_of(fn, repetitions):
     return best
 
 
-def measure(quick=False):
-    """Time every scenario on both engines; return the report dict."""
-    repetitions = 3 if quick else 15
+def measure_scenarios(repetitions):
+    """Time every scenario on both engines; return the section dict."""
     scenarios = {}
     for name, factory in SCENARIOS.items():
         graph, protocol, model, seed, params = factory()
@@ -219,15 +234,28 @@ def measure(quick=False):
             "reference_s": round(reference_s, 6),
             "speedup": round(reference_s / optimized_s, 3),
         }
-    return {
+    return scenarios
+
+
+def measure(quick=False, sections=None):
+    """Measure the requested sections (all by default); return the report."""
+    repetitions = 3 if quick else 15
+    chosen = SECTIONS if sections is None else tuple(sections)
+    report = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
         "python": sys.version.split()[0],
         "headline": HEADLINE_SCENARIO,
-        "scenarios": scenarios,
-        "telemetry_overhead": measure_telemetry_overhead(repetitions),
-        "fault_overhead": measure_fault_overhead(repetitions),
     }
+    if "scenarios" in chosen:
+        report["scenarios"] = measure_scenarios(repetitions)
+    if "telemetry_overhead" in chosen:
+        report["telemetry_overhead"] = measure_telemetry_overhead(repetitions)
+    if "fault_overhead" in chosen:
+        report["fault_overhead"] = measure_fault_overhead(repetitions)
+    if "batch_throughput" in chosen:
+        report["batch_throughput"] = measure_batch_throughput(quick=quick)
+    return report
 
 
 def measure_telemetry_overhead(repetitions):
@@ -284,6 +312,67 @@ def measure_fault_overhead(repetitions):
     }
 
 
+def measure_batch_throughput(quick=False):
+    """Batched-backend throughput vs per-trial scalar execution.
+
+    One dense same-cell battery — Algorithm 1 (practical constants) on a
+    shared gnp(200, 0.1) topology — is run both ways: the scalar engine
+    trial by trial (with validation, as ``run_trials`` would), and the
+    vectorized batch engine over the whole battery at once (validation
+    included in :func:`repro.radio.batch.engine.run_batch`).  The
+    headline is the per-trial throughput ratio, gated at
+    ``BATCH_SPEEDUP_TARGET`` under ``--check``.  The section also
+    captures one recorded run's ``engine.batch.*`` telemetry counters.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return {"skipped": "numpy unavailable"}
+    from repro.analysis.validation import validate_run
+    from repro.obs.registry import Registry, recording
+    from repro.radio.batch.engine import run_batch
+
+    graph = gnp_random_graph(200, 0.1, seed=7)
+    protocol = CDMISProtocol(constants=ConstantsProfile.practical())
+    batch_size = 64 if quick else 256
+    scalar_trials = 8 if quick else 16
+    seeds = list(range(batch_size))
+
+    def scalar_battery():
+        for seed in seeds[:scalar_trials]:
+            validate_run(run_protocol(graph, protocol, CD, seed=seed))
+
+    def batch_battery():
+        run_batch(graph, protocol, CD, seeds)
+
+    batch_battery()  # warm: table compilation, kernel buffers
+    scalar_s = _best_of(scalar_battery, 1 if quick else 2)
+    batch_s = _best_of(batch_battery, 2 if quick else 3)
+    with recording(Registry()) as registry:
+        batch_battery()
+    counters = {
+        name: value
+        for name, value in registry.snapshot().get("counters", {}).items()
+        if name.startswith("engine.batch.")
+    }
+    scalar_per_trial = scalar_s / scalar_trials
+    batch_per_trial = batch_s / batch_size
+    return {
+        "params": {
+            "graph": "gnp(200, 0.1, seed=7)",
+            "protocol": "cd-mis(practical)",
+            "model": "cd",
+        },
+        "batch_size": batch_size,
+        "scalar_trials": scalar_trials,
+        "scalar_per_trial_s": round(scalar_per_trial, 6),
+        "batch_per_trial_s": round(batch_per_trial, 6),
+        "speedup": round(scalar_per_trial / batch_per_trial, 3),
+        "target_speedup": BATCH_SPEEDUP_TARGET,
+        "counters": counters,
+    }
+
+
 def check_regression(report, baseline, max_regression):
     """Compare per-scenario speedups against a baseline report.
 
@@ -328,6 +417,10 @@ def main(argv=None):
                         metavar="FRAC",
                         help="with --check, also fail if a no-op FaultPlan "
                              "costs more than this fraction over faults=None")
+    parser.add_argument("--section", choices=SECTIONS, default=None,
+                        help="re-measure only this report section and splice "
+                             "it into the existing --output file, leaving the "
+                             "other sections untouched")
     args = parser.parse_args(argv)
 
     baseline = None
@@ -335,9 +428,22 @@ def main(argv=None):
         # Read before writing: output and baseline may be the same file.
         baseline = json.loads(args.baseline.read_text())
 
-    report = measure(quick=args.quick)
+    if args.section is not None:
+        if not args.output.exists():
+            print(
+                f"--section requires an existing report at {args.output} "
+                f"to splice into; run once without --section first",
+                file=sys.stderr,
+            )
+            return 2
+        report = json.loads(args.output.read_text())
+        fresh = measure(quick=args.quick, sections=[args.section])
+        report[args.section] = fresh[args.section]
+        report["schema"] = SCHEMA
+    else:
+        report = measure(quick=args.quick)
 
-    for name, entry in report["scenarios"].items():
+    for name, entry in report.get("scenarios", {}).items():
         marker = "  <- headline" if name == HEADLINE_SCENARIO else ""
         print(
             f"{name}: optimized {entry['optimized_s'] * 1e3:.2f}ms  "
@@ -345,18 +451,29 @@ def main(argv=None):
             f"speedup {entry['speedup']:.2f}x{marker}"
         )
 
-    overhead = report["telemetry_overhead"]
-    print(
-        f"telemetry overhead: disabled {overhead['disabled_s'] * 1e3:.2f}ms  "
-        f"enabled {overhead['enabled_s'] * 1e3:.2f}ms  "
-        f"overhead {overhead['overhead_frac']:+.1%}"
-    )
-    fault_overhead = report["fault_overhead"]
-    print(
-        f"noop-fault overhead: none {fault_overhead['no_plan_s'] * 1e3:.2f}ms  "
-        f"noop plan {fault_overhead['noop_plan_s'] * 1e3:.2f}ms  "
-        f"overhead {fault_overhead['overhead_frac']:+.1%}"
-    )
+    overhead = report.get("telemetry_overhead")
+    if overhead is not None:
+        print(
+            f"telemetry overhead: disabled {overhead['disabled_s'] * 1e3:.2f}ms  "
+            f"enabled {overhead['enabled_s'] * 1e3:.2f}ms  "
+            f"overhead {overhead['overhead_frac']:+.1%}"
+        )
+    fault_overhead = report.get("fault_overhead")
+    if fault_overhead is not None:
+        print(
+            f"noop-fault overhead: none {fault_overhead['no_plan_s'] * 1e3:.2f}ms  "
+            f"noop plan {fault_overhead['noop_plan_s'] * 1e3:.2f}ms  "
+            f"overhead {fault_overhead['overhead_frac']:+.1%}"
+        )
+    batch = report.get("batch_throughput")
+    if batch is not None and "speedup" in batch:
+        print(
+            f"batch throughput: scalar "
+            f"{batch['scalar_per_trial_s'] * 1e3:.2f}ms/trial  batch "
+            f"{batch['batch_per_trial_s'] * 1e3:.2f}ms/trial "
+            f"(B={batch['batch_size']})  speedup {batch['speedup']:.2f}x "
+            f"(target {batch['target_speedup']:.0f}x)"
+        )
 
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -364,7 +481,7 @@ def main(argv=None):
 
     if baseline is not None:
         failures = check_regression(report, baseline, args.max_regression)
-        if args.max_overhead is not None:
+        if args.max_overhead is not None and overhead is not None:
             # Gated against the current run only (no baseline needed, so
             # pre-/2 baselines without the section still work).
             if overhead["overhead_frac"] > args.max_overhead:
@@ -372,12 +489,24 @@ def main(argv=None):
                     f"telemetry overhead {overhead['overhead_frac']:.1%} "
                     f"exceeds --max-overhead {args.max_overhead:.1%}"
                 )
-        if args.max_fault_overhead is not None:
+        if args.max_fault_overhead is not None and fault_overhead is not None:
             if fault_overhead["overhead_frac"] > args.max_fault_overhead:
                 failures.append(
                     f"noop fault-plan overhead "
                     f"{fault_overhead['overhead_frac']:.1%} exceeds "
                     f"--max-fault-overhead {args.max_fault_overhead:.1%}"
+                )
+        if batch is not None and "speedup" in batch:
+            # An absolute floor, not a baseline delta: the batched
+            # backend's acceptance criterion is >= 10x single-thread
+            # throughput, softened by the regression allowance.
+            floor = BATCH_SPEEDUP_TARGET * (1.0 - args.max_regression)
+            if batch["speedup"] < floor:
+                failures.append(
+                    f"batch_throughput: speedup {batch['speedup']:.2f}x fell "
+                    f"below {floor:.2f}x (target "
+                    f"{BATCH_SPEEDUP_TARGET:.0f}x - "
+                    f"{args.max_regression:.0%} allowance)"
                 )
         if failures:
             for failure in failures:

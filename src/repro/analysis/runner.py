@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ConfigurationError
 from ..exec.cache import ResultCache, graph_fingerprint, trial_key
 from ..exec.executor import (
     ProgressCallback,
+    ProgressEvent,
     get_execution_defaults,
     make_executor,
 )
@@ -45,6 +47,12 @@ from .validation import ValidationReport, validate_run
 __all__ = ["TrialOutcome", "TrialSummary", "run_trials"]
 
 GraphFactory = Callable[[int], Graph]  # seed -> graph
+
+#: Smallest battery the "auto" engine bothers batching.  Keyed on the
+#: battery size, not the cache-miss count, so a fully-cached battery
+#: re-runs through the same (batch) keys it was written with instead of
+#: silently flipping to scalar keys and recomputing everything.
+_MIN_AUTO_BATCH = 32
 
 
 @dataclass(frozen=True)
@@ -167,6 +175,154 @@ def _trial_seeds(
     return graph_seed(seed), protocol_seed(seed)
 
 
+def _plan_batch(
+    graph: Union[Graph, GraphFactory],
+    protocol: Protocol,
+    seeds: Sequence[int],
+    coupled_seeds: bool,
+):
+    """Resolve trial graphs and compile one table program, or explain why not.
+
+    Returns ``((graphs, program), None)`` when the battery is batchable,
+    else ``(None, reason)`` with a stable fallback-reason slug.
+    """
+    from ..radio.batch.engine import MAX_RANK_WIDTH, compile_batch_program
+    from ..radio.batch.registry import compile_table_for
+
+    if callable(graph):
+        graphs = []
+        for seed in seeds:
+            g_seed, _ = _trial_seeds(graph, seed, coupled_seeds)
+            graphs.append(graph(g_seed))
+    else:
+        graphs = [graph] * len(seeds)
+    n = graphs[0].num_nodes
+    if n == 0 or any(sample.num_nodes != n for sample in graphs):
+        return None, "shape"
+    if compile_table_for(protocol, n, graphs[0].max_degree()) is None:
+        return None, "no-table"
+    program = compile_batch_program(protocol, graphs)
+    if program is None:
+        # A table exists but differs across the battery's (n, Delta)
+        # cells (sampled graphs with unequal max degree on a
+        # Delta-dependent table).
+        return None, "shape"
+    if program.rank_width > MAX_RANK_WIDTH:
+        return None, "rank-width"
+    return (graphs, program), None
+
+
+def _run_batch_battery(
+    *,
+    graph: Union[Graph, GraphFactory],
+    graphs: List[Graph],
+    program,
+    protocol: Protocol,
+    model: CollisionModel,
+    model_name: str,
+    graph_name: str,
+    seeds: List[int],
+    max_rounds: Optional[int],
+    cache: Optional[ResultCache],
+    graph_spec: Optional[str],
+    coupled_seeds: bool,
+    progress: Optional[ProgressCallback],
+) -> TrialSummary:
+    """Dispatch one batchable battery through the vectorized engine.
+
+    Mirrors the executor's cache discipline — per-seed lookups first,
+    one batched run over the misses, write-back after — with
+    engine-tagged keys so batch and scalar results never alias.
+    """
+    import time as _time
+
+    from ..radio.batch.engine import run_batch
+
+    start = _time.perf_counter()
+    key_for = None
+    if cache is not None and graph_spec is not None:
+        seed_mode = "coupled" if coupled_seeds else "decoupled"
+        spec = graph_spec
+
+        def key_for(seed: int) -> str:
+            return trial_key(
+                protocol=protocol,
+                model_name=model_name,
+                graph_spec=spec,
+                seed=seed,
+                max_rounds=max_rounds,
+                seed_mode=seed_mode,
+                engine="batch",
+            )
+
+    outcomes_by_position: Dict[int, TrialOutcome] = {}
+    if key_for is not None:
+        missing = []
+        for position, seed in enumerate(seeds):
+            record = cache.get(key_for(seed))
+            if record is not None:
+                outcomes_by_position[position] = _outcome_from_record(record)
+            else:
+                missing.append(position)
+    else:
+        missing = list(range(len(seeds)))
+    cache_hits = len(seeds) - len(missing)
+
+    registry = get_registry()
+    if missing:
+        protocol_seeds = [
+            _trial_seeds(graph, seeds[position], coupled_seeds)[1]
+            for position in missing
+        ]
+        batch_graphs: Union[Graph, List[Graph]] = (
+            graphs[0]
+            if not callable(graph)
+            else [graphs[position] for position in missing]
+        )
+        result = run_batch(
+            batch_graphs,
+            protocol,
+            model,
+            protocol_seeds,
+            program=program,
+            max_rounds=max_rounds,
+        )
+        for offset, position in enumerate(missing):
+            outcome = TrialOutcome(
+                seed=seeds[position],
+                valid=bool(result.valid[offset]),
+                mis_size=int(result.mis_size[offset]),
+                rounds=int(result.rounds[offset]),
+                max_energy=int(result.max_energy[offset]),
+                mean_energy=float(result.mean_energy[offset]),
+                failure_kinds=tuple(result.failure_kinds(offset)),
+            )
+            outcomes_by_position[position] = outcome
+            if key_for is not None:
+                cache.put(key_for(seeds[position]), _outcome_to_record(outcome))
+            if registry.enabled and not outcome.valid:
+                registry.counter("trials.invalid").inc()
+
+    if progress is not None:
+        progress(
+            ProgressEvent(
+                done=len(seeds),
+                total=len(seeds),
+                cache_hits=cache_hits,
+                elapsed_s=_time.perf_counter() - start,
+                eta_s=0.0,
+            )
+        )
+    return TrialSummary(
+        protocol_name=protocol.name,
+        model_name=model_name,
+        graph_name=graph_name,
+        outcomes=[outcomes_by_position[i] for i in range(len(seeds))],
+        results=[],
+        quarantined=[],
+    )
+
+
 def run_trials(
     graph: Union[Graph, GraphFactory],
     protocol: Protocol,
@@ -182,6 +338,7 @@ def run_trials(
     progress: Optional[ProgressCallback] = None,
     faults: Union[FaultPlan, None, bool] = None,
     policy: Union[RetryPolicy, None, bool] = None,
+    engine: Optional[str] = None,
 ) -> TrialSummary:
     """Run ``protocol`` for every seed and aggregate.
 
@@ -222,6 +379,18 @@ def run_trials(
         the battery completes with the surviving trials and the summary
         lists the quarantined seeds.  Ignored in ``keep_results`` mode,
         which runs in-process and fails fast.
+    engine:
+        Backend selection: ``"auto"`` (the default via
+        :func:`~repro.exec.executor.execution_defaults`) runs qualifying
+        batteries — a compiled transition table, uniform graph size, no
+        faults/retry policy/``keep_results``, and at least
+        ``_MIN_AUTO_BATCH`` seeds — through the vectorized batch engine
+        and everything else through the scalar coroutine engine;
+        ``"scalar"`` forces the coroutine engine; ``"batch"`` forces the
+        batch engine and raises :class:`~repro.errors.ConfigurationError`
+        when the battery is not batchable.  Batch results are
+        statistically equivalent but not bit-identical to scalar runs
+        (counter-based RNG), so they cache under engine-tagged keys.
     """
     defaults = get_execution_defaults()
     if jobs is None:
@@ -240,6 +409,12 @@ def run_trials(
         policy = defaults.policy
     elif policy is False:
         policy = None
+    if engine is None:
+        engine = defaults.engine
+    if engine not in ("auto", "scalar", "batch"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'auto', 'scalar', or 'batch'"
+        )
     seeds = list(seeds)
     model_name = model.name
 
@@ -286,6 +461,55 @@ def run_trials(
         graph_name = graph.name
         if graph_spec is None:
             graph_spec = graph_fingerprint(graph)
+
+    if engine != "scalar" and seeds:
+        # Decide between the batch and scalar backends.  Cheap structural
+        # disqualifiers are checked before graph construction; the plan
+        # step then builds the trial graphs and compiles the table.
+        reason = None
+        plan = None
+        if keep_results:
+            reason = "keep-results"
+        elif faults is not None:
+            reason = "faults"
+        elif policy is not None and policy.active:
+            reason = "retry-policy"
+        elif getattr(model, "sender_side_detection", False):
+            reason = "model"
+        elif engine == "auto" and len(seeds) < _MIN_AUTO_BATCH:
+            reason = "too-few-trials"
+        else:
+            try:
+                import numpy  # noqa: F401
+            except ImportError:
+                reason = "no-numpy"
+            else:
+                plan, reason = _plan_batch(graph, protocol, seeds, coupled_seeds)
+        if plan is not None:
+            return _run_batch_battery(
+                graph=graph,
+                graphs=plan[0],
+                program=plan[1],
+                protocol=protocol,
+                model=model,
+                model_name=model_name,
+                graph_name=graph_name,
+                seeds=seeds,
+                max_rounds=max_rounds,
+                cache=cache,
+                graph_spec=graph_spec,
+                coupled_seeds=coupled_seeds,
+                progress=progress,
+            )
+        if engine == "batch":
+            raise ConfigurationError(
+                f"engine='batch' requested but battery is not batchable: "
+                f"{reason}"
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("engine.batch.fallback").inc()
+            registry.counter(f"engine.batch.fallback.{reason}").inc()
 
     if keep_results:
         # Full RunResults are neither cached nor shipped across process

@@ -161,6 +161,16 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         "crash=0.1@50+8,wake=16,seed=1' (see repro.faults.parse_fault_spec)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "scalar", "batch"),
+        default=None,
+        metavar="BACKEND",
+        help="trial engine backend: 'auto' (default) vectorizes qualifying "
+        "batteries through the batched numpy engine, 'scalar' forces the "
+        "coroutine engine, 'batch' forces batching and errors on "
+        "unbatchable batteries",
+    )
+    parser.add_argument(
         "--trial-timeout",
         type=float,
         default=None,
@@ -773,16 +783,18 @@ def main(argv: Optional[list] = None) -> int:
     cprofile_dir = getattr(args, "cprofile", None)
     faults = _faults_from_args(args)
     policy = _policy_from_args(args)
-    if faults is not None or policy is not None:
+    engine = getattr(args, "engine", None)
+    if faults is not None or policy is not None or engine is not None:
         # run_trials consults the process-wide execution defaults for
-        # faults/retry policy, so installing them here covers run,
-        # sweep, experiment, and campaign without per-handler plumbing.
+        # faults/retry policy/engine, so installing them here covers
+        # run, sweep, experiment, and campaign without per-handler
+        # plumbing.
         from .exec.executor import execution_defaults
 
         base_handler = handler
 
         def handler(args, constants, _inner=base_handler):
-            with execution_defaults(faults=faults, policy=policy):
+            with execution_defaults(faults=faults, policy=policy, engine=engine):
                 return _inner(args, constants)
 
     if telemetry_path is None and cprofile_dir is None:

@@ -108,12 +108,17 @@ def trial_key(
     max_rounds: Optional[int] = None,
     seed_mode: str = "decoupled",
     faults: Any = None,
+    engine: str = "scalar",
 ) -> str:
     """Content-addressed key of one trial's full identity.
 
     ``faults`` (a :class:`~repro.faults.FaultPlan`, when given) joins
     the identity only when present, so fault-free trials keep their
-    historical keys and existing caches stay valid.
+    historical keys and existing caches stay valid.  ``engine`` joins
+    the same way: scalar trials keep their historical keys, while the
+    batched backend — whose counter-based RNG makes its results
+    distributionally equivalent but not bit-identical to scalar runs —
+    can never collide with a scalar entry for the same seed.
     """
     payload = {
         "protocol": protocol_fingerprint(protocol),
@@ -125,6 +130,8 @@ def trial_key(
     }
     if faults is not None:
         payload["faults"] = _canonical(faults)
+    if engine != "scalar":
+        payload["engine"] = engine
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 

@@ -340,6 +340,10 @@ class ExecutionDefaults:
     cache: Optional[ResultCache] = None
     policy: Optional[RetryPolicy] = None
     faults: Optional["FaultPlan"] = None
+    #: Engine backend: "auto" (batched when the battery qualifies),
+    #: "scalar" (always the coroutine engine), or "batch" (force the
+    #: batched backend; unbatchable batteries raise).
+    engine: str = "auto"
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -356,14 +360,15 @@ def execution_defaults(
     cache: Union[ResultCache, None, bool] = None,
     policy: Union[RetryPolicy, None, bool] = None,
     faults: Union["FaultPlan", None, bool] = None,
+    engine: Optional[str] = None,
 ):
     """Temporarily install execution defaults for a code region.
 
     ``None`` leaves a field at its previous default; ``cache=False`` /
     ``policy=False`` / ``faults=False`` explicitly clear that field
     inside the region.  The CLI wraps each command in this so experiment
-    harnesses inherit ``--jobs``, ``--cache``, ``--faults``, and the
-    retry policy without explicit plumbing.
+    harnesses inherit ``--jobs``, ``--cache``, ``--faults``, ``--engine``,
+    and the retry policy without explicit plumbing.
     """
     global _DEFAULTS
     previous = _DEFAULTS
@@ -380,6 +385,7 @@ def execution_defaults(
         cache=resolve(cache, previous.cache),
         policy=resolve(policy, previous.policy),
         faults=resolve(faults, previous.faults),
+        engine=previous.engine if engine is None else engine,
     )
     try:
         yield _DEFAULTS

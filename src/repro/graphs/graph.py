@@ -43,7 +43,15 @@ class Graph:
         Optional label used in experiment reports.
     """
 
-    __slots__ = ("_n", "_adjacency", "_neighbor_sets", "_edges", "_max_degree", "name")
+    __slots__ = (
+        "_n",
+        "_adjacency",
+        "_neighbor_sets",
+        "_edges",
+        "_max_degree",
+        "_csr",
+        "name",
+    )
 
     def __init__(self, num_nodes: int, edges: Iterable[Edge] = (), name: str = "graph"):
         if num_nodes < 0:
@@ -71,6 +79,7 @@ class Graph:
         self._max_degree: int = (
             max(len(neighbors) for neighbors in self._adjacency) if self._n else 0
         )
+        self._csr = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -112,6 +121,40 @@ class Graph:
     def neighbor_sets(self) -> Tuple[FrozenSet[int], ...]:
         """Frozenset neighborhoods indexed by node, shared (do not mutate)."""
         return self._neighbor_sets
+
+    def csr(self):
+        """Flat CSR form of the adjacency: ``(indptr, indices)``, int32.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` lists ``v``'s sorted
+        neighbors.  Built once on first call and memoized (the graph is
+        immutable); the returned arrays are marked read-only and shared
+        between callers — the engine's bincount scatter path and the
+        batched backend both index them directly.
+
+        Requires numpy; callers on the no-numpy fallback path never
+        reach flat-array code, so the import error propagates untouched.
+        """
+        csr = self._csr
+        if csr is None:
+            import numpy as np
+
+            degrees = [len(neighbors) for neighbors in self._adjacency]
+            total = sum(degrees)
+            indptr = np.zeros(self._n + 1, dtype=np.int32)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (
+                    neighbor
+                    for neighbors in self._adjacency
+                    for neighbor in neighbors
+                ),
+                dtype=np.int32,
+                count=total,
+            )
+            indptr.flags.writeable = False
+            indices.flags.writeable = False
+            self._csr = csr = (indptr, indices)
+        return csr
 
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Sorted neighbors of ``node``."""

@@ -1,0 +1,626 @@
+"""The vectorized round loop: B same-cell trials as struct-of-arrays.
+
+State layout — one flat axis of ``M = B * n`` node slots, node ``v`` of
+trial ``t`` at index ``t * n + v``:
+
+* ``pc``        int16   current table state (:data:`~.table.HALT` = halted)
+* ``wake``      int64   next round the node acts (the scalar engine's
+                        per-node clock ``_now``)
+* ``regs``      int64   ``(num_registers, M)`` register file
+* ``counters``  uint64  RNG draw counters (see :mod:`~.rng`)
+* ``decided``   int8    0 undecided / 1 IN_MIS / 2 OUT_MIS
+* ``finish``    int64   the node's clock when it halted
+* ``tx_rounds`` / ``listen_rounds`` int64 energy tallies
+
+Each iteration of the main loop advances *one* populated round across
+the whole batch: find the minimum wake time among live nodes (sleep
+blocks are skipped wholesale, like the scalar engine's event queue),
+emit every acting node's action as mask arithmetic, resolve collisions
+for all B trials at once, then walk each state's edge chains over
+compressed index arrays.  Soft (epsilon/sleep) states are resolved to a
+fixpoint inside the same iteration, mirroring how the scalar engine
+processes consecutive ``Sleep`` yields without consuming a round.
+
+Collision resolution picks between two kernels:
+
+* shared graph, dense — transmit matrix ``(B, n)`` times a float32
+  adjacency matrix (BLAS); used when one Graph object backs every
+  trial and ``n`` is small enough for an ``n x n`` dense matrix;
+* stacked CSR — per-trial CSR adjacency concatenated with ``t * n``
+  offsets, scattered with ``np.bincount``; handles per-trial sampled
+  graphs and large shared graphs.
+
+Accounting matches the scalar engine exactly: an awake action in round
+``r`` advances the node's clock to ``r + 1``; ``Sleep(d)`` adds ``d``;
+``finish`` is the clock at halt; a trial's ``rounds`` is the maximum
+finish over its nodes.  Validation (MIS independence + domination +
+decidedness) is vectorized over the batch as well, so a batched battery
+never materializes per-trial ``RunResult`` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...errors import ProtocolError, SimulationError
+from ...graphs.graph import Graph
+from ...obs.registry import get_registry
+from ..engine import DEFAULT_MAX_ROUNDS, _HINT_SLACK
+from ..node import Protocol
+from .registry import compile_table_for
+from .rng import draw, geometric_from_draws, node_keys, ranks_from_draws
+from .table import (
+    EMIT_BIT,
+    EMIT_EPS,
+    EMIT_LE,
+    EMIT_LISTEN,
+    EMIT_SLEEP,
+    EMIT_TRANSMIT,
+    HALT,
+    NODE_ID,
+    OBS_HEARD,
+    OBS_NEXT,
+    OBS_SILENCE,
+    OBS_TX,
+    Edge,
+    TableProgram,
+)
+
+__all__ = [
+    "BatchResult",
+    "run_batch",
+    "compile_batch_program",
+    "MAX_RANK_WIDTH",
+    "DENSE_NODE_LIMIT",
+]
+
+#: Rank draws must fit the signed int64 register file.
+MAX_RANK_WIDTH = 62
+
+#: Largest shared-graph ``n`` that still uses the dense float32
+#: adjacency matmul kernel (n^2 * 4 bytes; 2048 -> 16 MiB).
+DENSE_NODE_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Vectorized per-trial results of one batched battery.
+
+    All arrays are indexed by trial position (the order of ``seeds``).
+    ``failure_kinds`` mirrors
+    :func:`repro.analysis.validation.ValidationReport.failure_kinds`
+    ordering: undecided, independence, domination.
+    """
+
+    seeds: Tuple[int, ...]
+    protocol_name: str
+    model_name: str
+    num_nodes: int
+    valid: np.ndarray  # (B,) bool
+    mis_size: np.ndarray  # (B,) int64
+    rounds: np.ndarray  # (B,) int64
+    max_energy: np.ndarray  # (B,) int64
+    mean_energy: np.ndarray  # (B,) float64
+    undecided: np.ndarray  # (B,) bool
+    independence: np.ndarray  # (B,) bool (violated)
+    domination: np.ndarray  # (B,) bool (violated)
+    mis: np.ndarray  # (B, n) bool
+
+    @property
+    def trials(self) -> int:
+        return len(self.seeds)
+
+    def failure_kinds(self, index: int) -> List[str]:
+        kinds = []
+        if self.undecided[index]:
+            kinds.append("undecided")
+        if self.independence[index]:
+            kinds.append("independence")
+        if self.domination[index]:
+            kinds.append("domination")
+        return kinds
+
+
+# ----------------------------------------------------------------------
+# Graph-side kernels
+# ----------------------------------------------------------------------
+
+
+class _SharedDense:
+    """Collision counts via (B, n) @ (n, n) float32 matmul.
+
+    Returns float32 counts (exact for any realizable degree); callers
+    threshold at 0.5 / 1.5 so the int and float kernels are
+    interchangeable.
+    """
+
+    def __init__(self, graph: Graph, batch: int):
+        n = graph.num_nodes
+        indptr, indices = graph.csr()
+        dense = np.zeros((n, n), dtype=np.float32)
+        dense[
+            np.repeat(np.arange(n), np.diff(indptr)), indices
+        ] = 1.0
+        self._dense = dense
+        self._tx = np.zeros((batch, n), dtype=np.float32)
+        self._tx_flat = self._tx.reshape(-1)
+
+    def counts(self, tx_index: np.ndarray) -> np.ndarray:
+        self._tx_flat[tx_index] = 1.0
+        result = (self._tx @ self._dense).reshape(-1)
+        self._tx_flat[tx_index] = 0.0
+        return result
+
+
+class _StackedCSR:
+    """Collision counts via ragged gather + bincount over stacked CSR."""
+
+    def __init__(self, graphs: Sequence[Graph], batch: int):
+        n = graphs[0].num_nodes
+        self._m = batch * n
+        indptr_parts = []
+        indices_parts = []
+        running = np.int64(0)
+        for t, graph in enumerate(graphs):
+            indptr, indices = graph.csr()
+            indptr_parts.append(indptr[:-1].astype(np.int64) + running)
+            indices_parts.append(indices.astype(np.int64) + t * n)
+            running += indptr[-1]
+        indptr_parts.append(np.array([running], dtype=np.int64))
+        self._indptr = np.concatenate(indptr_parts)
+        self._indices = (
+            np.concatenate(indices_parts)
+            if indices_parts
+            else np.zeros(0, dtype=np.int64)
+        )
+
+    def counts(self, tx_index: np.ndarray) -> np.ndarray:
+        starts = self._indptr[tx_index]
+        degrees = self._indptr[tx_index + 1] - starts
+        total = int(degrees.sum())
+        if not total:
+            return np.zeros(self._m, dtype=np.int64)
+        cum = np.cumsum(degrees) - degrees
+        gather = np.repeat(starts - cum, degrees) + np.arange(total)
+        targets = self._indices[gather]
+        return np.bincount(targets, minlength=self._m)
+
+
+# ----------------------------------------------------------------------
+# The engine proper
+# ----------------------------------------------------------------------
+
+
+class _BatchMachine:
+    def __init__(
+        self,
+        program: TableProgram,
+        graphs: Sequence[Graph],
+        model: Any,
+        seeds: Sequence[int],
+        max_rounds: int,
+    ):
+        self.program = program
+        self.model = model
+        self.max_rounds = max_rounds
+        batch = len(seeds)
+        n = graphs[0].num_nodes
+        self.batch = batch
+        self.n = n
+        m = batch * n
+        self.m = m
+
+        width = program.rank_width
+        if width and not (1 <= width <= MAX_RANK_WIDTH):
+            raise ProtocolError(
+                f"table {program.protocol_name!r}: rank width {width} "
+                f"outside the batchable range [1, {MAX_RANK_WIDTH}]"
+            )
+        self.width = width
+
+        shared = all(graph is graphs[0] for graph in graphs)
+        if shared and n <= DENSE_NODE_LIMIT:
+            self.kernel = _SharedDense(graphs[0], batch)
+        else:
+            self.kernel = _StackedCSR(graphs, batch)
+
+        # Model observation classes by transmitter-count bucket.
+        one = model.observation_one
+        self.heard_zero = bool(model.observation_zero.heard_something)
+        self.heard_one = True if one is None else bool(one.heard_something)
+        self.heard_many = bool(model.observation_many.heard_something)
+
+        # Struct-of-arrays node state.
+        self.pc = np.full(m, program.start, dtype=np.int16)
+        self.wake = np.zeros(m, dtype=np.int64)
+        self.regs = np.zeros((program.num_registers, m), dtype=np.int64)
+        node_column = np.tile(np.arange(n, dtype=np.int64), batch)
+        for register, value in enumerate(program.init):
+            if value is NODE_ID:
+                self.regs[register] = node_column
+            elif value:
+                self.regs[register] = value
+        self.keys = node_keys(np.asarray(seeds, dtype=np.int64), n)
+        self.counters = np.zeros(m, dtype=np.uint64)
+        self.decided = np.zeros(m, dtype=np.int8)
+        self.finish = np.zeros(m, dtype=np.int64)
+        self.tx_rounds = np.zeros(m, dtype=np.int64)
+        self.listen_rounds = np.zeros(m, dtype=np.int64)
+
+        self.soft = np.array(
+            [state.emit in (EMIT_EPS, EMIT_SLEEP) for state in program.states],
+            dtype=bool,
+        )
+        self.vector_rounds = 0
+
+    # -- edge chains ----------------------------------------------------
+
+    def _guard_mask(self, edge: Edge, index: np.ndarray) -> np.ndarray:
+        mask = np.ones(index.shape, dtype=bool)
+        regs = self.regs
+        for guard in edge.guards:
+            kind = guard[0]
+            if kind == "bit":
+                _, value_reg, pos_reg, want = guard
+                shift = (self.width - 1) - regs[pos_reg, index]
+                bit = (regs[value_reg, index] >> shift) & 1
+                mask &= bit == want
+            else:
+                _, reg, const = guard
+                values = regs[reg, index]
+                if kind == "eq":
+                    mask &= values == const
+                elif kind == "ne":
+                    mask &= values != const
+                elif kind == "lt":
+                    mask &= values < const
+                elif kind == "le":
+                    mask &= values <= const
+                elif kind == "ge":
+                    mask &= values >= const
+                else:  # "gt"
+                    mask &= values > const
+        return mask
+
+    def _draw(self, index: np.ndarray) -> np.ndarray:
+        variates = draw(self.keys[index], self.counters[index])
+        self.counters[index] += np.uint64(1)
+        return variates
+
+    def _apply_chain(
+        self, chain: Tuple[Edge, ...], index: np.ndarray, state_index: int
+    ) -> None:
+        remaining = index
+        for edge in chain:
+            if not remaining.size:
+                return
+            mask = self._guard_mask(edge, remaining)
+            selected = remaining[mask]
+            remaining = remaining[~mask]
+            if not selected.size:
+                continue
+            for op in edge.ops:
+                kind = op[0]
+                if kind == "set":
+                    self.regs[op[1], selected] = op[2]
+                elif kind == "add":
+                    self.regs[op[1], selected] += op[2]
+                elif kind == "rank":
+                    self.regs[op[1], selected] = ranks_from_draws(
+                        self._draw(selected), self.width
+                    )
+                else:  # "geom"
+                    self.regs[op[1], selected] = geometric_from_draws(
+                        self._draw(selected), op[2]
+                    )
+            if edge.decide is not None:
+                self.decided[selected] = 1 if edge.decide == "in" else 2
+            # set_info is a scalar-only side channel (node_info dicts);
+            # batched batteries aggregate outcomes and never read it.
+            self.pc[selected] = edge.next
+            if edge.next == HALT:
+                self.finish[selected] = self.wake[selected]
+        if remaining.size:
+            raise SimulationError(
+                f"table {self.program.protocol_name!r}: no edge matched in "
+                f"state {state_index} (batch of {self.batch})"
+            )
+
+    def _resolve_soft(self, index: np.ndarray) -> None:
+        states = self.program.states
+        work = index
+        while work.size:
+            live = work[self.pc[work] >= 0]
+            work = live[self.soft[self.pc[live]]]
+            if not work.size:
+                return
+            codes = self.pc[work]
+            for state_index in np.unique(codes):
+                state = states[state_index]
+                subset = work[codes == state_index]
+                if state.emit == EMIT_SLEEP:
+                    duration = np.full(
+                        subset.shape, state.sleep_base, dtype=np.int64
+                    )
+                    for reg, coeff in state.sleep_coeffs:
+                        duration += coeff * self.regs[reg, subset]
+                    if (duration < 1).any():
+                        raise ProtocolError(
+                            f"table {self.program.protocol_name!r}: sleep "
+                            f"state {state_index} evaluated to a "
+                            "non-positive duration"
+                        )
+                    self.wake[subset] += duration
+                self._apply_chain(
+                    state.edges[OBS_NEXT], subset, state_index
+                )
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        states = self.program.states
+        self._resolve_soft(np.arange(self.m, dtype=np.int64))
+        # The live set shrinks monotonically; filter it incrementally
+        # instead of re-scanning all M slots every round.
+        live = np.arange(self.m, dtype=np.int64)
+        while True:
+            live = live[self.pc[live] >= 0]
+            if not live.size:
+                return
+            wake_live = self.wake[live]
+            current = int(wake_live.min())
+            if current >= self.max_rounds:
+                raise SimulationError(
+                    f"batched {self.program.protocol_name!r} exceeded "
+                    f"max_rounds={self.max_rounds}"
+                )
+            act = live[wake_live == current]
+            self.vector_rounds += 1
+            codes = self.pc[act]
+
+            # Emission pass: who transmits, who listens.
+            groups: List[Tuple[int, str, np.ndarray]] = []
+            tx_parts = []
+            listen_parts = []
+            for state_index in np.unique(codes):
+                state = states[state_index]
+                subset = act[codes == state_index]
+                emit = state.emit
+                if emit == EMIT_TRANSMIT:
+                    tx_parts.append(subset)
+                    groups.append((state_index, OBS_NEXT, subset))
+                elif emit == EMIT_LISTEN:
+                    listen_parts.append(subset)
+                    groups.append((state_index, "listen", subset))
+                elif emit == EMIT_BIT:
+                    shift = (self.width - 1) - self.regs[state.b, subset]
+                    transmitting = (
+                        (self.regs[state.a, subset] >> shift) & 1
+                    ).astype(bool)
+                    tx_parts.append(subset[transmitting])
+                    listen_parts.append(subset[~transmitting])
+                    groups.append((state_index, OBS_TX, subset[transmitting]))
+                    groups.append((state_index, "listen", subset[~transmitting]))
+                else:  # EMIT_LE
+                    transmitting = (
+                        self.regs[state.a, subset] <= self.regs[state.b, subset]
+                    )
+                    tx_parts.append(subset[transmitting])
+                    listen_parts.append(subset[~transmitting])
+                    groups.append((state_index, OBS_TX, subset[transmitting]))
+                    groups.append((state_index, "listen", subset[~transmitting]))
+
+            tx_index = (
+                np.concatenate(tx_parts) if tx_parts else np.zeros(0, np.int64)
+            )
+            any_listener = any(part.size for part in listen_parts)
+            self.tx_rounds[tx_index] += 1
+
+            counts: Optional[np.ndarray] = None
+            if any_listener and tx_index.size:
+                counts = self.kernel.counts(tx_index)
+
+            # The acted nodes consumed this round.
+            self.wake[act] = current + 1
+
+            # Transition pass.
+            for state_index, obs_class, subset in groups:
+                if not subset.size:
+                    continue
+                state = states[state_index]
+                if obs_class == "listen":
+                    self.listen_rounds[subset] += 1
+                    heard_mask = self._heard(counts, subset)
+                    self._apply_chain(
+                        state.edges[OBS_HEARD], subset[heard_mask], state_index
+                    )
+                    self._apply_chain(
+                        state.edges[OBS_SILENCE],
+                        subset[~heard_mask],
+                        state_index,
+                    )
+                else:
+                    self._apply_chain(
+                        state.edges[obs_class], subset, state_index
+                    )
+            self._resolve_soft(act)
+
+    def _heard(
+        self, counts: Optional[np.ndarray], listeners: np.ndarray
+    ) -> np.ndarray:
+        """Observation class (heard vs silence) for a listener subset.
+
+        ``counts`` may be int (CSR kernel) or float (dense kernel);
+        0.5/1.5 thresholds bucket both exactly.
+        """
+        if counts is None:  # nobody transmitted anywhere this round
+            return np.full(listeners.shape, self.heard_zero, dtype=bool)
+        at = counts[listeners]
+        return np.where(
+            at < 0.5,
+            self.heard_zero,
+            np.where(at < 1.5, self.heard_one, self.heard_many),
+        )
+
+
+def _validate(
+    machine: _BatchMachine, graphs: Sequence[Graph]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    batch, n, m = machine.batch, machine.n, machine.m
+    decided = machine.decided
+    mis_flat = decided == 1
+    mis = mis_flat.reshape(batch, n)
+    if n == 0:
+        empty = np.zeros(batch, dtype=bool)
+        return empty, empty, empty, mis
+    undecided = (decided == 0).reshape(batch, n).any(axis=1)
+
+    shared = all(graph is graphs[0] for graph in graphs)
+    if shared:
+        edges = np.asarray(graphs[0].edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size:
+            independence = (
+                mis[:, edges[:, 0]] & mis[:, edges[:, 1]]
+            ).any(axis=1)
+        else:
+            independence = np.zeros(batch, dtype=bool)
+    else:
+        independence = np.zeros(batch, dtype=bool)
+        for t, graph in enumerate(graphs):
+            edges = np.asarray(graph.edges, dtype=np.int64).reshape(-1, 2)
+            if edges.size:
+                independence[t] = (
+                    mis[t, edges[:, 0]] & mis[t, edges[:, 1]]
+                ).any()
+
+    neighbor_counts = machine.kernel.counts(np.flatnonzero(mis_flat))
+    covered = mis_flat | (neighbor_counts > 0.5)
+    domination = (~covered).reshape(batch, n).any(axis=1)
+    return undecided, independence, domination, mis
+
+
+def compile_batch_program(
+    protocol: Protocol, graphs: Sequence[Graph]
+) -> Optional[TableProgram]:
+    """One table program covering every trial graph, or ``None``.
+
+    Programs are compiled per ``(n, Delta)`` cell; sampled trial graphs
+    of the same ``n`` may differ in max degree.  Compile once per
+    distinct degree and accept the battery only when every compilation
+    yields the *same* program — i.e. the table doesn't actually depend
+    on Delta (Algorithm 1), or all trial graphs agree on it.  Frozen
+    dataclasses make that a plain equality check.
+    """
+    if not graphs:
+        return None
+    n = graphs[0].num_nodes
+    program: Optional[TableProgram] = None
+    for delta in sorted({graph.max_degree() for graph in graphs}):
+        candidate = compile_table_for(protocol, n, delta)
+        if candidate is None:
+            return None
+        if program is None:
+            program = candidate
+        elif candidate != program:
+            return None
+    return program
+
+
+def run_batch(
+    graphs: Union[Graph, Sequence[Graph]],
+    protocol: Protocol,
+    model: Any,
+    seeds: Sequence[int],
+    *,
+    program: Optional[TableProgram] = None,
+    max_rounds: Optional[int] = None,
+) -> BatchResult:
+    """Run ``len(seeds)`` trials of one cell through the batched engine.
+
+    ``graphs`` is either one shared :class:`Graph` or a per-trial
+    sequence (same ``n`` and max degree — the batchability contract
+    ``run_trials`` enforces before dispatching here).  Each trial ``i``
+    uses ``seeds[i]`` exactly as the scalar engine would: the result is
+    a pure function of ``(graph_i, protocol, model, seeds[i])``,
+    independent of batch size or composition.
+
+    Raises :class:`~repro.errors.ProtocolError` when the protocol has no
+    table for this cell — callers decide fallback policy *before*
+    getting here.
+    """
+    graph_list = (
+        [graphs] * len(seeds) if isinstance(graphs, Graph) else list(graphs)
+    )
+    if len(graph_list) != len(seeds):
+        raise ProtocolError(
+            f"run_batch: {len(graph_list)} graphs for {len(seeds)} seeds"
+        )
+    if not seeds:
+        raise ProtocolError("run_batch: empty seed battery")
+    n = graph_list[0].num_nodes
+    for graph in graph_list[1:]:
+        if graph.num_nodes != n:
+            raise ProtocolError(
+                "run_batch: all trial graphs must share n; got "
+                f"{graph.num_nodes} vs {n}"
+            )
+    delta = graph_list[0].max_degree()
+    if program is None:
+        program = compile_batch_program(protocol, graph_list)
+        if program is None:
+            raise ProtocolError(
+                f"protocol {protocol.name!r} has no single transition "
+                f"table covering this battery (n={n})"
+            )
+    if max_rounds is None:
+        # Per-trial graphs may disagree on Delta; the watchdog takes the
+        # loosest per-trial bound (it guards hangs, not semantics).
+        hints = [
+            protocol.max_rounds_hint(n, d)
+            for d in {graph.max_degree() for graph in graph_list}
+        ]
+        hint = None if any(h is None for h in hints) else max(hints)
+        max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
+
+    machine = _BatchMachine(program, graph_list, model, seeds, max_rounds)
+    machine.run()
+    undecided, independence, domination, mis = _validate(machine, graph_list)
+    valid = ~(undecided | independence | domination)
+    if n:
+        awake = (machine.tx_rounds + machine.listen_rounds).reshape(
+            machine.batch, n
+        )
+        max_energy = awake.max(axis=1).astype(np.int64)
+        mean_energy = awake.mean(axis=1).astype(np.float64)
+        rounds = machine.finish.reshape(machine.batch, n).max(axis=1)
+    else:
+        max_energy = np.zeros(machine.batch, dtype=np.int64)
+        mean_energy = np.zeros(machine.batch, dtype=np.float64)
+        rounds = np.zeros(machine.batch, dtype=np.int64)
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("engine.batch.batches").inc()
+        registry.counter("engine.batch.trials").inc(machine.batch)
+        registry.counter("engine.batch.vector_rounds").inc(
+            machine.vector_rounds
+        )
+
+    return BatchResult(
+        seeds=tuple(seeds),
+        protocol_name=protocol.name,
+        model_name=model.name,
+        num_nodes=n,
+        valid=valid,
+        mis_size=mis.sum(axis=1).astype(np.int64),
+        rounds=rounds,
+        max_energy=max_energy,
+        mean_energy=mean_energy,
+        undecided=undecided,
+        independence=independence,
+        domination=domination,
+        mis=mis,
+    )

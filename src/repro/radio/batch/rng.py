@@ -1,0 +1,104 @@
+"""Counter-based vectorized RNG for the batched engine (splitmix64).
+
+The scalar engine gives every node its own ``random.Random`` (Mersenne
+Twister) stream; streams like that cannot be advanced for thousands of
+nodes at once.  The batched backend instead derives a 64-bit *key* per
+``(trial seed, node)`` pair and produces the ``i``-th variate of that
+stream as ``mix64(key + i * GOLDEN)`` — a pure function of
+``(key, counter)``, so any subset of nodes can draw simultaneously with
+one vectorized mix, and a trial's stream depends only on its own seed
+(never on the batch composition or size).
+
+The consequence, stated everywhere it matters: batch trials are
+**distributionally equivalent** to scalar trials, not bit-identical —
+same per-draw distributions (uniform ``rank_width``-bit ranks, capped
+geometric(1/2) slots) at the same draw positions, different generator.
+Cache keys are therefore engine-tagged (see
+:func:`repro.exec.cache.trial_key`) and the equivalence is enforced
+statistically by ``tests/radio/batch/test_batch_engine.py``.
+
+splitmix64 (Steele, Lea & Flood's SplittableRandom finalizer) passes
+BigCrush as a counter RNG and needs only xor-shift-multiply ops that
+numpy vectorizes on uint64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GOLDEN",
+    "mix64",
+    "node_keys",
+    "draw",
+    "ranks_from_draws",
+    "geometric_from_draws",
+]
+
+#: 2^64 / phi — splitmix64's stream increment.
+GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_KEY_SALT = np.uint64(0x85EBCA6B9E3779B9)
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer, elementwise over a uint64 array."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= _MIX_1
+    x ^= x >> np.uint64(27)
+    x *= _MIX_2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def node_keys(seeds: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Per-(trial, node) stream keys, flat ``(len(seeds) * num_nodes,)``.
+
+    Node ``v`` of trial ``t`` lives at flat index ``t * num_nodes + v``
+    (the batch engine's struct-of-arrays layout).  The key mixes the
+    trial's protocol seed and the node id through two rounds so related
+    seeds (0, 1, 2, ...) land in unrelated streams.
+    """
+    trial_part = mix64(seeds.astype(np.uint64) * GOLDEN)
+    node_part = mix64(
+        np.arange(num_nodes, dtype=np.uint64) * _KEY_SALT + np.uint64(1)
+    )
+    return mix64(trial_part[:, None] ^ node_part[None, :]).reshape(-1)
+
+
+def draw(keys: np.ndarray, counters: np.ndarray) -> np.ndarray:
+    """The ``counters``-th 64-bit variate of each key's stream.
+
+    Callers advance ``counters`` themselves (one increment per draw per
+    node) so draw positions stay aligned with the protocol's logical
+    draw sequence regardless of which nodes draw in which round.
+    """
+    return mix64(keys + counters * GOLDEN)
+
+def ranks_from_draws(draws: np.ndarray, width: int) -> np.ndarray:
+    """Uniform ``width``-bit rank integers from raw 64-bit draws.
+
+    Uses the top bits (splitmix64's best-mixed); ``width`` must be
+    <= 62 so the int64 register file can hold the value — enforced by
+    the batchability check in ``run_trials``.
+    """
+    return (draws >> np.uint64(64 - width)).astype(np.int64)
+
+
+def geometric_from_draws(draws: np.ndarray, slots: int) -> np.ndarray:
+    """Capped geometric(1/2) slots from raw 64-bit draws.
+
+    Mirrors :func:`repro.core.backoff.geometric_slot`: slot ``j`` has
+    probability ``2^-j`` for ``j < slots`` with the remainder on the
+    cap.  Bit ``i`` of the draw is coin ``i``: the slot is one plus the
+    run of leading 1-coins, capped at ``slots``.
+    """
+    slot = np.ones(draws.shape, dtype=np.int64)
+    running = np.ones(draws.shape, dtype=bool)
+    for coin in range(slots - 1):
+        running &= ((draws >> np.uint64(coin)) & np.uint64(1)).astype(bool)
+        slot += running
+    return slot

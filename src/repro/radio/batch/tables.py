@@ -1,0 +1,554 @@
+"""Transition-table builders for the batchable protocols.
+
+Each builder compiles one protocol instance for an ``(n, Delta)`` cell
+into a :class:`~repro.radio.batch.table.TableProgram` whose scalar
+interpretation is bit-identical to the protocol's hand-written
+coroutine (enforced by the golden tests).  A builder returns ``None``
+when the instance is not expressible (e.g. instrumented runs, whose
+per-phase logs only the coroutine produces) — the caller then falls
+back to the scalar engine.
+
+Covered protocols:
+
+* :class:`~repro.core.cd_mis.CDMISProtocol` and its beeping reading —
+  Algorithm 1 (Luby/CD-MIS);
+* :class:`~repro.baselines.naive_cd_luby.NaiveCDLubyProtocol` — the
+  blind (energy-oblivious) CD baseline;
+* :class:`~repro.baselines.backoff_sim_mis.NaiveBackoffMISProtocol` —
+  the traditional-Decay simulation baseline;
+* :class:`~repro.analysis.experiments.backoff_probe.BackoffProbe` —
+  the Algorithm 4 exponential backoffs (Snd-/Rec-EBackoff).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...analysis.experiments.backoff_probe import BackoffProbe
+from ...baselines.backoff_sim_mis import NaiveBackoffMISProtocol
+from ...baselines.naive_cd_luby import NaiveCDLubyProtocol
+from ...core.backoff import backoff_slots
+from ...core.cd_mis import BeepingMISProtocol, CDMISProtocol
+from .registry import register_table
+from .table import (
+    EMIT_BIT,
+    EMIT_EPS,
+    EMIT_LE,
+    EMIT_LISTEN,
+    EMIT_SLEEP,
+    EMIT_TRANSMIT,
+    HALT,
+    NODE_ID,
+    OBS_HEARD,
+    OBS_NEXT,
+    OBS_SILENCE,
+    OBS_TX,
+    Edge,
+    TableProgram,
+    TableState,
+)
+
+__all__ = [
+    "build_cd_mis_table",
+    "build_naive_cd_luby_table",
+    "build_backoff_probe_table",
+    "build_naive_backoff_table",
+]
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (Luby/CD-MIS) — registers: 0=rank, 1=bit position, 2=phase
+# ----------------------------------------------------------------------
+
+
+@register_table(CDMISProtocol)
+@register_table(BeepingMISProtocol)
+def build_cd_mis_table(
+    protocol: CDMISProtocol, n: int, delta: int
+) -> Optional[TableProgram]:
+    if protocol.instrument:
+        return None  # phase logs are a coroutine-only side channel
+    bits = protocol.constants.rank_bits(n)
+    phases = protocol.constants.luby_phases(n)
+
+    advance = (
+        Edge(guards=(("lt", 1, bits - 1),), ops=(("add", 1, 1),), next=1),
+        Edge(next=2),
+    )
+    bitty = TableState(
+        emit=EMIT_BIT,
+        component="competition",
+        a=0,
+        b=1,
+        edges={
+            OBS_TX: advance,
+            OBS_SILENCE: advance,
+            OBS_HEARD: (
+                # Lost: sleep out the rest of the competition (when any
+                # bitty rounds remain), then listen in the check round.
+                Edge(guards=(("lt", 1, bits - 1),), next=3),
+                Edge(next=4),
+            ),
+        },
+    )
+    win = TableState(
+        emit=EMIT_TRANSMIT,
+        component="check",
+        edges={OBS_NEXT: (Edge(decide="in", next=HALT),)},
+    )
+    sleep_out = TableState(
+        emit=EMIT_SLEEP,
+        sleep_base=bits - 1,
+        sleep_coeffs=((1, -1),),
+        edges={OBS_NEXT: (Edge(next=4),)},
+    )
+    lose = TableState(
+        emit=EMIT_LISTEN,
+        component="check",
+        edges={
+            OBS_HEARD: (Edge(decide="out", next=HALT),),
+            OBS_SILENCE: (
+                Edge(
+                    guards=(("lt", 2, phases - 1),),
+                    ops=(("add", 2, 1), ("set", 1, 0), ("rank", 0)),
+                    next=1,
+                ),
+                Edge(next=HALT),  # phases exhausted: stays undecided
+            ),
+        },
+    )
+    boot = TableState(
+        emit=EMIT_EPS,
+        edges={OBS_NEXT: (Edge(ops=(("rank", 0),), next=1),)},
+    )
+    return TableProgram(
+        protocol_name=protocol.name,
+        num_registers=3,
+        init=(0, 0, 0),
+        rank_width=bits,
+        start=0,
+        states=(boot, bitty, win, sleep_out, lose),
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive CD Luby (blind baseline) — registers as Algorithm 1
+# ----------------------------------------------------------------------
+
+
+@register_table(NaiveCDLubyProtocol)
+def build_naive_cd_luby_table(
+    protocol: NaiveCDLubyProtocol, n: int, delta: int
+) -> Optional[TableProgram]:
+    bits = protocol.constants.rank_bits(n)
+    phases = protocol.constants.luby_phases(n)
+
+    def advance(next_state: int, end_state: int) -> tuple:
+        return (
+            Edge(
+                guards=(("lt", 1, bits - 1),),
+                ops=(("add", 1, 1),),
+                next=next_state,
+            ),
+            Edge(next=end_state),
+        )
+
+    alive = TableState(
+        emit=EMIT_BIT,
+        component="competition",
+        a=0,
+        b=1,
+        edges={
+            OBS_TX: advance(1, 3),
+            OBS_SILENCE: advance(1, 3),
+            OBS_HEARD: advance(2, 4),  # lost: keep listening, blind
+        },
+    )
+    lost = TableState(
+        emit=EMIT_LISTEN,
+        component="competition",
+        edges={
+            OBS_HEARD: advance(2, 4),
+            OBS_SILENCE: advance(2, 4),
+        },
+    )
+    win = TableState(
+        emit=EMIT_TRANSMIT,
+        component="check",
+        edges={OBS_NEXT: (Edge(decide="in", next=HALT),)},
+    )
+    lose = TableState(
+        emit=EMIT_LISTEN,
+        component="check",
+        edges={
+            OBS_HEARD: (Edge(decide="out", next=HALT),),
+            OBS_SILENCE: (
+                Edge(
+                    guards=(("lt", 2, phases - 1),),
+                    ops=(("add", 2, 1), ("set", 1, 0), ("rank", 0)),
+                    next=1,
+                ),
+                Edge(next=HALT),
+            ),
+        },
+    )
+    boot = TableState(
+        emit=EMIT_EPS,
+        edges={OBS_NEXT: (Edge(ops=(("rank", 0),), next=1),)},
+    )
+    return TableProgram(
+        protocol_name=protocol.name,
+        num_registers=3,
+        init=(0, 0, 0),
+        rank_width=bits,
+        start=0,
+        states=(boot, alive, lost, win, lose),
+    )
+
+
+# ----------------------------------------------------------------------
+# Backoff probe (Algorithm 4's Snd-/Rec-EBackoff on a star)
+# registers: 0=node id, 1=iteration, 2=slot, 3=geometric slot, 4=heard
+# ----------------------------------------------------------------------
+
+
+@register_table(BackoffProbe)
+def build_backoff_probe_table(
+    protocol: BackoffProbe, n: int, delta: int
+) -> Optional[TableProgram]:
+    k = protocol.k
+    if k < 1:
+        return None  # zero-iteration probes reduce to empty coroutines
+    slots = backoff_slots(protocol.delta)
+    listen_slots = min(
+        slots,
+        backoff_slots(
+            protocol.delta_est
+            if protocol.delta_est is not None
+            else protocol.delta
+        ),
+    )
+    total = k * slots
+
+    # State indices.
+    E_BOOT, E_SND, S_PRE, S_TX, S_POST, E_ITER = 0, 1, 2, 3, 4, 5
+    S_RL, S_RSLP1, E_RHEARD, S_RSLP2, S_RSLP3, E_RNEXT, S_ZZZ = (
+        6, 7, 8, 9, 10, 11, 12,
+    )
+
+    boot = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                Edge(guards=(("eq", 0, 0),), next=S_RL),
+                Edge(
+                    guards=(("le", 0, protocol.senders),),
+                    ops=(("geom", 3, slots),),
+                    next=E_SND,
+                ),
+                Edge(next=S_ZZZ),
+            )
+        },
+    )
+    # Sender: sleep to the geometric slot, transmit, sleep out the
+    # iteration (Snd-EBackoff — awake exactly k rounds).
+    snd_dispatch = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                Edge(guards=(("ge", 3, 2),), next=S_PRE),
+                Edge(next=S_TX),
+            )
+        },
+    )
+    pre_sleep = TableState(
+        emit=EMIT_SLEEP,
+        sleep_base=-1,
+        sleep_coeffs=((3, 1),),
+        edges={OBS_NEXT: (Edge(next=S_TX),)},
+    )
+    transmit = TableState(
+        emit=EMIT_TRANSMIT,
+        component="sender",
+        edges={
+            OBS_NEXT: (
+                Edge(guards=(("lt", 3, slots),), next=S_POST),
+                Edge(next=E_ITER),
+            )
+        },
+    )
+    post_sleep = TableState(
+        emit=EMIT_SLEEP,
+        sleep_base=slots,
+        sleep_coeffs=((3, -1),),
+        edges={OBS_NEXT: (Edge(next=E_ITER),)},
+    )
+    next_iteration = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                Edge(
+                    guards=(("lt", 1, k - 1),),
+                    ops=(("add", 1, 1), ("geom", 3, slots)),
+                    next=E_SND,
+                ),
+                Edge(next=HALT),
+            )
+        },
+    )
+    # Receiver: listen through the first listen_slots of each iteration
+    # until something is heard, then sleep out the rest of the whole
+    # backoff (Rec-EBackoff); report via ctx.info["heard"].
+    silence_chain = [
+        Edge(guards=(("lt", 2, listen_slots),), ops=(("add", 2, 1),), next=S_RL)
+    ]
+    if slots > listen_slots:
+        silence_chain.append(Edge(next=S_RSLP3))
+    else:
+        silence_chain.append(Edge(next=E_RNEXT))
+    receiver_listen = TableState(
+        emit=EMIT_LISTEN,
+        component="receiver",
+        edges={
+            OBS_HEARD: (
+                Edge(
+                    guards=(("lt", 2, slots),),
+                    ops=(("set", 4, 1),),
+                    next=S_RSLP1,
+                ),
+                Edge(ops=(("set", 4, 1),), next=E_RHEARD),
+            ),
+            OBS_SILENCE: tuple(silence_chain),
+        },
+    )
+    heard_iter_sleep = TableState(  # rest of the iteration it heard in
+        emit=EMIT_SLEEP,
+        sleep_base=slots,
+        sleep_coeffs=((2, -1),),
+        edges={OBS_NEXT: (Edge(next=E_RHEARD),)},
+    )
+    heard_dispatch = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                Edge(guards=(("lt", 1, k - 1),), next=S_RSLP2),
+                Edge(set_info=("heard", 4), next=HALT),
+            )
+        },
+    )
+    heard_tail_sleep = TableState(  # the remaining whole iterations
+        emit=EMIT_SLEEP,
+        sleep_base=(k - 1) * slots,
+        sleep_coeffs=((1, -slots),),
+        edges={OBS_NEXT: (Edge(set_info=("heard", 4), next=HALT),)},
+    )
+    window_tail_sleep = TableState(  # slots beyond the listen window
+        emit=EMIT_SLEEP,
+        sleep_base=slots - listen_slots,
+        edges={OBS_NEXT: (Edge(next=E_RNEXT),)},
+    )
+    receiver_next = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                Edge(
+                    guards=(("lt", 1, k - 1),),
+                    ops=(("add", 1, 1), ("set", 2, 1)),
+                    next=S_RL,
+                ),
+                Edge(set_info=("heard", 4), next=HALT),
+            )
+        },
+    )
+    bystander = TableState(
+        emit=EMIT_SLEEP,
+        sleep_base=total,
+        edges={OBS_NEXT: (Edge(next=HALT),)},
+    )
+    return TableProgram(
+        protocol_name=protocol.name,
+        num_registers=5,
+        init=(NODE_ID, 0, 1, 0, 0),
+        rank_width=0,
+        start=E_BOOT,
+        states=(
+            boot,
+            snd_dispatch,
+            pre_sleep,
+            transmit,
+            post_sleep,
+            next_iteration,
+            receiver_listen,
+            heard_iter_sleep,
+            heard_dispatch,
+            heard_tail_sleep,
+            window_tail_sleep,
+            receiver_next,
+            bystander,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive backoff-simulated MIS (traditional Decay strawman)
+# registers: 0=rank, 1=simulated round (0..bits, bits = check),
+#            2=phase, 3=iteration, 4=slot, 5=stop slot, 6=heard, 7=lost
+# ----------------------------------------------------------------------
+
+
+@register_table(NaiveBackoffMISProtocol)
+def build_naive_backoff_table(
+    protocol: NaiveBackoffMISProtocol, n: int, delta: int
+) -> Optional[TableProgram]:
+    effective_delta, bits, phases, k, _ = protocol._budgets(n, delta)
+    slots = backoff_slots(effective_delta)
+    if k < 1:
+        return None
+
+    E_DISP, S_SND_C, S_RCV_C, S_SND_K, S_RCV_K, E_BOOT = 0, 1, 2, 3, 4, 5
+
+    #: End-of-decay register reset: next simulated round, fresh decay.
+    advance = (("add", 1, 1), ("set", 3, 0), ("set", 4, 1), ("set", 6, 0))
+
+    dispatch = TableState(
+        emit=EMIT_EPS,
+        edges={
+            OBS_NEXT: (
+                # Bitty round, 1-bit, not lost: run the Decay sender.
+                Edge(
+                    guards=(("lt", 1, bits), ("bit", 0, 1, 1), ("eq", 7, 0)),
+                    ops=(("geom", 5, slots),),
+                    next=S_SND_C,
+                ),
+                # Bitty round otherwise: Decay receiver.
+                Edge(guards=(("lt", 1, bits),), next=S_RCV_C),
+                # Check round: survivors send, the rest listen.
+                Edge(
+                    guards=(("eq", 7, 0),),
+                    ops=(("geom", 5, slots),),
+                    next=S_SND_K,
+                ),
+                Edge(next=S_RCV_K),
+            )
+        },
+    )
+
+    def sender_state(state: int, component: str, end_edge: Edge) -> TableState:
+        slot_adv = Edge(
+            guards=(("lt", 4, slots),), ops=(("add", 4, 1),), next=state
+        )
+        iter_adv = Edge(
+            guards=(("lt", 3, k - 1),),
+            ops=(("add", 3, 1), ("set", 4, 1), ("geom", 5, slots)),
+            next=state,
+        )
+        chain = (slot_adv, iter_adv, end_edge)
+        return TableState(
+            emit=EMIT_LE,
+            component=component,
+            a=4,
+            b=5,
+            edges={OBS_TX: chain, OBS_HEARD: chain, OBS_SILENCE: chain},
+        )
+
+    competition_sender = sender_state(
+        S_SND_C, "competition", Edge(ops=advance, next=E_DISP)
+    )
+    check_sender = sender_state(
+        S_SND_K, "check", Edge(decide="in", next=HALT)
+    )
+
+    def receiver_state(
+        state: int, component: str, heard_end: Edge, silent_ends: tuple
+    ) -> TableState:
+        return TableState(
+            emit=EMIT_LISTEN,
+            component=component,
+            edges={
+                OBS_HEARD: (
+                    Edge(
+                        guards=(("lt", 4, slots),),
+                        ops=(("set", 6, 1), ("add", 4, 1)),
+                        next=state,
+                    ),
+                    Edge(
+                        guards=(("lt", 3, k - 1),),
+                        ops=(("set", 6, 1), ("add", 3, 1), ("set", 4, 1)),
+                        next=state,
+                    ),
+                    heard_end,
+                ),
+                OBS_SILENCE: (
+                    Edge(
+                        guards=(("lt", 4, slots),),
+                        ops=(("add", 4, 1),),
+                        next=state,
+                    ),
+                    Edge(
+                        guards=(("lt", 3, k - 1),),
+                        ops=(("add", 3, 1), ("set", 4, 1)),
+                        next=state,
+                    ),
+                )
+                + silent_ends,
+            },
+        )
+
+    # A node in a competition receiver round is either on a 0-bit or
+    # already lost, so "heard anything during the decay" always implies
+    # lost afterwards (matching `if heard and not bit: lost = True`).
+    competition_receiver = receiver_state(
+        S_RCV_C,
+        "competition",
+        heard_end=Edge(ops=(("set", 7, 1),) + advance, next=E_DISP),
+        silent_ends=(
+            Edge(
+                guards=(("eq", 6, 1),),
+                ops=(("set", 7, 1),) + advance,
+                next=E_DISP,
+            ),
+            Edge(ops=advance, next=E_DISP),
+        ),
+    )
+    next_phase = (
+        Edge(
+            guards=(("lt", 2, phases - 1),),
+            ops=(
+                ("add", 2, 1),
+                ("set", 1, 0),
+                ("set", 3, 0),
+                ("set", 4, 1),
+                ("set", 6, 0),
+                ("set", 7, 0),
+                ("rank", 0),
+            ),
+            next=E_DISP,
+        ),
+        Edge(next=HALT),  # phases exhausted: stays undecided
+    )
+    check_receiver = receiver_state(
+        S_RCV_K,
+        "check",
+        heard_end=Edge(decide="out", next=HALT),
+        silent_ends=(Edge(guards=(("eq", 6, 1),), decide="out", next=HALT),)
+        + next_phase,
+    )
+    boot = TableState(
+        emit=EMIT_EPS,
+        edges={OBS_NEXT: (Edge(ops=(("rank", 0),), next=E_DISP),)},
+    )
+    return TableProgram(
+        protocol_name=protocol.name,
+        num_registers=8,
+        init=(0, 0, 0, 0, 1, 0, 0, 0),
+        rank_width=bits,
+        start=E_BOOT,
+        states=(
+            dispatch,
+            competition_sender,
+            competition_receiver,
+            check_sender,
+            check_receiver,
+            boot,
+        ),
+    )

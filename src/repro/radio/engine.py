@@ -531,13 +531,12 @@ def run_protocol(
             ):
                 tel_scatter_np += 1
                 if scatter_arrays is None:
-                    targets = _np.fromiter(
-                        chain_from_iterable(adjacency),
-                        dtype=_np.intp,
-                        count=total_directed,
-                    )
+                    # The graph memoizes its flat CSR form, so repeated
+                    # runs on the same topology share one build.
+                    indptr, targets = graph.csr()
                     sources = _np.repeat(
-                        _np.arange(num_nodes, dtype=_np.intp), degrees
+                        _np.arange(num_nodes, dtype=_np.intp),
+                        _np.diff(indptr),
                     )
                     scatter_arrays = (targets, sources, _np.zeros(num_nodes))
                 targets, sources, tx_vector = scatter_arrays
@@ -619,7 +618,7 @@ def run_protocol(
                                 round=current_round,
                                 node=node,
                                 action="listen",
-                                observed=observation_label(observation),
+                                observed=observation_label(observation, model),
                             )
                         )
                 else:

@@ -76,18 +76,56 @@ def message(payload: Any) -> Observation:
     return Observation(ObservationKind.MESSAGE, payload)
 
 
-#: Precomputed ``str()`` of every payload-free observation kind, so trace
-#: recording does not re-stringify the interned singletons every round.
+#: Precomputed ``str()`` of every payload-free observation kind, used
+#: when no model is supplied.  This table is *kind*-keyed and therefore
+#: only correct for the base :class:`Observation` singletons above —
+#: never for a model that interns its own observation objects.
 _KIND_LABELS = {kind: kind.value for kind in ObservationKind}
 
+#: Per-model label caches: ``model name -> {id(interned obs) -> str}``.
+#: Keyed by the model so two models that intern *different* observation
+#: objects of the same kind (e.g. a custom ``__str__``) can never alias
+#: each other's labels the way a shared kind-keyed cache would.
+_MODEL_LABELS: dict = {}
 
-def observation_label(observation: Observation) -> str:
+
+def _model_label_table(model: Any) -> dict:
+    labels = _MODEL_LABELS.get(model.name)
+    if labels is None:
+        labels = {}
+        for interned in (
+            model.observation_zero,
+            model.observation_one,
+            model.observation_many,
+        ):
+            if (
+                interned is not None
+                and interned.kind is not ObservationKind.MESSAGE
+            ):
+                labels[id(interned)] = str(interned)
+        _MODEL_LABELS[model.name] = labels
+    return labels
+
+
+def observation_label(observation: Observation, model: Any = None) -> str:
     """``str(observation)`` without re-formatting interned singletons.
 
     Identical output to ``str()`` — message observations still format
     their payload — but the payload-free kinds return a cached string,
     keeping ``--trace`` runs from distorting engine timings.
+
+    Pass the run's :class:`~repro.radio.models.CollisionModel` as
+    ``model`` to use a cache keyed by that model's interned observation
+    objects.  The keyless form falls back to a kind-keyed table, which
+    is only exact for this module's shared singletons; a model whose
+    interned observation stringifies differently (same kind, custom
+    ``__str__``) would alias in the shared table but not in its own.
     """
     if observation.kind is ObservationKind.MESSAGE:
         return f"message({observation.payload!r})"
+    if model is not None:
+        label = _model_label_table(model).get(id(observation))
+        if label is not None:
+            return label
+        return str(observation)
     return _KIND_LABELS[observation.kind]

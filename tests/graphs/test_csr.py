@@ -1,0 +1,48 @@
+"""Memoized flat-CSR adjacency on :class:`Graph` (``Graph.csr()``)."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs import Graph, gnp_random_graph, empty_graph, star_graph
+
+
+def test_csr_lists_sorted_neighbors():
+    graph = gnp_random_graph(50, 0.2, seed=1)
+    indptr, indices = graph.csr()
+    assert indptr.shape == (graph.num_nodes + 1,)
+    assert indptr[-1] == len(indices) == 2 * len(graph.edges)
+    for node in range(graph.num_nodes):
+        span = indices[indptr[node]:indptr[node + 1]]
+        assert tuple(span.tolist()) == graph.neighbors(node)
+
+
+def test_csr_is_int32_and_read_only():
+    graph = star_graph(5)
+    indptr, indices = graph.csr()
+    assert indptr.dtype == np.int32
+    assert indices.dtype == np.int32
+    assert not indptr.flags.writeable
+    assert not indices.flags.writeable
+    with pytest.raises(ValueError):
+        indices[0] = 99
+
+
+def test_csr_memoized_same_arrays():
+    graph = gnp_random_graph(20, 0.3, seed=2)
+    first = graph.csr()
+    second = graph.csr()
+    assert first[0] is second[0]
+    assert first[1] is second[1]
+
+
+def test_csr_isolated_and_empty():
+    graph = empty_graph(4)
+    indptr, indices = graph.csr()
+    assert indptr.tolist() == [0, 0, 0, 0, 0]
+    assert indices.size == 0
+
+    lonely = Graph(1, [], name="lonely")
+    indptr, indices = lonely.csr()
+    assert indptr.tolist() == [0, 0]
+    assert indices.size == 0

@@ -1,0 +1,148 @@
+"""Batch-engine validation: MIS invariants and scalar equivalence.
+
+The batched backend uses a counter-based RNG, so its trials are *not*
+bit-identical to scalar runs — the contract is weaker and checked here:
+
+* every reported-valid trial satisfies the MIS definition (independence
+  and domination re-derived from the graph, not trusted from the
+  engine), and
+* headline distributions (MIS size, rounds, max/mean energy) are
+  statistically indistinguishable from scalar batteries of the same
+  cell, via a hand-rolled two-sample Kolmogorov-Smirnov test with a
+  generous critical value (seeded inputs keep this deterministic).
+"""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.validation import validate_run
+from repro.constants import ConstantsProfile
+from repro.core.cd_mis import CDMISProtocol
+from repro.errors import SimulationError
+from repro.graphs import gnp_random_graph, star_graph
+from repro.radio.batch.engine import run_batch
+from repro.radio.engine import run_protocol
+from repro.radio.models import CD
+
+
+def ks_statistic(a, b):
+    """Two-sample KS statistic: max CDF gap over the pooled support."""
+    a = sorted(a)
+    b = sorted(b)
+    points = sorted(set(a) | set(b))
+    gap = 0.0
+    i = j = 0
+    for x in points:
+        while i < len(a) and a[i] <= x:
+            i += 1
+        while j < len(b) and b[j] <= x:
+            j += 1
+        gap = max(gap, abs(i / len(a) - j / len(b)))
+    return gap
+
+
+def assert_same_distribution(a, b, label, c=1.95):
+    """Fail when the KS statistic exceeds c * sqrt((m+n)/(m*n)).
+
+    ``c = 1.95`` corresponds to alpha ~ 0.001 — deliberately generous,
+    since the seeded inputs make each comparison a one-shot test.
+    """
+    critical = c * math.sqrt((len(a) + len(b)) / (len(a) * len(b)))
+    gap = ks_statistic(a, b)
+    assert gap <= critical, f"{label}: KS {gap:.3f} > {critical:.3f}"
+
+
+GRAPH = gnp_random_graph(100, 0.1, seed=5)
+PROTOCOL = CDMISProtocol(constants=ConstantsProfile.practical())
+
+
+def test_batch_mis_invariants_reverified_from_graph():
+    result = run_batch(GRAPH, PROTOCOL, CD, list(range(64)))
+    assert bool(result.valid.all())
+    neighbor_sets = GRAPH.neighbor_sets
+    for trial in range(64):
+        mis = {v for v in range(GRAPH.num_nodes) if result.mis[trial, v]}
+        assert result.mis_size[trial] == len(mis)
+        for v in mis:
+            assert not (neighbor_sets[v] & mis), "independence violated"
+        for v in range(GRAPH.num_nodes):
+            assert v in mis or (neighbor_sets[v] & mis), "domination violated"
+
+
+def test_batch_distributions_match_scalar():
+    trials = 80
+    batch = run_batch(GRAPH, PROTOCOL, CD, list(range(trials)))
+    scalar_mis, scalar_rounds, scalar_max_e, scalar_mean_e = [], [], [], []
+    for seed in range(trials):
+        run = run_protocol(GRAPH, PROTOCOL, CD, seed=seed)
+        report = validate_run(run)
+        assert report.valid
+        scalar_mis.append(report.mis_size)
+        scalar_rounds.append(run.rounds)
+        scalar_max_e.append(run.max_energy)
+        scalar_mean_e.append(run.mean_energy)
+    assert_same_distribution(
+        batch.mis_size.tolist(), scalar_mis, "mis_size"
+    )
+    assert_same_distribution(
+        batch.rounds.tolist(), scalar_rounds, "rounds"
+    )
+    assert_same_distribution(
+        batch.max_energy.tolist(), scalar_max_e, "max_energy"
+    )
+    assert_same_distribution(
+        batch.mean_energy.tolist(), scalar_mean_e, "mean_energy"
+    )
+
+
+def test_batch_per_trial_graphs_stacked_csr_path():
+    graphs = [gnp_random_graph(60, 0.12, seed=400 + i) for i in range(24)]
+    result = run_batch(graphs, PROTOCOL, CD, list(range(24)))
+    assert bool(result.valid.all())
+    for trial, graph in enumerate(graphs):
+        mis = {v for v in range(graph.num_nodes) if result.mis[trial, v]}
+        for v in mis:
+            assert not (graph.neighbor_set(v) & mis)
+        for v in range(graph.num_nodes):
+            assert v in mis or (graph.neighbor_set(v) & mis)
+
+
+def test_batch_star_graph_single_winner_neighborhood():
+    # On a star the hub and a leaf can never both join the MIS.
+    star = star_graph(16)
+    result = run_batch(star, PROTOCOL, CD, list(range(32)))
+    assert bool(result.valid.all())
+    hub_in = result.mis[:, 0]
+    leaf_any = result.mis[:, 1:].any(axis=1)
+    assert not bool((hub_in & leaf_any).any())
+
+
+def test_batch_watchdog_raises_on_round_budget():
+    with pytest.raises(SimulationError):
+        run_batch(GRAPH, PROTOCOL, CD, list(range(8)), max_rounds=2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    graph_seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=8, max_value=60),
+    batch=st.integers(min_value=1, max_value=24),
+)
+def test_batch_mis_validity_property(graph_seed, n, batch):
+    """Any sampled topology and batch size yields valid MIS outputs."""
+    graph = gnp_random_graph(n, 0.15, seed=graph_seed)
+    result = run_batch(graph, PROTOCOL, CD, list(range(batch)))
+    assert result.mis.shape == (batch, n)
+    assert bool(result.valid.all())
+    for trial in range(batch):
+        mis = {v for v in range(n) if result.mis[trial, v]}
+        for v in mis:
+            assert not (graph.neighbor_set(v) & mis)
+        for v in range(n):
+            assert v in mis or (graph.neighbor_set(v) & mis)

@@ -1,0 +1,76 @@
+"""``observation_label``: cached labels must be model-keyed.
+
+Regression guard: an earlier cache was keyed by ``ObservationKind``
+alone, so a model interning an observation with a custom ``__str__``
+(same kind, different rendering) was served another model's label.  The
+cache is now keyed by the model's name and the interned objects' ids.
+"""
+
+from dataclasses import dataclass
+
+from repro.radio.models import BEEPING, CD, NO_CD
+from repro.radio.observations import (
+    BEEP,
+    COLLISION,
+    SILENCE,
+    Observation,
+    ObservationKind,
+    message,
+    observation_label,
+)
+
+
+@dataclass(frozen=True)
+class LoudObservation(Observation):
+    def __str__(self):
+        return f"LOUD-{self.kind.value}"
+
+
+class LoudModel:
+    """Fake collision model interning custom-printing observations."""
+
+    name = "loud-test-model"
+    observation_zero = LoudObservation(ObservationKind.SILENCE)
+    observation_one = LoudObservation(ObservationKind.BEEP)
+    observation_many = LoudObservation(ObservationKind.COLLISION)
+
+
+def test_keyless_labels_match_str():
+    for observation in (SILENCE, COLLISION, BEEP):
+        assert observation_label(observation) == str(observation)
+
+
+def test_message_payload_always_formatted():
+    observation = message(42)
+    assert observation_label(observation) == "message(42)"
+    assert observation_label(observation, CD) == "message(42)"
+
+
+def test_model_keyed_labels_match_str():
+    for model in (CD, NO_CD, BEEPING):
+        for interned in (
+            model.observation_zero,
+            model.observation_one,
+            model.observation_many,
+        ):
+            if interned is not None:
+                assert observation_label(interned, model) == str(interned)
+
+
+def test_custom_str_model_does_not_alias_shared_cache():
+    model = LoudModel()
+    # The custom rendering must come back, not the kind's shared label…
+    assert observation_label(model.observation_zero, model) == "LOUD-silence"
+    assert observation_label(model.observation_many, model) == "LOUD-collision"
+    # …and the standard singletons keep theirs afterwards.
+    assert observation_label(SILENCE, CD) == "silence"
+    assert observation_label(SILENCE) == "silence"
+
+
+def test_uncached_observation_falls_back_to_str():
+    # An observation the model did not intern (fresh object) still
+    # renders correctly through the model-keyed path.
+    fresh = Observation(ObservationKind.SILENCE)
+    assert observation_label(fresh, CD) == "silence"
+    loud_fresh = LoudObservation(ObservationKind.BEEP)
+    assert observation_label(loud_fresh, CD) == "LOUD-beep"
