@@ -50,7 +50,9 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 #: /3 adds the ``fault_overhead`` section (no-op FaultPlan fast-path cost).
 #: /4 adds the ``batch_throughput`` section (vectorized batch backend vs
 #:    per-trial scalar execution on a dense same-cell battery).
-SCHEMA = "bench-engine/4"
+#: /5 adds the ``large_n`` section (an E1 cell at n=10^5 on the
+#:    phase-based batch path, gated on wall time and peak RSS per node).
+SCHEMA = "bench-engine/5"
 
 #: Re-measurable report sections (--section re-runs exactly one of these
 #: and splices it into the existing report, leaving the rest untouched).
@@ -59,12 +61,29 @@ SECTIONS = (
     "telemetry_overhead",
     "fault_overhead",
     "batch_throughput",
+    "large_n",
 )
 
 #: Acceptance floor for the batched backend: >= 10x single-thread
 #: throughput over the scalar engine on the dense same-cell battery
 #: (gated under --check with the --max-regression allowance).
 BATCH_SPEEDUP_TARGET = 10.0
+
+#: The large-n E1 cell: Algorithm 1 on the sparse gnp workload at
+#: n=10^5, run as one batched battery through ``run_trials`` — the same
+#: path the claims sweeps take.  The section runs in a subprocess so
+#: ``ru_maxrss`` measures exactly this cell's high-water mark.
+LARGE_N_NODES = 100_000
+LARGE_N_TRIALS = 4
+#: Wall-time ceiling for the cell (graph generation + simulation +
+#: validation), gated under ``--check``.  Budget chosen ~4x over the
+#: measured time on a dev container so slow CI runners pass.
+LARGE_N_WALL_LIMIT_S = 240.0
+#: Peak incremental memory per node-trial slot, gated under ``--check``.
+#: The batch engine's state is a fixed set of int64/uint64 arrays per
+#: slot plus the CSR graphs; the budget is ~3x the measured footprint so
+#: a Python-object-per-node regression (kilobytes per node) still trips.
+LARGE_N_BYTES_PER_SLOT_LIMIT = 2048.0
 
 
 class DenseTraffic(Protocol):
@@ -255,6 +274,8 @@ def measure(quick=False, sections=None):
         report["fault_overhead"] = measure_fault_overhead(repetitions)
     if "batch_throughput" in chosen:
         report["batch_throughput"] = measure_batch_throughput(quick=quick)
+    if "large_n" in chosen:
+        report["large_n"] = measure_large_n(quick=quick)
     return report
 
 
@@ -373,6 +394,97 @@ def measure_batch_throughput(quick=False):
     }
 
 
+def _large_n_worker(payload):
+    """Child-process body of the ``large_n`` section.
+
+    Runs one E1-style cell and prints a JSON record including its own
+    ``ru_maxrss`` high-water mark.  Running in a fresh interpreter keeps
+    the measurement honest: the parent's other sections (reference
+    engine, dense batteries) never inflate the peak.
+    """
+    import resource
+
+    from repro.analysis.runner import run_trials
+    from repro.analysis.workloads import build_workload
+    from repro.radio.models import CD
+
+    spec = json.loads(payload)
+    n, trials = spec["n"], spec["trials"]
+    # High-water mark after imports but before any graph exists: the
+    # interpreter + numpy baseline, subtracted out of the per-slot cost.
+    baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    protocol = CDMISProtocol(constants=ConstantsProfile.practical())
+    seeds = list(range(trials))
+    start = time.perf_counter()
+    summary = run_trials(
+        lambda seed: build_workload("gnp", n, seed),
+        protocol,
+        CD,
+        seeds,
+        engine="batch",
+    )
+    wall_s = time.perf_counter() - start
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(
+        json.dumps(
+            {
+                "wall_s": round(wall_s, 3),
+                "baseline_rss_kb": baseline_kb,
+                "peak_rss_kb": peak_kb,
+                "trials": summary.trials,
+                "failures": summary.failures,
+            }
+        )
+    )
+    return 0
+
+
+def measure_large_n(quick=False):
+    """The million-node regime's CI anchor: one E1 cell at n=10^5.
+
+    Spawns a subprocess (see :func:`_large_n_worker`) so peak RSS is the
+    cell's own.  Reports wall time, incremental peak memory per
+    node-trial slot, and the validation outcome; ``--check`` gates the
+    first two against :data:`LARGE_N_WALL_LIMIT_S` and
+    :data:`LARGE_N_BYTES_PER_SLOT_LIMIT` and fails on any invalid MIS.
+    """
+    import subprocess
+
+    n = LARGE_N_NODES
+    trials = 2 if quick else LARGE_N_TRIALS
+    payload = json.dumps({"n": n, "trials": trials})
+    proc = subprocess.run(
+        [sys.executable, __file__, "--_large-n-worker", payload],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return {
+            "params": {"n": n, "trials": trials},
+            "error": (proc.stderr or proc.stdout).strip()[-2000:],
+        }
+    record = json.loads(proc.stdout.strip().splitlines()[-1])
+    incremental_kb = record["peak_rss_kb"] - record["baseline_rss_kb"]
+    bytes_per_slot = 1024.0 * incremental_kb / (n * trials)
+    return {
+        "params": {
+            "workload": f"gnp(n={n}, expected degree 8)",
+            "protocol": "cd-mis(practical)",
+            "model": "cd",
+            "engine": "batch (phased)",
+            "n": n,
+            "trials": trials,
+        },
+        "wall_s": record["wall_s"],
+        "baseline_rss_kb": record["baseline_rss_kb"],
+        "peak_rss_kb": record["peak_rss_kb"],
+        "bytes_per_slot": round(bytes_per_slot, 1),
+        "failures": record["failures"],
+        "wall_limit_s": LARGE_N_WALL_LIMIT_S,
+        "bytes_per_slot_limit": LARGE_N_BYTES_PER_SLOT_LIMIT,
+    }
+
+
 def check_regression(report, baseline, max_regression):
     """Compare per-scenario speedups against a baseline report.
 
@@ -397,6 +509,9 @@ def check_regression(report, baseline, max_regression):
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["--_large-n-worker"]:
+        return _large_n_worker(argv[1])
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="fewer repetitions; CI smoke mode")
@@ -474,6 +589,18 @@ def main(argv=None):
             f"(B={batch['batch_size']})  speedup {batch['speedup']:.2f}x "
             f"(target {batch['target_speedup']:.0f}x)"
         )
+    large_n = report.get("large_n")
+    if large_n is not None and "wall_s" in large_n:
+        print(
+            f"large_n: n={large_n['params']['n']} x "
+            f"{large_n['params']['trials']} trials in "
+            f"{large_n['wall_s']:.1f}s (limit {large_n['wall_limit_s']:.0f}s)"
+            f"  peak {large_n['bytes_per_slot']:.0f} B/slot "
+            f"(limit {large_n['bytes_per_slot_limit']:.0f})  "
+            f"failures {large_n['failures']}"
+        )
+    elif large_n is not None and "error" in large_n:
+        print(f"large_n: FAILED\n{large_n['error']}", file=sys.stderr)
 
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -508,6 +635,31 @@ def main(argv=None):
                     f"{BATCH_SPEEDUP_TARGET:.0f}x - "
                     f"{args.max_regression:.0%} allowance)"
                 )
+        if large_n is not None:
+            # Absolute budgets (like the batch floor): the section exists
+            # to keep the n=10^5 regime affordable, so a silently slower
+            # or fatter path must fail CI rather than drift.
+            if "wall_s" not in large_n:
+                failures.append(
+                    f"large_n: cell crashed: {large_n.get('error', '?')[:500]}"
+                )
+            else:
+                if large_n["wall_s"] > LARGE_N_WALL_LIMIT_S:
+                    failures.append(
+                        f"large_n: wall {large_n['wall_s']:.1f}s exceeds "
+                        f"{LARGE_N_WALL_LIMIT_S:.0f}s budget"
+                    )
+                if large_n["bytes_per_slot"] > LARGE_N_BYTES_PER_SLOT_LIMIT:
+                    failures.append(
+                        f"large_n: peak {large_n['bytes_per_slot']:.0f} "
+                        f"bytes/slot exceeds "
+                        f"{LARGE_N_BYTES_PER_SLOT_LIMIT:.0f} budget"
+                    )
+                if large_n["failures"]:
+                    failures.append(
+                        f"large_n: {large_n['failures']} invalid MIS "
+                        f"trial(s) at n={large_n['params']['n']}"
+                    )
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)

@@ -20,10 +20,12 @@ from ...constants import ConstantsProfile
 from ...core import CDMISProtocol, NoCDEnergyMISProtocol
 from ...graphs.generators import gnp_random_graph
 from ...graphs.graph import Graph
+from ...graphs.streaming import streaming_gnp_random_graph
 from ...radio.models import CollisionModel
 from ...radio.node import Protocol
 from ..sweep import SweepResult, run_size_sweep
 from ..tables import render_table
+from ..workloads import STREAMING_MIN_NODES
 
 __all__ = [
     "ScalingReport",
@@ -39,8 +41,13 @@ def default_graph_factory(n: int, seed: int) -> Graph:
 
     Keeping the expected degree fixed while n grows isolates the
     ``log n`` factors from Delta effects (Delta gets its own sweep, E11).
+    Past the streaming threshold the CSR builder takes over — it draws
+    the same edge set from the same seed, without ever materializing
+    Python edge tuples, so million-node sweep cells stay affordable.
     """
     p = min(1.0, 8.0 / max(1, n - 1))
+    if n >= STREAMING_MIN_NODES:
+        return streaming_gnp_random_graph(n, p, seed=seed)
     return gnp_random_graph(n, p, seed=seed)
 
 
@@ -120,6 +127,9 @@ def run_scaling_comparison(
     graph_factory: Callable[[int, int], Graph] = default_graph_factory,
     trials: int = 8,
     base_seed: int = 0,
+    *,
+    engine: str = "auto",
+    sparsify: Optional[int] = None,
 ) -> ScalingReport:
     """Sweep every protocol of ``suite`` over ``sizes``."""
     report = ScalingReport(model_name=model.name, sizes=list(sizes))
@@ -131,5 +141,7 @@ def run_scaling_comparison(
             model,
             trials=trials,
             base_seed=base_seed,
+            engine=engine,
+            sparsify=sparsify,
         )
     return report

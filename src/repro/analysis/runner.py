@@ -54,6 +54,12 @@ GraphFactory = Callable[[int], Graph]  # seed -> graph
 #: silently flipping to scalar keys and recomputing everything.
 _MIN_AUTO_BATCH = 32
 
+#: Graphs at least this large batch under "auto" even for small
+#: batteries: at large n the vectorized engine's per-trial advantage
+#: dwarfs the batching overhead, and the scalar engine's per-node
+#: Python objects are exactly what the CSR path exists to avoid.
+_LARGE_N_AUTO = 4096
+
 
 @dataclass(frozen=True)
 class TrialOutcome:
@@ -186,7 +192,7 @@ def _plan_batch(
     Returns ``((graphs, program), None)`` when the battery is batchable,
     else ``(None, reason)`` with a stable fallback-reason slug.
     """
-    from ..radio.batch.engine import MAX_RANK_WIDTH, compile_batch_program
+    from ..radio.batch.engine import compile_batch_program
     from ..radio.batch.registry import compile_table_for
 
     if callable(graph):
@@ -207,8 +213,8 @@ def _plan_batch(
         # cells (sampled graphs with unequal max degree on a
         # Delta-dependent table).
         return None, "shape"
-    if program.rank_width > MAX_RANK_WIDTH:
-        return None, "rank-width"
+    # Any rank width is batchable: widths past MAX_RANK_WIDTH run in
+    # the engine's wide-rank (stream-anchored) representation.
     return (graphs, program), None
 
 
@@ -227,6 +233,7 @@ def _run_batch_battery(
     graph_spec: Optional[str],
     coupled_seeds: bool,
     progress: Optional[ProgressCallback],
+    sparsify: Optional[int] = None,
 ) -> TrialSummary:
     """Dispatch one batchable battery through the vectorized engine.
 
@@ -253,6 +260,7 @@ def _run_batch_battery(
                 max_rounds=max_rounds,
                 seed_mode=seed_mode,
                 engine="batch",
+                sparsify=sparsify,
             )
 
     outcomes_by_position: Dict[int, TrialOutcome] = {}
@@ -286,6 +294,7 @@ def _run_batch_battery(
             protocol_seeds,
             program=program,
             max_rounds=max_rounds,
+            sparsify=sparsify,
         )
         for offset, position in enumerate(missing):
             outcome = TrialOutcome(
@@ -339,6 +348,7 @@ def run_trials(
     faults: Union[FaultPlan, None, bool] = None,
     policy: Union[RetryPolicy, None, bool] = None,
     engine: Optional[str] = None,
+    sparsify: Optional[int] = None,
 ) -> TrialSummary:
     """Run ``protocol`` for every seed and aggregate.
 
@@ -391,6 +401,16 @@ def run_trials(
         when the battery is not batchable.  Batch results are
         statistically equivalent but not bit-identical to scalar runs
         (counter-based RNG), so they cache under engine-tagged keys.
+        Under ``"auto"``, batteries on graphs of at least
+        ``_LARGE_N_AUTO`` nodes batch regardless of battery size (the
+        scalar engine's per-node objects are the large-n bottleneck).
+    sparsify:
+        Batch-engine fan-out cap (see
+        :func:`repro.radio.batch.engine.run_batch`).  An approximation
+        knob for large-n no-CD sweeps; requires a batchable battery —
+        a scalar fallback raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        computing something else — and joins the cache key.
     """
     defaults = get_execution_defaults()
     if jobs is None:
@@ -411,10 +431,22 @@ def run_trials(
         policy = None
     if engine is None:
         engine = defaults.engine
+    if sparsify is None:
+        sparsify = defaults.sparsify
     if engine not in ("auto", "scalar", "batch"):
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'auto', 'scalar', or 'batch'"
         )
+    if sparsify is not None:
+        if sparsify < 1:
+            raise ConfigurationError(
+                f"sparsify cap must be a positive degree, got {sparsify}"
+            )
+        if engine == "scalar":
+            raise ConfigurationError(
+                "sparsify requires the batch engine; engine='scalar' "
+                "cannot honor it"
+            )
     seeds = list(seeds)
     model_name = model.name
 
@@ -451,14 +483,19 @@ def run_trials(
 
     # Resolve the human-readable graph name (and, for fixed graphs, the
     # cache spec) up front; a factory builds one sample topology for it.
+    # The sample's size also feeds the auto-engine decision below.
+    sample_nodes = 0
     if callable(graph):
         if seeds:
             g_seed, _ = _trial_seeds(graph, seeds[0], coupled_seeds)
-            graph_name = graph(g_seed).name
+            sample = graph(g_seed)
+            graph_name = sample.name
+            sample_nodes = sample.num_nodes
         else:
             graph_name = "graph"
     else:
         graph_name = graph.name
+        sample_nodes = graph.num_nodes
         if graph_spec is None:
             graph_spec = graph_fingerprint(graph)
 
@@ -476,7 +513,12 @@ def run_trials(
             reason = "retry-policy"
         elif getattr(model, "sender_side_detection", False):
             reason = "model"
-        elif engine == "auto" and len(seeds) < _MIN_AUTO_BATCH:
+        elif (
+            engine == "auto"
+            and len(seeds) < _MIN_AUTO_BATCH
+            and sample_nodes < _LARGE_N_AUTO
+            and sparsify is None
+        ):
             reason = "too-few-trials"
         else:
             try:
@@ -500,11 +542,17 @@ def run_trials(
                 graph_spec=graph_spec,
                 coupled_seeds=coupled_seeds,
                 progress=progress,
+                sparsify=sparsify,
             )
         if engine == "batch":
             raise ConfigurationError(
                 f"engine='batch' requested but battery is not batchable: "
                 f"{reason}"
+            )
+        if sparsify is not None:
+            raise ConfigurationError(
+                f"sparsify requires the batch engine, but this battery "
+                f"is not batchable: {reason}"
             )
         registry = get_registry()
         if registry.enabled:

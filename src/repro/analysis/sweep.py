@@ -99,14 +99,18 @@ def run_size_sweep(
     cache: Union[ResultCache, None, bool] = None,
     graph_spec: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    engine: str = "auto",
+    sparsify: Optional[int] = None,
 ) -> SweepResult:
     """Sweep network sizes for one protocol family.
 
     Each grid cell runs ``trials`` independent trials; topology is drawn
     fresh per trial via ``graph_factory(n, seed)``.  ``jobs``, ``cache``,
-    and ``progress`` forward to :func:`~repro.analysis.runner.run_trials`
-    per cell; caching requires ``graph_spec``, a stable name of the
-    topology family (the per-cell spec appends ``/n=<size>``).
+    ``progress``, ``engine``, and ``sparsify`` forward to
+    :func:`~repro.analysis.runner.run_trials` per cell; caching requires
+    ``graph_spec``, a stable name of the topology family (the per-cell
+    spec appends ``/n=<size>``).  Large-n sweeps (E1 at n >= 10^5) want
+    ``engine="batch"`` so every cell runs the phase-based array backend.
     """
     result: Optional[SweepResult] = None
     for n in sizes:
@@ -123,6 +127,8 @@ def run_size_sweep(
             cache=cache,
             graph_spec=f"{graph_spec}/n={n}" if graph_spec else None,
             progress=progress,
+            engine=engine,
+            sparsify=sparsify,
         )
         if summary.outcomes:
             energy = summary.max_energy_summary()

@@ -16,11 +16,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
-from ..graphs import generators
+from ..graphs import generators, streaming
 from ..graphs.graph import Graph
 
 __all__ = ["WorkloadSpec", "WORKLOADS", "get_workload", "build_workload",
-           "workload_names"]
+           "workload_names", "STREAMING_MIN_NODES"]
+
+#: Size at which the randomized workload builders switch from the eager
+#: generators to the streaming CSR path.  The two produce *equal*
+#: graphs from the same seed (pinned by the streaming property suite),
+#: so the threshold is purely a memory/speed decision: above it, the
+#: eager tuple-of-tuples representation costs ~1 KB per node that the
+#: batch engine never reads.
+STREAMING_MIN_NODES = 8192
 
 
 @dataclass(frozen=True)
@@ -34,9 +42,10 @@ class WorkloadSpec:
 
 
 def _gnp_sparse(n: int, seed: int) -> Graph:
-    return generators.gnp_random_graph(
-        n, min(1.0, 8.0 / max(1, n - 1)), seed=seed
-    )
+    p = min(1.0, 8.0 / max(1, n - 1))
+    if n >= STREAMING_MIN_NODES:
+        return streaming.streaming_gnp_random_graph(n, p, seed=seed)
+    return generators.gnp_random_graph(n, p, seed=seed)
 
 
 def _gnp_dense(n: int, seed: int) -> Graph:
@@ -65,7 +74,10 @@ def _hypercube(n: int, seed: int) -> Graph:
 
 
 def _hard(n: int, seed: int) -> Graph:
-    return generators.matching_plus_isolated_graph(4 * max(1, n // 4))
+    size = 4 * max(1, n // 4)
+    if size >= STREAMING_MIN_NODES:
+        return streaming.streaming_matching_plus_isolated_graph(size)
+    return generators.matching_plus_isolated_graph(size)
 
 
 def _bounded(n: int, seed: int) -> Graph:

@@ -74,9 +74,14 @@ def registered_claims(
     # Shared workloads: claims with an equal workload share one adaptive
     # measurement collection (and its trial budget).
     # ------------------------------------------------------------------
+    # The full tier reaches past the scalar engine's comfort zone: the
+    # 4096/8192 cells extend the exponent-band fits by a decade of n and
+    # run on the batch engine's phase-based path (the auto rule batches
+    # any cell at n >= 4096).  Existing cells keep their sizes — and
+    # therefore their cache keys — unchanged.
     cd_sweep = SweepWorkload(
         protocols=("cd-mis", "naive-cd-luby"),
-        sizes=(32, 64, 128) if quick else (64, 128, 256, 512),
+        sizes=(32, 64, 128) if quick else (64, 128, 256, 512, 4096, 8192),
         trials=3 if quick else 5,
         batch=2 if quick else 3,
         max_batches=3,

@@ -171,6 +171,15 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         "unbatchable batteries",
     )
     parser.add_argument(
+        "--sparsify",
+        type=int,
+        default=None,
+        metavar="CAP",
+        help="batch-engine fan-out cap: no-CD competition rounds sample at "
+        "most CAP neighbors per listener (an approximation for very large "
+        "n; requires the batch engine and joins the cache key)",
+    )
+    parser.add_argument(
         "--trial-timeout",
         type=float,
         default=None,
@@ -784,17 +793,25 @@ def main(argv: Optional[list] = None) -> int:
     faults = _faults_from_args(args)
     policy = _policy_from_args(args)
     engine = getattr(args, "engine", None)
-    if faults is not None or policy is not None or engine is not None:
+    sparsify = getattr(args, "sparsify", None)
+    if (
+        faults is not None
+        or policy is not None
+        or engine is not None
+        or sparsify is not None
+    ):
         # run_trials consults the process-wide execution defaults for
-        # faults/retry policy/engine, so installing them here covers
-        # run, sweep, experiment, and campaign without per-handler
-        # plumbing.
+        # faults/retry policy/engine/sparsify, so installing them here
+        # covers run, sweep, experiment, and campaign without
+        # per-handler plumbing.
         from .exec.executor import execution_defaults
 
         base_handler = handler
 
         def handler(args, constants, _inner=base_handler):
-            with execution_defaults(faults=faults, policy=policy, engine=engine):
+            with execution_defaults(
+                faults=faults, policy=policy, engine=engine, sparsify=sparsify
+            ):
                 return _inner(args, constants)
 
     if telemetry_path is None and cprofile_dir is None:

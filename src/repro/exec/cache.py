@@ -94,7 +94,12 @@ def graph_fingerprint(graph: Any) -> str:
     """Stable spec string for a concrete graph: name, size, edge hash."""
     hasher = hashlib.sha256()
     hasher.update(f"{graph.name}|{graph.num_nodes}|".encode("utf-8"))
-    for u, v in sorted(graph.edges):
+    edges = (
+        graph.iter_edges()
+        if hasattr(graph, "iter_edges")
+        else sorted(graph.edges)
+    )
+    for u, v in edges:
         hasher.update(f"{u},{v};".encode("ascii"))
     return f"graph:{graph.name}:{graph.num_nodes}:{hasher.hexdigest()[:16]}"
 
@@ -109,6 +114,7 @@ def trial_key(
     seed_mode: str = "decoupled",
     faults: Any = None,
     engine: str = "scalar",
+    sparsify: Optional[int] = None,
 ) -> str:
     """Content-addressed key of one trial's full identity.
 
@@ -119,6 +125,9 @@ def trial_key(
     batched backend — whose counter-based RNG makes its results
     distributionally equivalent but not bit-identical to scalar runs —
     can never collide with a scalar entry for the same seed.
+    ``sparsify`` (the batch engine's fan-out cap) also joins only when
+    set: sparsified counts are an approximation, so those results must
+    never alias the exact ones.
     """
     payload = {
         "protocol": protocol_fingerprint(protocol),
@@ -132,6 +141,8 @@ def trial_key(
         payload["faults"] = _canonical(faults)
     if engine != "scalar":
         payload["engine"] = engine
+    if sparsify is not None:
+        payload["sparsify"] = int(sparsify)
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 

@@ -344,6 +344,9 @@ class ExecutionDefaults:
     #: "scalar" (always the coroutine engine), or "batch" (force the
     #: batched backend; unbatchable batteries raise).
     engine: str = "auto"
+    #: Batch-engine fan-out cap for no-CD competition rounds (None runs
+    #: exact counts).  Setting it implies the batch engine.
+    sparsify: Optional[int] = None
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -361,6 +364,7 @@ def execution_defaults(
     policy: Union[RetryPolicy, None, bool] = None,
     faults: Union["FaultPlan", None, bool] = None,
     engine: Optional[str] = None,
+    sparsify: Union[int, None, bool] = None,
 ):
     """Temporarily install execution defaults for a code region.
 
@@ -386,6 +390,7 @@ def execution_defaults(
         policy=resolve(policy, previous.policy),
         faults=resolve(faults, previous.faults),
         engine=previous.engine if engine is None else engine,
+        sparsify=resolve(sparsify, previous.sparsify),
     )
     try:
         yield _DEFAULTS

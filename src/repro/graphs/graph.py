@@ -9,9 +9,17 @@ graph representation that is:
 * **fast for neighborhood queries** — collision resolution intersects a
   listener's neighborhood with the set of transmitters every round.
 
-``Graph`` stores both a tuple-of-tuples adjacency (ordered, cheap to
-iterate) and a tuple of frozensets (O(1) membership) and exposes helpers
-for the induced-subgraph reasoning the paper's analysis uses.
+``Graph`` has two construction paths that meet in the middle:
+
+* the eager :meth:`__init__` builds tuple-of-tuples adjacency plus
+  frozenset neighborhoods from Python edge pairs (unchanged semantics,
+  right for n in the hundreds), and
+* :meth:`Graph.from_csr` adopts a pre-built CSR ``(indptr, indices)``
+  pair directly — the large-n path used by the streaming generators —
+  deferring the Python-object views (``adjacency``, ``neighbor_sets``,
+  ``edges``) until something actually asks for them.  The batch engine
+  and the flat-array scalar paths only ever touch :meth:`csr`, so a
+  10^6-node graph never materializes per-node tuples.
 """
 
 from __future__ import annotations
@@ -20,13 +28,35 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tup
 
 from ..errors import GraphError
 
-__all__ = ["Graph", "Edge"]
+__all__ = ["Graph", "Edge", "csr_index_dtypes"]
 
 Edge = Tuple[int, int]
+
+_INT32_MAX = 2**31 - 1
 
 
 def _normalize_edge(u: int, v: int) -> Edge:
     return (u, v) if u <= v else (v, u)
+
+
+def csr_index_dtypes(num_nodes: int, num_directed_edges: int):
+    """Dtypes ``(indptr_dtype, indices_dtype)`` for a CSR of this size.
+
+    ``indices`` stores node identifiers, so it only needs int64 once the
+    node count itself exceeds int32 range; ``indptr`` stores cumulative
+    *directed* edge counts (2m), which overflow int32 two decades sooner
+    on dense graphs.  Keeping the two decisions independent means a
+    10^6-node sparse graph stays fully int32 while a hypothetical
+    3·10^9-directed-edge graph gets an int64 ``indptr`` without paying
+    for int64 indices.
+    """
+    import numpy as np
+
+    if num_nodes < 0 or num_directed_edges < 0:
+        raise GraphError("CSR sizes must be non-negative")
+    indices_dtype = np.int32 if num_nodes <= _INT32_MAX else np.int64
+    indptr_dtype = np.int32 if num_directed_edges <= _INT32_MAX else np.int64
+    return indptr_dtype, indices_dtype
 
 
 class Graph:
@@ -48,6 +78,7 @@ class Graph:
         "_adjacency",
         "_neighbor_sets",
         "_edges",
+        "_num_edges",
         "_max_degree",
         "_csr",
         "name",
@@ -76,11 +107,112 @@ class Graph:
             frozenset(neighbors) for neighbors in adjacency
         )
         self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._num_edges: int = len(self._edges)
         self._max_degree: int = (
             max(len(neighbors) for neighbors in self._adjacency) if self._n else 0
         )
         self._csr = None
         self.name = name
+
+    @classmethod
+    def from_csr(cls, indptr, indices, *, name: str = "graph", validate: bool = True) -> "Graph":
+        """Adopt a symmetric CSR ``(indptr, indices)`` pair as a graph.
+
+        The arrays are taken over (marked read-only) rather than copied;
+        rows must be sorted, symmetric, self-loop-free, and deduplicated.
+        ``validate=True`` checks all of that with vectorized passes —
+        O(m log m) worst case for the symmetry check — and should only be
+        disabled by builders that construct the invariants directly (the
+        streaming generators do, and the property suite cross-checks
+        them).  No Python-object views are built here; ``adjacency``,
+        ``edges`` etc. materialize lazily on first access.
+        """
+        import numpy as np
+
+        indptr = np.ascontiguousarray(indptr)
+        indices = np.ascontiguousarray(indices)
+        if indptr.ndim != 1 or indices.ndim != 1 or indptr.shape[0] < 1:
+            raise GraphError("CSR arrays must be 1-D with len(indptr) == n + 1")
+        n = int(indptr.shape[0]) - 1
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise GraphError("indptr must start at 0 and end at len(indices)")
+        if validate:
+            cls._validate_csr(n, indptr, indices)
+        graph = object.__new__(cls)
+        graph._n = n
+        graph._adjacency = None
+        graph._neighbor_sets = None
+        graph._edges = None
+        graph._num_edges = int(indices.shape[0]) // 2
+        degrees = np.diff(indptr)
+        graph._max_degree = int(degrees.max()) if n else 0
+        indptr.flags.writeable = False
+        indices.flags.writeable = False
+        graph._csr = (indptr, indices)
+        graph.name = name
+        return graph
+
+    @staticmethod
+    def _validate_csr(n, indptr, indices) -> None:
+        import numpy as np
+
+        degrees = np.diff(indptr)
+        if degrees.size and int(degrees.min()) < 0:
+            raise GraphError("indptr must be non-decreasing")
+        if indices.size:
+            if int(indices.min()) < 0 or int(indices.max()) >= n:
+                raise GraphError(f"CSR index out of range for graph on {n} nodes")
+            rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            cols = indices.astype(np.int64, copy=False)
+            if bool(np.any(rows == cols)):
+                raise GraphError("self-loops are not allowed")
+            # Sorted-and-deduplicated within each row: strictly increasing
+            # everywhere except at row boundaries.
+            interior = rows[1:] == rows[:-1]
+            if bool(np.any(interior & (cols[1:] <= cols[:-1]))):
+                raise GraphError("CSR rows must be sorted and duplicate-free")
+            # Symmetry: the multiset of encoded directed edges must equal
+            # the multiset of their reverses.
+            forward = rows * n + cols
+            reverse = cols * n + rows
+            forward.sort()
+            reverse.sort()
+            if not bool(np.array_equal(forward, reverse)):
+                raise GraphError("CSR adjacency must be symmetric")
+
+    # ------------------------------------------------------------------
+    # Lazy materialization (CSR-backed graphs only)
+    # ------------------------------------------------------------------
+
+    def _adj(self) -> Tuple[Tuple[int, ...], ...]:
+        adjacency = self._adjacency
+        if adjacency is None:
+            indptr, indices = self._csr
+            flat = indices.tolist()
+            bounds = indptr.tolist()
+            self._adjacency = adjacency = tuple(
+                tuple(flat[bounds[v] : bounds[v + 1]]) for v in range(self._n)
+            )
+        return adjacency
+
+    def _nbrs(self) -> Tuple[FrozenSet[int], ...]:
+        neighbor_sets = self._neighbor_sets
+        if neighbor_sets is None:
+            self._neighbor_sets = neighbor_sets = tuple(
+                frozenset(row) for row in self._adj()
+            )
+        return neighbor_sets
+
+    def _edge_tuple(self) -> Tuple[Edge, ...]:
+        edges = self._edges
+        if edges is None:
+            self._edges = edges = tuple(
+                (u, v)
+                for u, row in enumerate(self._adj())
+                for v in row
+                if u < v
+            )
+        return edges
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -94,7 +226,7 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of (undirected) edges in the graph."""
-        return len(self._edges)
+        return self._num_edges
 
     @property
     def nodes(self) -> range:
@@ -104,7 +236,26 @@ class Graph:
     @property
     def edges(self) -> Tuple[Edge, ...]:
         """Sorted tuple of normalized ``(u, v)`` edges with ``u < v``."""
-        return self._edges
+        return self._edge_tuple()
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Yield normalized ``(u, v)`` edges in sorted order.
+
+        Unlike :attr:`edges`, this never caches: CSR-backed graphs walk
+        their (already sorted) rows directly, so fingerprinting a
+        10^6-edge graph does not pin a tuple per edge.
+        """
+        edges = self._edges
+        if edges is not None:
+            yield from edges
+            return
+        indptr, indices = self._csr
+        flat = indices.tolist()
+        bounds = indptr.tolist()
+        for u in range(self._n):
+            for v in flat[bounds[u] : bounds[u + 1]]:
+                if u < v:
+                    yield (u, v)
 
     @property
     def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
@@ -115,21 +266,23 @@ class Graph:
         bind the structure once per run instead of paying a bounds-checked
         :meth:`neighbors` call per access.
         """
-        return self._adjacency
+        return self._adj()
 
     @property
     def neighbor_sets(self) -> Tuple[FrozenSet[int], ...]:
         """Frozenset neighborhoods indexed by node, shared (do not mutate)."""
-        return self._neighbor_sets
+        return self._nbrs()
 
     def csr(self):
-        """Flat CSR form of the adjacency: ``(indptr, indices)``, int32.
+        """Flat CSR form of the adjacency: ``(indptr, indices)``.
 
         ``indices[indptr[v]:indptr[v + 1]]`` lists ``v``'s sorted
         neighbors.  Built once on first call and memoized (the graph is
         immutable); the returned arrays are marked read-only and shared
         between callers — the engine's bincount scatter path and the
-        batched backend both index them directly.
+        batched backend both index them directly.  Dtypes follow
+        :func:`csr_index_dtypes`: int32 until the node count (indices)
+        or the directed edge count (indptr) would overflow it.
 
         Requires numpy; callers on the no-numpy fallback path never
         reach flat-array code, so the import error propagates untouched.
@@ -140,7 +293,8 @@ class Graph:
 
             degrees = [len(neighbors) for neighbors in self._adjacency]
             total = sum(degrees)
-            indptr = np.zeros(self._n + 1, dtype=np.int32)
+            indptr_dtype, indices_dtype = csr_index_dtypes(self._n, total)
+            indptr = np.zeros(self._n + 1, dtype=indptr_dtype)
             np.cumsum(degrees, out=indptr[1:])
             indices = np.fromiter(
                 (
@@ -148,7 +302,7 @@ class Graph:
                     for neighbors in self._adjacency
                     for neighbor in neighbors
                 ),
-                dtype=np.int32,
+                dtype=indices_dtype,
                 count=total,
             )
             indptr.flags.writeable = False
@@ -159,17 +313,25 @@ class Graph:
     def neighbors(self, node: int) -> Tuple[int, ...]:
         """Sorted neighbors of ``node``."""
         self._check_node(node)
-        return self._adjacency[node]
+        adjacency = self._adjacency
+        if adjacency is None:
+            indptr, indices = self._csr
+            return tuple(int(x) for x in indices[indptr[node] : indptr[node + 1]])
+        return adjacency[node]
 
     def neighbor_set(self, node: int) -> FrozenSet[int]:
         """Neighbors of ``node`` as a frozenset (O(1) membership)."""
         self._check_node(node)
-        return self._neighbor_sets[node]
+        return self._nbrs()[node]
 
     def degree(self, node: int) -> int:
         """Degree of ``node``."""
         self._check_node(node)
-        return len(self._adjacency[node])
+        adjacency = self._adjacency
+        if adjacency is None:
+            indptr = self._csr[0]
+            return int(indptr[node + 1] - indptr[node])
+        return len(adjacency[node])
 
     def max_degree(self) -> int:
         """Maximum degree (Delta); 0 for an empty or edgeless graph.
@@ -183,7 +345,7 @@ class Graph:
         """True iff ``{u, v}`` is an edge."""
         self._check_node(u)
         self._check_node(v)
-        return v in self._neighbor_sets[u]
+        return v in self._nbrs()[u]
 
     def __len__(self) -> int:
         return self._n
@@ -197,10 +359,10 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return self._n == other._n and self._edge_tuple() == other._edge_tuple()
 
     def __hash__(self) -> int:
-        return hash((self._n, self._edges))
+        return hash((self._n, self._edge_tuple()))
 
     def __repr__(self) -> str:
         return f"Graph(name={self.name!r}, n={self._n}, m={self.num_edges})"
@@ -218,8 +380,9 @@ class Graph:
         node_set = set(nodes)
         for node in node_set:
             self._check_node(node)
+        adjacency = self._adj()
         return {
-            node: sum(1 for neighbor in self._adjacency[node] if neighbor in node_set)
+            node: sum(1 for neighbor in adjacency[node] if neighbor in node_set)
             for node in node_set
         }
 
@@ -231,7 +394,7 @@ class Graph:
         index = {node: i for i, node in enumerate(kept)}
         sub_edges = [
             (index[u], index[v])
-            for u, v in self._edges
+            for u, v in self._edge_tuple()
             if u in index and v in index
         ]
         return Graph(len(kept), sub_edges, name=f"{self.name}[{len(kept)}]"), index
@@ -239,28 +402,30 @@ class Graph:
     def edges_within(self, nodes: Iterable[int]) -> List[Edge]:
         """Edges with both endpoints in ``nodes`` (residual-graph edges)."""
         node_set = set(nodes)
-        return [(u, v) for u, v in self._edges if u in node_set and v in node_set]
+        return [(u, v) for u, v in self._edge_tuple() if u in node_set and v in node_set]
 
     def closed_neighborhood(self, node: int) -> FrozenSet[int]:
         """``N(v) ∪ {v}``."""
         self._check_node(node)
-        return self._neighbor_sets[node] | {node}
+        return self._nbrs()[node] | {node}
 
     def neighborhood_of_set(self, nodes: Iterable[int]) -> Set[int]:
         """``N(S)`` — all nodes adjacent to at least one node of ``S``."""
         result: Set[int] = set()
+        adjacency = self._adj()
         for node in nodes:
             self._check_node(node)
-            result.update(self._adjacency[node])
+            result.update(adjacency[node])
         return result
 
     def is_independent_set(self, nodes: Iterable[int]) -> bool:
         """True iff no two nodes of ``nodes`` are adjacent."""
         node_list = sorted(set(nodes))
         node_set = set(node_list)
+        neighbor_sets = self._nbrs()
         for node in node_list:
             self._check_node(node)
-            if self._neighbor_sets[node] & node_set:
+            if neighbor_sets[node] & node_set:
                 return False
         return True
 
@@ -269,8 +434,9 @@ class Graph:
         node_set = set(nodes)
         for node in node_set:
             self._check_node(node)
+        neighbor_sets = self._nbrs()
         return all(
-            node in node_set or self._neighbor_sets[node] & node_set
+            node in node_set or neighbor_sets[node] & node_set
             for node in range(self._n)
         )
 
@@ -283,6 +449,7 @@ class Graph:
         """Connected components as sorted node lists, largest-first ties by min node."""
         seen = [False] * self._n
         components: List[List[int]] = []
+        adjacency = self._adj()
         for start in range(self._n):
             if seen[start]:
                 continue
@@ -292,7 +459,7 @@ class Graph:
             while stack:
                 node = stack.pop()
                 component.append(node)
-                for neighbor in self._adjacency[node]:
+                for neighbor in adjacency[node]:
                     if not seen[neighbor]:
                         seen[neighbor] = True
                         stack.append(neighbor)
@@ -322,7 +489,7 @@ class Graph:
         """Return an isomorphic copy with node ``i`` renamed ``permutation[i]``."""
         if sorted(permutation) != list(range(self._n)):
             raise GraphError("permutation must be a bijection on the node set")
-        edges = [(permutation[u], permutation[v]) for u, v in self._edges]
+        edges = [(permutation[u], permutation[v]) for u, v in self._edge_tuple()]
         return Graph(self._n, edges, name=name or f"{self.name}-relabeled")
 
     def _check_node(self, node: int) -> None:

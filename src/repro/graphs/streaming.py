@@ -1,0 +1,284 @@
+"""Streaming, chunked graph generators for the large-n regime.
+
+The eager generators in :mod:`repro.graphs.generators` build a Python
+list of edge tuples and hand it to ``Graph.__init__``, which allocates a
+set, frozensets, and tuple-of-tuples adjacency — roughly a kilobyte per
+node.  That tops out around n ~ 10^4.  The functions here produce the
+*same edge sets from the same seeds* (they replay the identical RNG call
+sequences) but deliver them as chunked int64 numpy arrays that are
+folded straight into a symmetric CSR and adopted via
+:meth:`Graph.from_csr`, so a 10^6-node graph never materializes a Python
+edge tuple.
+
+Two layers:
+
+* ``stream_*_edges(...)`` — iterators of ``(k, 2)`` int64 arrays.  Chunk
+  size only affects batching, never the edge set (the property suite
+  pins this).
+* ``streaming_*_graph(...)`` — convenience wrappers that feed the chunks
+  through :func:`graph_from_edge_chunks`.  They reuse the eager
+  generators' ``name`` strings so the resulting graphs compare equal to
+  their eager counterparts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError
+from .graph import Graph, csr_index_dtypes
+
+__all__ = [
+    "DEFAULT_CHUNK_EDGES",
+    "stream_gnp_edges",
+    "stream_regularish_edges",
+    "stream_disjoint_edges",
+    "stream_matching_plus_isolated_edges",
+    "graph_from_edge_chunks",
+    "streaming_gnp_random_graph",
+    "streaming_regularish_graph",
+    "streaming_disjoint_edges_graph",
+    "streaming_matching_plus_isolated_graph",
+]
+
+DEFAULT_CHUNK_EDGES = 1 << 16
+
+
+def _resolve_rng(rng: Optional[random.Random], seed: Optional[int]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def _chunked(pairs: Iterator[Tuple[int, int]], chunk_size: int):
+    import numpy as np
+
+    if chunk_size < 1:
+        raise GraphError(f"chunk_size must be positive, got {chunk_size}")
+    buffer: List[Tuple[int, int]] = []
+    for pair in pairs:
+        buffer.append(pair)
+        if len(buffer) >= chunk_size:
+            yield np.asarray(buffer, dtype=np.int64)
+            buffer = []
+    if buffer:
+        yield np.asarray(buffer, dtype=np.int64)
+
+
+def stream_gnp_edges(
+    n: int,
+    p: float,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+):
+    """Chunked G(n, p) edges via the same geometric-skipping walk as
+    :func:`~repro.graphs.generators.gnp_random_graph`.
+
+    The RNG call sequence is identical to the eager generator, so the
+    emitted edge set matches it bit-for-bit for any chunk size.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    rng = _resolve_rng(rng, seed)
+
+    def walk() -> Iterator[Tuple[int, int]]:
+        if p <= 0:
+            return
+        if p >= 1.0:
+            for u in range(n):
+                for v in range(u + 1, n):
+                    yield (u, v)
+            return
+        log_q = math.log(1.0 - p)
+        if log_q == 0.0:
+            return
+        v, w = 1, -1
+        while v < n:
+            w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n:
+                yield (w, v)
+
+    return _chunked(walk(), chunk_size)
+
+
+def stream_regularish_edges(
+    n: int,
+    degree: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+):
+    """Chunked configuration-model pairing matching
+    :func:`~repro.graphs.generators.random_regularish_graph`.
+
+    The stub list and its shuffle are replayed exactly (a Python-list
+    ``rng.shuffle`` is the seed contract, O(n·degree) — fine at 10^6·8).
+    Self-loops are dropped here; duplicate pairs are emitted and left to
+    :func:`graph_from_edge_chunks`'s dedup, which the eager generator's
+    set-insert performs implicitly.
+    """
+    if degree < 0:
+        raise GraphError(f"degree must be non-negative, got {degree}")
+    if degree >= n and n > 0:
+        raise GraphError(f"degree {degree} too large for {n} nodes")
+    rng = _resolve_rng(rng, seed)
+    stubs = [node for node in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+
+    def pairing() -> Iterator[Tuple[int, int]]:
+        for i in range(0, len(stubs) - 1, 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v:
+                continue
+            yield (u, v) if u < v else (v, u)
+
+    return _chunked(pairing(), chunk_size)
+
+
+def stream_disjoint_edges(
+    num_edges: int,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+):
+    """Chunked perfect matching ``(2i, 2i+1)`` — deterministic, array-built."""
+    import numpy as np
+
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be non-negative, got {num_edges}")
+    if chunk_size < 1:
+        raise GraphError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, num_edges, chunk_size):
+        stop = min(start + chunk_size, num_edges)
+        left = 2 * np.arange(start, stop, dtype=np.int64)
+        yield np.stack([left, left + 1], axis=1)
+
+
+def stream_matching_plus_isolated_edges(
+    n: int,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+):
+    """Chunked Theorem-1 hard instance: n/4 disjoint edges, n/2 isolated."""
+    if n % 4 != 0:
+        raise GraphError(f"hard instance requires n divisible by 4, got {n}")
+    return stream_disjoint_edges(n // 4, chunk_size=chunk_size)
+
+
+def graph_from_edge_chunks(
+    num_nodes: int,
+    chunks: Iterable,
+    *,
+    name: str = "graph",
+) -> Graph:
+    """Fold ``(k, 2)`` edge-array chunks into a CSR-backed :class:`Graph`.
+
+    Each chunk is range-checked, self-loop-checked, symmetrized, and
+    encoded as ``u * n + v`` int64 codes; a single ``np.unique`` over the
+    concatenated codes performs the dedup-and-sort that the eager
+    constructor gets from its edge set, then a ``bincount`` builds the
+    row pointers.  Peak memory is O(m) machine integers — no Python
+    tuples, sets, or per-node objects.
+    """
+    import numpy as np
+
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+    n = num_nodes
+    encoded: List = []
+    for chunk in chunks:
+        arr = np.asarray(chunk, dtype=np.int64)
+        if arr.size == 0:
+            continue
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError("edge chunks must have shape (k, 2)")
+        u = arr[:, 0]
+        v = arr[:, 1]
+        if int(arr.min()) < 0 or int(arr.max()) >= n:
+            bad = arr[(arr.min(axis=1) < 0) | (arr.max(axis=1) >= n)][0]
+            raise GraphError(
+                f"edge ({int(bad[0])}, {int(bad[1])}) out of range for graph on {n} nodes"
+            )
+        loops = u == v
+        if bool(loops.any()):
+            node = int(u[loops][0])
+            raise GraphError(f"self-loop ({node}, {node}) is not allowed")
+        encoded.append(u * n + v)
+        encoded.append(v * n + u)
+    if encoded:
+        codes = np.unique(np.concatenate(encoded))
+    else:
+        codes = np.empty(0, dtype=np.int64)
+    rows = codes // n if n else codes
+    cols = codes - rows * n
+    degrees = np.bincount(rows, minlength=n) if codes.size else np.zeros(n, dtype=np.int64)
+    indptr_dtype, indices_dtype = csr_index_dtypes(n, int(codes.size))
+    indptr = np.zeros(n + 1, dtype=indptr_dtype)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = cols.astype(indices_dtype)
+    return Graph.from_csr(indptr, indices, name=name, validate=False)
+
+
+def streaming_gnp_random_graph(
+    n: int,
+    p: float,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> Graph:
+    """CSR-native G(n, p); equal (as a graph) to ``gnp_random_graph``."""
+    return graph_from_edge_chunks(
+        n,
+        stream_gnp_edges(n, p, rng=rng, seed=seed, chunk_size=chunk_size),
+        name=f"gnp(n={n},p={p:g})",
+    )
+
+
+def streaming_regularish_graph(
+    n: int,
+    degree: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> Graph:
+    """CSR-native near-regular graph; equal to ``random_regularish_graph``."""
+    return graph_from_edge_chunks(
+        n,
+        stream_regularish_edges(n, degree, rng=rng, seed=seed, chunk_size=chunk_size),
+        name=f"regularish(n={n},d={degree})",
+    )
+
+
+def streaming_disjoint_edges_graph(
+    num_edges: int,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> Graph:
+    """CSR-native perfect matching; equal to ``disjoint_edges_graph``."""
+    return graph_from_edge_chunks(
+        2 * num_edges,
+        stream_disjoint_edges(num_edges, chunk_size=chunk_size),
+        name=f"matching(m={num_edges})",
+    )
+
+
+def streaming_matching_plus_isolated_graph(
+    n: int,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> Graph:
+    """CSR-native Theorem-1 hard instance; equal to ``matching_plus_isolated_graph``."""
+    return graph_from_edge_chunks(
+        n,
+        stream_matching_plus_isolated_edges(n, chunk_size=chunk_size),
+        name=f"hard(n={n})",
+    )

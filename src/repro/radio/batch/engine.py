@@ -21,21 +21,46 @@ compressed index arrays.  Soft (epsilon/sleep) states are resolved to a
 fixpoint inside the same iteration, mirroring how the scalar engine
 processes consecutive ``Sleep`` yields without consuming a round.
 
-Collision resolution picks between two kernels:
+Collision resolution picks between three kernels:
 
 * shared graph, dense — transmit matrix ``(B, n)`` times a float32
   adjacency matrix (BLAS); used when one Graph object backs every
   trial and ``n`` is small enough for an ``n x n`` dense matrix;
-* stacked CSR — per-trial CSR adjacency concatenated with ``t * n``
-  offsets, scattered with ``np.bincount``; handles per-trial sampled
-  graphs and large shared graphs.
+* full CSR — flat-slot adjacency (stacked per-trial CSRs, or one shared
+  CSR answered arithmetically so B trials never copy it) scattered with
+  ``np.bincount`` over all M slots;
+* residual CSR (*phased* execution) — the same flat adjacency
+  *sleep-set compressed*: as nodes halt, the kernel periodically
+  recompresses to a CSR over only the still-live slots with edges to
+  halted slots dropped, and every collision round counts into a
+  compact live-indexed array.  Per-round cost then scales with the
+  awake residual graph, not with M.  Recompression is geometric
+  (triggered when the live set halves), so total rebuild work is
+  O(E log n) amortized.  Because halted nodes never transmit or
+  listen, phased counts at live listeners are *exactly* the full
+  counts — phased execution is bit-identical to non-phased, which
+  ``tests/radio/batch/test_phase_equivalence.py`` pins.
+
+On top of either CSR kernel, an opt-in **sparsification** knob
+(``sparsify=cap``) bounds each transmitter's per-round fan-out: a
+transmitter whose (residual) degree exceeds ``cap`` delivers to a
+contiguous ``cap``-wide window of its neighbor row at a pseudorandom
+offset keyed by ``(node stream key, round)`` — deterministic per trial
+and independent of batch composition.  This approximates collision
+counts for no-CD competition rounds (where listeners only distinguish
+silence from noise, so capped fan-out preserves the 0/1/many buckets
+w.h.p. on high-degree rows); with ``cap >= Delta`` it is provably a
+no-op.  Results under sparsification are cached under distinct keys
+(see :func:`repro.exec.cache.trial_key`).
 
 Accounting matches the scalar engine exactly: an awake action in round
 ``r`` advances the node's clock to ``r + 1``; ``Sleep(d)`` adds ``d``;
 ``finish`` is the clock at halt; a trial's ``rounds`` is the maximum
 finish over its nodes.  Validation (MIS independence + domination +
-decidedness) is vectorized over the batch as well, so a batched battery
-never materializes per-trial ``RunResult`` objects.
+decidedness) is vectorized over the batch as well — both checks derive
+from one neighbor-count pass over the full graph, so a batched battery
+never materializes per-trial ``RunResult`` objects *or* Python edge
+tuples.
 """
 
 from __future__ import annotations
@@ -51,7 +76,7 @@ from ...obs.registry import get_registry
 from ..engine import DEFAULT_MAX_ROUNDS, _HINT_SLACK
 from ..node import Protocol
 from .registry import compile_table_for
-from .rng import draw, geometric_from_draws, node_keys, ranks_from_draws
+from .rng import GOLDEN, draw, geometric_from_draws, mix64, node_keys, ranks_from_draws
 from .table import (
     EMIT_BIT,
     EMIT_EPS,
@@ -75,14 +100,24 @@ __all__ = [
     "compile_batch_program",
     "MAX_RANK_WIDTH",
     "DENSE_NODE_LIMIT",
+    "PHASED_SLOT_THRESHOLD",
 ]
 
-#: Rank draws must fit the signed int64 register file.
+#: Widest rank that is packed into a single int64 register.  Wider
+#: ranks (large-n cells, where ``rank_bits(n)`` passes 62) switch to
+#: the *wide-rank* representation: the register stores the node's RNG
+#: stream anchor and each bit is derived on demand from counter-based
+#: draws — same i.i.d. uniform bits, no width limit.
 MAX_RANK_WIDTH = 62
 
 #: Largest shared-graph ``n`` that still uses the dense float32
 #: adjacency matmul kernel (n^2 * 4 bytes; 2048 -> 16 MiB).
 DENSE_NODE_LIMIT = 2048
+
+#: Batteries with at least this many flat slots (B * n) default to
+#: phased (sleep-set compressed) execution; below it the residual
+#: bookkeeping costs more than the full bincount it saves.
+PHASED_SLOT_THRESHOLD = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -129,38 +164,55 @@ class BatchResult:
 # ----------------------------------------------------------------------
 
 
-class _SharedDense:
-    """Collision counts via (B, n) @ (n, n) float32 matmul.
+def _gather_rows(starts: np.ndarray, degrees: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Concatenate ``indices[starts[i] : starts[i] + degrees[i]]`` rows."""
+    total = int(degrees.sum())
+    if not total:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(degrees) - degrees
+    gather = np.repeat(starts - cum, degrees) + np.arange(total)
+    return indices[gather]
 
-    Returns float32 counts (exact for any realizable degree); callers
-    threshold at 0.5 / 1.5 so the int and float kernels are
-    interchangeable.
+
+def _sparsified_rows(
+    starts: np.ndarray,
+    degrees: np.ndarray,
+    cap: int,
+    keys: np.ndarray,
+    salt: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Degree-sampled fan-out: rows over ``cap`` shrink to a ``cap``-wide
+    window at a deterministic pseudorandom offset.
+
+    The offset is ``mix64(key ^ round * GOLDEN) mod (degree - cap + 1)``
+    per transmitter — a pure function of the node's RNG stream key and
+    the round number, so it is reproducible per trial seed and
+    independent of batch composition.  Rows at or under ``cap`` pass
+    through untouched (hence ``cap >= Delta`` is an exact no-op).
     """
-
-    def __init__(self, graph: Graph, batch: int):
-        n = graph.num_nodes
-        indptr, indices = graph.csr()
-        dense = np.zeros((n, n), dtype=np.float32)
-        dense[
-            np.repeat(np.arange(n), np.diff(indptr)), indices
-        ] = 1.0
-        self._dense = dense
-        self._tx = np.zeros((batch, n), dtype=np.float32)
-        self._tx_flat = self._tx.reshape(-1)
-
-    def counts(self, tx_index: np.ndarray) -> np.ndarray:
-        self._tx_flat[tx_index] = 1.0
-        result = (self._tx @ self._dense).reshape(-1)
-        self._tx_flat[tx_index] = 0.0
-        return result
+    over = degrees > cap
+    if not bool(over.any()):
+        return starts, degrees
+    window = (degrees[over] - cap + 1).astype(np.uint64)
+    # Wrap the salt multiply in Python ints: numpy warns on scalar
+    # uint64 overflow even though modular wrap-around is exactly the
+    # arithmetic this hash wants.
+    salt_key = np.uint64((int(salt) * int(GOLDEN)) & 0xFFFFFFFFFFFFFFFF)
+    offsets = mix64(keys[over] ^ salt_key) % window
+    starts = starts.copy()
+    degrees = degrees.copy()
+    starts[over] += offsets.astype(starts.dtype)
+    degrees[over] = cap
+    return starts, degrees
 
 
-class _StackedCSR:
-    """Collision counts via ragged gather + bincount over stacked CSR."""
+class _StackedFlat:
+    """Flat-slot adjacency for per-trial graphs: CSRs concatenated with
+    ``t * n`` offsets, so slot ``t * n + v`` rows list flat targets."""
 
     def __init__(self, graphs: Sequence[Graph], batch: int):
         n = graphs[0].num_nodes
-        self._m = batch * n
+        self.m = batch * n
         indptr_parts = []
         indices_parts = []
         running = np.int64(0)
@@ -177,16 +229,207 @@ class _StackedCSR:
             else np.zeros(0, dtype=np.int64)
         )
 
-    def counts(self, tx_index: np.ndarray) -> np.ndarray:
-        starts = self._indptr[tx_index]
-        degrees = self._indptr[tx_index + 1] - starts
-        total = int(degrees.sum())
-        if not total:
-            return np.zeros(self._m, dtype=np.int64)
-        cum = np.cumsum(degrees) - degrees
-        gather = np.repeat(starts - cum, degrees) + np.arange(total)
-        targets = self._indices[gather]
-        return np.bincount(targets, minlength=self._m)
+    def row_starts(self, slots: np.ndarray) -> np.ndarray:
+        return self._indptr[slots]
+
+    def degrees(self, slots: np.ndarray) -> np.ndarray:
+        return self._indptr[slots + 1] - self._indptr[slots]
+
+    def targets(
+        self, starts: np.ndarray, degrees: np.ndarray, slots: np.ndarray
+    ) -> np.ndarray:
+        return _gather_rows(starts, degrees, self._indices)
+
+    def full_counts(self, sources: np.ndarray) -> np.ndarray:
+        targets = self.targets(
+            self.row_starts(sources), self.degrees(sources), sources
+        )
+        return np.bincount(targets, minlength=self.m)
+
+
+class _SharedFlat:
+    """Flat-slot adjacency for one shared graph, answered arithmetically.
+
+    All B trials read the *same* CSR; a flat slot's neighbor row is the
+    node's base row shifted by the trial offset ``s - (s mod n)``.  This
+    keeps memory at one copy of the graph regardless of batch size —
+    the stacked form would be B copies, which at n = 10^6 is the
+    difference between megabytes and gigabytes.
+    """
+
+    def __init__(self, graph: Graph, batch: int):
+        indptr, indices = graph.csr()
+        self.n = graph.num_nodes
+        self.m = batch * self.n
+        self._indptr = indptr.astype(np.int64)
+        self._indices = indices.astype(np.int64)
+
+    def row_starts(self, slots: np.ndarray) -> np.ndarray:
+        return self._indptr[slots % self.n]
+
+    def degrees(self, slots: np.ndarray) -> np.ndarray:
+        node = slots % self.n
+        return self._indptr[node + 1] - self._indptr[node]
+
+    def targets(
+        self, starts: np.ndarray, degrees: np.ndarray, slots: np.ndarray
+    ) -> np.ndarray:
+        local = _gather_rows(starts, degrees, self._indices)
+        if not local.size:
+            return local
+        return local + np.repeat(slots - (slots % self.n), degrees)
+
+    def full_counts(self, sources: np.ndarray) -> np.ndarray:
+        targets = self.targets(
+            self.row_starts(sources), self.degrees(sources), sources
+        )
+        return np.bincount(targets, minlength=self.m)
+
+
+class _SharedDense:
+    """Collision counts via (B, n) @ (n, n) float32 matmul.
+
+    Returns float32 counts (exact for any realizable degree); callers
+    threshold at 0.5 / 1.5 so the int and float kernels are
+    interchangeable.
+    """
+
+    rebuilds = 0
+
+    def __init__(self, graph: Graph, batch: int):
+        n = graph.num_nodes
+        indptr, indices = graph.csr()
+        dense = np.zeros((n, n), dtype=np.float32)
+        dense[
+            np.repeat(np.arange(n), np.diff(indptr)), indices
+        ] = 1.0
+        self._dense = dense
+        self._tx = np.zeros((batch, n), dtype=np.float32)
+        self._tx_flat = self._tx.reshape(-1)
+
+    def refresh(self, live: np.ndarray) -> None:
+        pass
+
+    def full_counts(self, sources: np.ndarray) -> np.ndarray:
+        self._tx_flat[sources] = 1.0
+        result = (self._tx @ self._dense).reshape(-1)
+        self._tx_flat[sources] = 0.0
+        return result
+
+    def counts_at(
+        self, tx_index: np.ndarray, listeners: np.ndarray, salt: int
+    ) -> np.ndarray:
+        return self.full_counts(tx_index)[listeners]
+
+
+class _FullCSR:
+    """Non-phased CSR kernel: gather + bincount over all M flat slots."""
+
+    rebuilds = 0
+
+    def __init__(self, base, sparsify: Optional[int], keys: np.ndarray):
+        self._base = base
+        self._spar = sparsify
+        self._keys = keys
+
+    def refresh(self, live: np.ndarray) -> None:
+        pass
+
+    def counts_at(
+        self, tx_index: np.ndarray, listeners: np.ndarray, salt: int
+    ) -> np.ndarray:
+        base = self._base
+        starts = base.row_starts(tx_index)
+        degrees = base.degrees(tx_index)
+        if self._spar is not None:
+            starts, degrees = _sparsified_rows(
+                starts, degrees, self._spar, self._keys[tx_index], salt
+            )
+        targets = base.targets(starts, degrees, tx_index)
+        counts = np.bincount(targets, minlength=base.m)
+        return counts[listeners]
+
+    def full_counts(self, sources: np.ndarray) -> np.ndarray:
+        return self._base.full_counts(sources)
+
+
+class _ResidualCSR:
+    """Phased (sleep-set compressed) CSR kernel.
+
+    Keeps a CSR over only the live flat slots, with edges into halted
+    slots dropped; ``_pos`` maps flat ids to compact indices of the
+    most recent compression, and ``_flat`` is its inverse.  The machine
+    calls :meth:`refresh` with the current live set every vector round;
+    when the live set falls to half the last compression's size, the
+    structure is rebuilt *from the previous compressed structure* (not
+    from the base), so each rebuild costs O(previous residual), and the
+    geometric trigger bounds total rebuild work by O(E log n).
+
+    Between rebuilds some compact targets may have since halted; they
+    accumulate counts harmlessly (halted slots never listen).  Counts
+    read at live listeners are exact — every transmitter is live, and
+    a live-live edge is never dropped — so phased execution is
+    bit-identical to the full kernels.
+    """
+
+    REBUILD_FACTOR = 0.5
+
+    def __init__(self, base, sparsify: Optional[int], keys: np.ndarray):
+        self._base = base
+        self._spar = sparsify
+        self._keys = keys
+        self.rebuilds = 0
+        m = base.m
+        self._pos = np.zeros(m, dtype=np.int64)
+        self._alive = np.ones(m, dtype=bool)
+        self._compress(np.arange(m, dtype=np.int64), initial=True)
+
+    def _compress(self, live: np.ndarray, *, initial: bool = False) -> None:
+        base = self._base
+        if initial:
+            starts = base.row_starts(live)
+            degrees = base.degrees(live)
+            targets_flat = base.targets(starts, degrees, live)
+        else:
+            prev = self._pos[live]
+            starts = self._indptr[prev]
+            degrees = self._indptr[prev + 1] - starts
+            targets_flat = self._flat[_gather_rows(starts, degrees, self._indices)]
+        keep = self._alive[targets_flat]
+        rows = np.repeat(np.arange(live.size, dtype=np.int64), degrees)
+        kept_degrees = np.bincount(rows[keep], minlength=live.size)
+        indptr = np.zeros(live.size + 1, dtype=np.int64)
+        np.cumsum(kept_degrees, out=indptr[1:])
+        self._pos[live] = np.arange(live.size, dtype=np.int64)
+        self._flat = live.copy()
+        self._indptr = indptr
+        self._indices = self._pos[targets_flat[keep]]
+        self._size = int(live.size)
+        self._trigger = int(live.size * self.REBUILD_FACTOR)
+
+    def refresh(self, live: np.ndarray) -> None:
+        if live.size <= self._trigger:
+            self._alive[:] = False
+            self._alive[live] = True
+            self._compress(live)
+            self.rebuilds += 1
+
+    def counts_at(
+        self, tx_index: np.ndarray, listeners: np.ndarray, salt: int
+    ) -> np.ndarray:
+        positions = self._pos[tx_index]
+        starts = self._indptr[positions]
+        degrees = self._indptr[positions + 1] - starts
+        if self._spar is not None:
+            starts, degrees = _sparsified_rows(
+                starts, degrees, self._spar, self._keys[tx_index], salt
+            )
+        targets = _gather_rows(starts, degrees, self._indices)
+        counts = np.bincount(targets, minlength=self._size)
+        return counts[self._pos[listeners]]
+
+    def full_counts(self, sources: np.ndarray) -> np.ndarray:
+        return self._base.full_counts(sources)
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +445,9 @@ class _BatchMachine:
         model: Any,
         seeds: Sequence[int],
         max_rounds: int,
+        *,
+        phased: Optional[bool] = None,
+        sparsify: Optional[int] = None,
     ):
         self.program = program
         self.model = model
@@ -214,18 +460,43 @@ class _BatchMachine:
         self.m = m
 
         width = program.rank_width
-        if width and not (1 <= width <= MAX_RANK_WIDTH):
+        if width < 0:
             raise ProtocolError(
-                f"table {program.protocol_name!r}: rank width {width} "
-                f"outside the batchable range [1, {MAX_RANK_WIDTH}]"
+                f"table {program.protocol_name!r}: negative rank width {width}"
             )
         self.width = width
+        # Ranks wider than an int64 register keep only their stream
+        # anchor in the register; bits are materialized on demand (one
+        # 64-bit draw word per 64 bit positions).
+        self.wide_ranks = width > MAX_RANK_WIDTH
+        self.rank_words = (width + 63) >> 6 if self.wide_ranks else 1
 
+        if sparsify is not None and sparsify < 1:
+            raise ProtocolError(
+                f"sparsify cap must be a positive degree, got {sparsify}"
+            )
+        if phased is None:
+            phased = m >= PHASED_SLOT_THRESHOLD or n > DENSE_NODE_LIMIT
+        self.phased = phased
+
+        self.keys = node_keys(np.asarray(seeds, dtype=np.int64), n)
         shared = all(graph is graphs[0] for graph in graphs)
-        if shared and n <= DENSE_NODE_LIMIT:
+        if phased:
+            base = (
+                _SharedFlat(graphs[0], batch)
+                if shared
+                else _StackedFlat(graphs, batch)
+            )
+            self.kernel = _ResidualCSR(base, sparsify, self.keys)
+        elif shared and n <= DENSE_NODE_LIMIT and sparsify is None:
             self.kernel = _SharedDense(graphs[0], batch)
         else:
-            self.kernel = _StackedCSR(graphs, batch)
+            base = (
+                _SharedFlat(graphs[0], batch)
+                if shared
+                else _StackedFlat(graphs, batch)
+            )
+            self.kernel = _FullCSR(base, sparsify, self.keys)
 
         # Model observation classes by transmitter-count bucket.
         one = model.observation_one
@@ -243,7 +514,6 @@ class _BatchMachine:
                 self.regs[register] = node_column
             elif value:
                 self.regs[register] = value
-        self.keys = node_keys(np.asarray(seeds, dtype=np.int64), n)
         self.counters = np.zeros(m, dtype=np.uint64)
         self.decided = np.zeros(m, dtype=np.int8)
         self.finish = np.zeros(m, dtype=np.int64)
@@ -258,6 +528,20 @@ class _BatchMachine:
 
     # -- edge chains ----------------------------------------------------
 
+    def _rank_bit(
+        self, value_reg: int, pos_reg: int, index: np.ndarray
+    ) -> np.ndarray:
+        """Bit of each node's rank at its position register (MSB-first)."""
+        pos = self.regs[pos_reg, index]
+        if self.wide_ranks:
+            anchor = self.regs[value_reg, index].astype(np.uint64)
+            word = (pos >> 6).astype(np.uint64)
+            draws = draw(self.keys[index], anchor + word)
+            shift = np.uint64(63) - (pos.astype(np.uint64) & np.uint64(63))
+            return ((draws >> shift) & np.uint64(1)).astype(np.int64)
+        shift = (self.width - 1) - pos
+        return (self.regs[value_reg, index] >> shift) & 1
+
     def _guard_mask(self, edge: Edge, index: np.ndarray) -> np.ndarray:
         mask = np.ones(index.shape, dtype=bool)
         regs = self.regs
@@ -265,9 +549,7 @@ class _BatchMachine:
             kind = guard[0]
             if kind == "bit":
                 _, value_reg, pos_reg, want = guard
-                shift = (self.width - 1) - regs[pos_reg, index]
-                bit = (regs[value_reg, index] >> shift) & 1
-                mask &= bit == want
+                mask &= self._rank_bit(value_reg, pos_reg, index) == want
             else:
                 _, reg, const = guard
                 values = regs[reg, index]
@@ -309,9 +591,17 @@ class _BatchMachine:
                 elif kind == "add":
                     self.regs[op[1], selected] += op[2]
                 elif kind == "rank":
-                    self.regs[op[1], selected] = ranks_from_draws(
-                        self._draw(selected), self.width
-                    )
+                    if self.wide_ranks:
+                        # Anchor the rank at the node's current stream
+                        # position and reserve one draw word per 64 bits.
+                        self.regs[op[1], selected] = self.counters[
+                            selected
+                        ].astype(np.int64)
+                        self.counters[selected] += np.uint64(self.rank_words)
+                    else:
+                        self.regs[op[1], selected] = ranks_from_draws(
+                            self._draw(selected), self.width
+                        )
                 else:  # "geom"
                     self.regs[op[1], selected] = geometric_from_draws(
                         self._draw(selected), op[2]
@@ -364,12 +654,14 @@ class _BatchMachine:
         states = self.program.states
         self._resolve_soft(np.arange(self.m, dtype=np.int64))
         # The live set shrinks monotonically; filter it incrementally
-        # instead of re-scanning all M slots every round.
+        # instead of re-scanning all M slots every round.  The kernel
+        # sees every shrink so the phased variant can recompress.
         live = np.arange(self.m, dtype=np.int64)
         while True:
             live = live[self.pc[live] >= 0]
             if not live.size:
                 return
+            self.kernel.refresh(live)
             wake_live = self.wake[live]
             current = int(wake_live.min())
             if current >= self.max_rounds:
@@ -396,9 +688,8 @@ class _BatchMachine:
                     listen_parts.append(subset)
                     groups.append((state_index, "listen", subset))
                 elif emit == EMIT_BIT:
-                    shift = (self.width - 1) - self.regs[state.b, subset]
-                    transmitting = (
-                        (self.regs[state.a, subset] >> shift) & 1
+                    transmitting = self._rank_bit(
+                        state.a, state.b, subset
                     ).astype(bool)
                     tx_parts.append(subset[transmitting])
                     listen_parts.append(subset[~transmitting])
@@ -416,24 +707,40 @@ class _BatchMachine:
             tx_index = (
                 np.concatenate(tx_parts) if tx_parts else np.zeros(0, np.int64)
             )
-            any_listener = any(part.size for part in listen_parts)
             self.tx_rounds[tx_index] += 1
 
-            counts: Optional[np.ndarray] = None
-            if any_listener and tx_index.size:
-                counts = self.kernel.counts(tx_index)
+            # One counts pass for all listeners this round, sliced back
+            # per group below — the kernels index by listener, so the
+            # cost is O(residual), never O(M).
+            listeners_all = (
+                np.concatenate(listen_parts)
+                if listen_parts
+                else np.zeros(0, np.int64)
+            )
+            listen_counts: Optional[np.ndarray] = None
+            if listeners_all.size and tx_index.size:
+                listen_counts = self.kernel.counts_at(
+                    tx_index, listeners_all, current
+                )
 
             # The acted nodes consumed this round.
             self.wake[act] = current + 1
 
             # Transition pass.
+            cursor = 0
             for state_index, obs_class, subset in groups:
-                if not subset.size:
-                    continue
-                state = states[state_index]
                 if obs_class == "listen":
+                    at = (
+                        None
+                        if listen_counts is None
+                        else listen_counts[cursor : cursor + subset.size]
+                    )
+                    cursor += subset.size
+                    if not subset.size:
+                        continue
+                    state = states[state_index]
                     self.listen_rounds[subset] += 1
-                    heard_mask = self._heard(counts, subset)
+                    heard_mask = self._heard(at, subset)
                     self._apply_chain(
                         state.edges[OBS_HEARD], subset[heard_mask], state_index
                     )
@@ -443,22 +750,26 @@ class _BatchMachine:
                         state_index,
                     )
                 else:
+                    if not subset.size:
+                        continue
+                    state = states[state_index]
                     self._apply_chain(
                         state.edges[obs_class], subset, state_index
                     )
             self._resolve_soft(act)
 
     def _heard(
-        self, counts: Optional[np.ndarray], listeners: np.ndarray
+        self, at: Optional[np.ndarray], listeners: np.ndarray
     ) -> np.ndarray:
         """Observation class (heard vs silence) for a listener subset.
 
-        ``counts`` may be int (CSR kernel) or float (dense kernel);
-        0.5/1.5 thresholds bucket both exactly.
+        ``at`` holds transmitter counts aligned with ``listeners`` (int
+        from the CSR kernels, float from the dense kernel; 0.5/1.5
+        thresholds bucket both exactly), or ``None`` when nobody
+        transmitted anywhere this round.
         """
-        if counts is None:  # nobody transmitted anywhere this round
+        if at is None:
             return np.full(listeners.shape, self.heard_zero, dtype=bool)
-        at = counts[listeners]
         return np.where(
             at < 0.5,
             self.heard_zero,
@@ -469,7 +780,7 @@ class _BatchMachine:
 def _validate(
     machine: _BatchMachine, graphs: Sequence[Graph]
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    batch, n, m = machine.batch, machine.n, machine.m
+    batch, n = machine.batch, machine.n
     decided = machine.decided
     mis_flat = decided == 1
     mis = mis_flat.reshape(batch, n)
@@ -478,26 +789,14 @@ def _validate(
         return empty, empty, empty, mis
     undecided = (decided == 0).reshape(batch, n).any(axis=1)
 
-    shared = all(graph is graphs[0] for graph in graphs)
-    if shared:
-        edges = np.asarray(graphs[0].edges, dtype=np.int64).reshape(-1, 2)
-        if edges.size:
-            independence = (
-                mis[:, edges[:, 0]] & mis[:, edges[:, 1]]
-            ).any(axis=1)
-        else:
-            independence = np.zeros(batch, dtype=bool)
-    else:
-        independence = np.zeros(batch, dtype=bool)
-        for t, graph in enumerate(graphs):
-            edges = np.asarray(graph.edges, dtype=np.int64).reshape(-1, 2)
-            if edges.size:
-                independence[t] = (
-                    mis[t, edges[:, 0]] & mis[t, edges[:, 1]]
-                ).any()
-
-    neighbor_counts = machine.kernel.counts(np.flatnonzero(mis_flat))
-    covered = mis_flat | (neighbor_counts > 0.5)
+    # One full-graph neighbor-count pass answers both checks without
+    # touching Python edge tuples: a slot with an MIS neighbor has
+    # count > 0, so an MIS slot with count > 0 violates independence,
+    # and a slot that is neither in the MIS nor counted is undominated.
+    neighbor_counts = machine.kernel.full_counts(np.flatnonzero(mis_flat))
+    has_mis_neighbor = neighbor_counts > 0.5
+    independence = (mis_flat & has_mis_neighbor).reshape(batch, n).any(axis=1)
+    covered = mis_flat | has_mis_neighbor
     domination = (~covered).reshape(batch, n).any(axis=1)
     return undecided, independence, domination, mis
 
@@ -537,6 +836,8 @@ def run_batch(
     *,
     program: Optional[TableProgram] = None,
     max_rounds: Optional[int] = None,
+    phased: Optional[bool] = None,
+    sparsify: Optional[int] = None,
 ) -> BatchResult:
     """Run ``len(seeds)`` trials of one cell through the batched engine.
 
@@ -546,6 +847,13 @@ def run_batch(
     uses ``seeds[i]`` exactly as the scalar engine would: the result is
     a pure function of ``(graph_i, protocol, model, seeds[i])``,
     independent of batch size or composition.
+
+    ``phased`` selects sleep-set compressed execution (``None`` =
+    automatic: on when ``B * n`` reaches :data:`PHASED_SLOT_THRESHOLD`
+    or ``n`` exceeds :data:`DENSE_NODE_LIMIT`); results are identical
+    either way.  ``sparsify`` caps per-round transmitter fan-out at the
+    given degree (an approximation for no-CD competition rounds; exact
+    when the cap is at least the graph's max degree).
 
     Raises :class:`~repro.errors.ProtocolError` when the protocol has no
     table for this cell — callers decide fallback policy *before*
@@ -567,7 +875,6 @@ def run_batch(
                 "run_batch: all trial graphs must share n; got "
                 f"{graph.num_nodes} vs {n}"
             )
-    delta = graph_list[0].max_degree()
     if program is None:
         program = compile_batch_program(protocol, graph_list)
         if program is None:
@@ -585,7 +892,15 @@ def run_batch(
         hint = None if any(h is None for h in hints) else max(hints)
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
 
-    machine = _BatchMachine(program, graph_list, model, seeds, max_rounds)
+    machine = _BatchMachine(
+        program,
+        graph_list,
+        model,
+        seeds,
+        max_rounds,
+        phased=phased,
+        sparsify=sparsify,
+    )
     machine.run()
     undecided, independence, domination, mis = _validate(machine, graph_list)
     valid = ~(undecided | independence | domination)
@@ -608,6 +923,11 @@ def run_batch(
         registry.counter("engine.batch.vector_rounds").inc(
             machine.vector_rounds
         )
+        if machine.phased:
+            registry.counter("engine.batch.phased_batches").inc()
+            registry.counter("engine.batch.residual_rebuilds").inc(
+                machine.kernel.rebuilds
+            )
 
     return BatchResult(
         seeds=tuple(seeds),

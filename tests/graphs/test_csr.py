@@ -46,3 +46,52 @@ def test_csr_isolated_and_empty():
     indptr, indices = lonely.csr()
     assert indptr.tolist() == [0, 0]
     assert indices.size == 0
+
+
+def test_csr_index_dtypes_boundary():
+    """int32 up to and including 2^31-1, int64 past it — independently
+    for the node count (indices) and the directed edge count (indptr).
+    Constructed synthetically: no multi-gigabyte allocation needed to
+    pin the overflow behaviour."""
+    from repro.errors import GraphError
+    from repro.graphs import csr_index_dtypes
+
+    int32_max = 2**31 - 1
+    assert csr_index_dtypes(0, 0) == (np.int32, np.int32)
+    assert csr_index_dtypes(10**6, 8 * 10**6) == (np.int32, np.int32)
+    assert csr_index_dtypes(int32_max, int32_max) == (np.int32, np.int32)
+    # A directed edge count one past int32 forces an int64 indptr but
+    # leaves node indices at int32 (and vice versa).
+    assert csr_index_dtypes(10**6, int32_max + 1) == (np.int64, np.int32)
+    assert csr_index_dtypes(int32_max + 1, 100) == (np.int32, np.int64)
+    assert csr_index_dtypes(int32_max + 1, int32_max + 1) == (
+        np.int64,
+        np.int64,
+    )
+    with pytest.raises(GraphError):
+        csr_index_dtypes(-1, 0)
+    with pytest.raises(GraphError):
+        csr_index_dtypes(0, -1)
+
+
+def test_from_csr_round_trips_and_validates():
+    eager = gnp_random_graph(40, 0.2, seed=4)
+    indptr, indices = eager.csr()
+    rebuilt = Graph.from_csr(indptr, indices, name=eager.name)
+    assert rebuilt == eager
+    assert rebuilt.csr()[0].dtype == np.int32
+
+    from repro.errors import GraphError
+
+    # Self-loop smuggled into an otherwise well-formed CSR.
+    with pytest.raises(GraphError):
+        Graph.from_csr(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+        )
+    # Asymmetric: 0->1 without 1->0.
+    with pytest.raises(GraphError):
+        Graph.from_csr(
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        )

@@ -1,0 +1,208 @@
+"""Streaming CSR graph builders vs the eager generators.
+
+The streaming builders exist so the large-n regime never materializes
+Python edge tuples, but their *contract* is equality: the same seed
+must produce the same graph as the eager generator, for every chunk
+size.  That equality is what lets the workload catalog switch builders
+at ``STREAMING_MIN_NODES`` without changing any experiment's inputs.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    gnp_random_graph,
+    graph_from_edge_chunks,
+    matching_plus_isolated_graph,
+    random_regularish_graph,
+    stream_gnp_edges,
+    streaming_gnp_random_graph,
+    streaming_matching_plus_isolated_graph,
+    streaming_regularish_graph,
+)
+
+
+def assert_graphs_equal(streamed: Graph, eager: Graph):
+    """Full structural equality, checked through every accessor."""
+    assert streamed.num_nodes == eager.num_nodes
+    assert streamed.num_edges == eager.num_edges
+    assert streamed.max_degree() == eager.max_degree()
+    assert streamed.name == eager.name
+    assert tuple(streamed.iter_edges()) == eager.edges
+    s_indptr, s_indices = streamed.csr()
+    e_indptr, e_indices = eager.csr()
+    assert np.array_equal(s_indptr, e_indptr)
+    assert np.array_equal(s_indices, e_indices)
+
+
+def assert_csr_invariants(graph: Graph):
+    """CSR structure: sorted rows, no self-loops, symmetric."""
+    indptr, indices = graph.csr()
+    n = graph.num_nodes
+    assert indptr[0] == 0
+    assert indptr[-1] == indices.size
+    assert np.all(np.diff(indptr) >= 0)
+    if indices.size:
+        assert indices.min() >= 0 and indices.max() < n
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+    # No self-loops.
+    assert not np.any(rows == indices)
+    # Each row sorted strictly increasing (sorted + deduplicated).
+    interior = np.setdiff1d(np.arange(1, indices.size), indptr[1:-1])
+    if interior.size:
+        assert np.all(indices[interior] > indices[interior - 1])
+    # Symmetry: the directed edge set equals its own reverse.
+    forward = np.sort(rows.astype(np.int64) * n + indices)
+    backward = np.sort(indices.astype(np.int64) * n + rows)
+    assert np.array_equal(forward, backward)
+
+
+# ----------------------------------------------------------------------
+# Chunk-size invariance: the chunking is an implementation detail
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(min_value=0, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    p_percent=st.integers(min_value=0, max_value=100),
+    chunk_size=st.integers(min_value=1, max_value=5000),
+)
+def test_gnp_chunk_size_never_changes_the_graph(n, seed, p_percent, chunk_size):
+    p = p_percent / 100.0
+    reference = streaming_gnp_random_graph(n, p, seed=seed)
+    chunked = streaming_gnp_random_graph(n, p, seed=seed, chunk_size=chunk_size)
+    assert_graphs_equal(chunked, reference)
+    assert_csr_invariants(chunked)
+
+
+@settings(max_examples=25)
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    degree=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    chunk_size=st.integers(min_value=1, max_value=500),
+)
+def test_regularish_chunk_size_never_changes_the_graph(
+    n, degree, seed, chunk_size
+):
+    assume(n == 0 or degree < n)
+    reference = streaming_regularish_graph(n, degree, seed=seed)
+    chunked = streaming_regularish_graph(
+        n, degree, seed=seed, chunk_size=chunk_size
+    )
+    assert_graphs_equal(chunked, reference)
+    assert_csr_invariants(chunked)
+
+
+# ----------------------------------------------------------------------
+# Eager equivalence: same seed, same graph
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    n=st.integers(min_value=0, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    p_percent=st.integers(min_value=0, max_value=100),
+)
+def test_gnp_streaming_equals_eager(n, seed, p_percent):
+    p = p_percent / 100.0
+    assert_graphs_equal(
+        streaming_gnp_random_graph(n, p, seed=seed),
+        gnp_random_graph(n, p, seed=seed),
+    )
+
+
+@settings(max_examples=25)
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    degree=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_regularish_streaming_equals_eager(n, degree, seed):
+    assume(n == 0 or degree < n)
+    assert_graphs_equal(
+        streaming_regularish_graph(n, degree, seed=seed),
+        random_regularish_graph(n, degree, seed=seed),
+    )
+
+
+@settings(max_examples=25)
+@given(n=st.integers(min_value=0, max_value=200))
+def test_matching_plus_isolated_streaming_equals_eager(n):
+    n = 4 * (n // 4)
+    assert_graphs_equal(
+        streaming_matching_plus_isolated_graph(n),
+        matching_plus_isolated_graph(n),
+    )
+
+
+def test_gnp_edge_probability_boundaries():
+    for p in (0.0, 1.0):
+        for n in (0, 1, 2, 7):
+            assert_graphs_equal(
+                streaming_gnp_random_graph(n, p, seed=3),
+                gnp_random_graph(n, p, seed=3),
+            )
+
+
+def test_gnp_equivalence_at_a_larger_size():
+    # One non-Hypothesis case big enough to cross chunk boundaries with
+    # the default chunk size halved far below the edge count.
+    streamed = streaming_gnp_random_graph(3000, 8.0 / 2999, seed=11,
+                                          chunk_size=997)
+    eager = gnp_random_graph(3000, 8.0 / 2999, seed=11)
+    assert_graphs_equal(streamed, eager)
+    assert_csr_invariants(streamed)
+
+
+# ----------------------------------------------------------------------
+# The chunk builder itself
+# ----------------------------------------------------------------------
+
+
+def test_graph_from_edge_chunks_dedups_and_symmetrizes():
+    chunks = [
+        np.array([[0, 1], [1, 0], [2, 3]], dtype=np.int64),
+        np.array([[0, 1]], dtype=np.int64),
+    ]
+    graph = graph_from_edge_chunks(4, iter(chunks), name="dup")
+    assert tuple(graph.iter_edges()) == ((0, 1), (2, 3))
+    assert_csr_invariants(graph)
+
+
+def test_graph_from_edge_chunks_rejects_bad_input():
+    with pytest.raises(GraphError):
+        graph_from_edge_chunks(
+            3, iter([np.array([[0, 3]], dtype=np.int64)]), name="oob"
+        )
+    with pytest.raises(GraphError):
+        graph_from_edge_chunks(
+            3, iter([np.array([[1, 1]], dtype=np.int64)]), name="loop"
+        )
+
+
+def test_stream_chunk_size_must_be_positive():
+    with pytest.raises(GraphError):
+        list(stream_gnp_edges(10, 0.5, seed=0, chunk_size=0))
+
+
+def test_streamed_graph_is_lazy_until_edges_are_asked_for():
+    # The point of the exercise: building via CSR must not materialize
+    # the adjacency tuples.  Touching them afterwards still works.
+    graph = streaming_gnp_random_graph(500, 0.01, seed=9)
+    assert graph._adjacency is None
+    assert graph._edges is None
+    degree_sum = sum(graph.degree(v) for v in range(graph.num_nodes))
+    assert degree_sum == 2 * graph.num_edges
+    assert graph._adjacency is None  # degrees answered from CSR
+    eager = gnp_random_graph(500, 0.01, seed=9)
+    assert graph.edges == eager.edges  # materializes, still equal
