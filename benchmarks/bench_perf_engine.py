@@ -37,7 +37,7 @@ from pathlib import Path
 
 from repro.constants import ConstantsProfile
 from repro.core import CDMISProtocol
-from repro.faults import FaultPlan
+from repro.faults import ChurnPlan, FaultPlan
 from repro.graphs import gnp_random_graph
 from repro.radio import CD, Listen, Protocol, Sleep, Transmit, run_protocol
 from repro.radio._engine_reference import run_protocol_reference
@@ -52,7 +52,9 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 #:    per-trial scalar execution on a dense same-cell battery).
 #: /5 adds the ``large_n`` section (an E1 cell at n=10^5 on the
 #:    phase-based batch path, gated on wall time and peak RSS per node).
-SCHEMA = "bench-engine/5"
+#: /6 adds the ``churn_overhead`` section (no-op ChurnPlan static-path
+#:    cost: the dynamic-topology layer must not slow churn-free runs).
+SCHEMA = "bench-engine/6"
 
 #: Re-measurable report sections (--section re-runs exactly one of these
 #: and splices it into the existing report, leaving the rest untouched).
@@ -60,6 +62,7 @@ SECTIONS = (
     "scenarios",
     "telemetry_overhead",
     "fault_overhead",
+    "churn_overhead",
     "batch_throughput",
     "large_n",
 )
@@ -198,6 +201,22 @@ def test_perf_noop_fault_plan(benchmark):
     assert result == run_protocol(graph, protocol, model, seed=seed)
 
 
+def test_perf_noop_churn_plan(benchmark):
+    """Dense traffic with a default ChurnPlan in the FaultPlan — the
+    dynamic-topology layer promises the same zero-overhead fast path as
+    the other fault knobs (a churn plan that changes nothing normalizes
+    away before the round loop; the CLI bench gates it together with
+    --max-fault-overhead)."""
+    graph, protocol, model, seed, _ = _dense_scenario()
+    plan = FaultPlan(churn=ChurnPlan())
+
+    result = benchmark(
+        lambda: run_protocol(graph, protocol, model, seed=seed, faults=plan)
+    )
+    assert result.rounds == 50
+    assert result == run_protocol(graph, protocol, model, seed=seed)
+
+
 def test_perf_telemetry_enabled(benchmark):
     """Dense traffic with telemetry on — compare against the plain
     dense scenario to see the instrumentation cost (the CLI bench gates
@@ -272,6 +291,8 @@ def measure(quick=False, sections=None):
         report["telemetry_overhead"] = measure_telemetry_overhead(repetitions)
     if "fault_overhead" in chosen:
         report["fault_overhead"] = measure_fault_overhead(repetitions)
+    if "churn_overhead" in chosen:
+        report["churn_overhead"] = measure_churn_overhead(repetitions)
     if "batch_throughput" in chosen:
         report["batch_throughput"] = measure_batch_throughput(quick=quick)
     if "large_n" in chosen:
@@ -330,6 +351,34 @@ def measure_fault_overhead(repetitions):
         "no_plan_s": round(no_plan_s, 6),
         "noop_plan_s": round(noop_plan_s, 6),
         "overhead_frac": round(noop_plan_s / no_plan_s - 1.0, 4),
+    }
+
+
+def measure_churn_overhead(repetitions):
+    """Cost of a no-op :class:`ChurnPlan` on the dense scenario.
+
+    The dynamic-topology layer extends the same contract as
+    :func:`measure_fault_overhead`: a churn plan that changes nothing
+    (``ChurnPlan().is_noop``) normalizes to the exact ``faults=None``
+    static fast path, so the churn machinery costs static runs nothing.
+    Gated together with ``--check --max-fault-overhead`` in CI.
+    """
+    graph, protocol, model, seed, _ = _dense_scenario()
+    plan = FaultPlan(churn=ChurnPlan())
+    run_protocol(graph, protocol, model, seed=seed, faults=plan)  # warm
+    no_plan_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed), repetitions
+    )
+    noop_churn_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed, faults=plan),
+        repetitions,
+    )
+    return {
+        "scenario": HEADLINE_SCENARIO,
+        "repetitions": repetitions,
+        "no_plan_s": round(no_plan_s, 6),
+        "noop_churn_s": round(noop_churn_s, 6),
+        "overhead_frac": round(noop_churn_s / no_plan_s - 1.0, 4),
     }
 
 
@@ -580,6 +629,13 @@ def main(argv=None):
             f"noop plan {fault_overhead['noop_plan_s'] * 1e3:.2f}ms  "
             f"overhead {fault_overhead['overhead_frac']:+.1%}"
         )
+    churn_overhead = report.get("churn_overhead")
+    if churn_overhead is not None:
+        print(
+            f"noop-churn overhead: none {churn_overhead['no_plan_s'] * 1e3:.2f}ms  "
+            f"noop churn {churn_overhead['noop_churn_s'] * 1e3:.2f}ms  "
+            f"overhead {churn_overhead['overhead_frac']:+.1%}"
+        )
     batch = report.get("batch_throughput")
     if batch is not None and "speedup" in batch:
         print(
@@ -621,6 +677,15 @@ def main(argv=None):
                 failures.append(
                     f"noop fault-plan overhead "
                     f"{fault_overhead['overhead_frac']:.1%} exceeds "
+                    f"--max-fault-overhead {args.max_fault_overhead:.1%}"
+                )
+        if args.max_fault_overhead is not None and churn_overhead is not None:
+            # Same contract, same flag: a no-op churn plan is just
+            # another no-op fault plan as far as the static path goes.
+            if churn_overhead["overhead_frac"] > args.max_fault_overhead:
+                failures.append(
+                    f"noop churn-plan overhead "
+                    f"{churn_overhead['overhead_frac']:.1%} exceeds "
                     f"--max-fault-overhead {args.max_fault_overhead:.1%}"
                 )
         if batch is not None and "speedup" in batch:

@@ -253,6 +253,12 @@ def _run_robust() -> str:
     ).to_table()
 
 
+def _run_churn() -> str:
+    from .churn import run_churn_study
+
+    return run_churn_study(n=48, trials=3, constants=_constants()).to_table()
+
+
 def _run_a7() -> str:
     import random as _random
 
@@ -295,6 +301,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "ROBUST",
         "degradation under injected faults (crash/recovery/skew/noise)",
         _run_robust,
+    ),
+    "CHURN": ExperimentSpec(
+        "CHURN",
+        "MIS repair cost & restabilization under topology churn",
+        _run_churn,
     ),
 }
 

@@ -154,7 +154,7 @@ def run_robustness_study(
 
     for fraction, recovery in ((0.1, 8), (0.25, 8), (0.25, 32)):
         coverage = stabilize = overhead = 0.0
-        completed = 0
+        completed = settled = 0
         for trial in range(trials):
             seed = base_seed + trial
             graph = gnp_random_graph(n, degree, seed=seed)
@@ -173,7 +173,12 @@ def run_robustness_study(
             )
             completed += 1
             coverage += result.surviving_coverage()
-            stabilize += result.time_to_stabilize()
+            # ``None`` = the run never restabilized; average only the
+            # settled runs rather than folding a fake finite value in.
+            settle = result.time_to_stabilize()
+            if settle is not None:
+                settled += 1
+                stabilize += settle
             overhead += result.energy_overhead_vs(baseline)
         completed = max(completed, 1)
         report.recovery_rows.append(
@@ -181,7 +186,7 @@ def run_robustness_study(
                 f"{100 * fraction:.0f}%",
                 f"+{recovery}",
                 round(coverage / completed, 3),
-                round(stabilize / completed, 1),
+                round(stabilize / settled, 1) if settled else "—",
                 f"{100 * overhead / completed:+.1f}%",
             )
         )

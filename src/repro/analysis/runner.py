@@ -72,6 +72,16 @@ class TrialOutcome:
     max_energy: int
     mean_energy: float
     failure_kinds: Tuple[str, ...]
+    #: Rounds processed while a churn violation window was open.
+    repair_rounds: int = 0
+    #: Awake rounds charged to churn-repair restarts.
+    repair_energy: int = 0
+    #: Rounds during which the decided set detectably violated MIS.
+    mis_violation_window: int = 0
+    #: Rounds the last restarted node needed to re-terminate; ``None``
+    #: when the run never restabilized (a restarted node never
+    #: re-finished).  0 for runs without restarts.
+    time_to_stabilize: Optional[int] = 0
 
 
 def _outcome_to_record(outcome: TrialOutcome) -> Dict:
@@ -84,11 +94,20 @@ def _outcome_to_record(outcome: TrialOutcome) -> Dict:
         "max_energy": outcome.max_energy,
         "mean_energy": outcome.mean_energy,
         "failure_kinds": list(outcome.failure_kinds),
+        "repair_rounds": outcome.repair_rounds,
+        "repair_energy": outcome.repair_energy,
+        "mis_violation_window": outcome.mis_violation_window,
+        "time_to_stabilize": outcome.time_to_stabilize,
     }
 
 
 def _outcome_from_record(record: Dict) -> TrialOutcome:
-    """Inverse of :func:`_outcome_to_record`."""
+    """Inverse of :func:`_outcome_to_record`.
+
+    The churn fields decode with ``.get`` defaults so records written
+    before they existed still load (cache entries are never migrated).
+    """
+    stabilize = record.get("time_to_stabilize", 0)
     return TrialOutcome(
         seed=int(record["seed"]),
         valid=bool(record["valid"]),
@@ -97,6 +116,10 @@ def _outcome_from_record(record: Dict) -> TrialOutcome:
         max_energy=int(record["max_energy"]),
         mean_energy=float(record["mean_energy"]),
         failure_kinds=tuple(record["failure_kinds"]),
+        repair_rounds=int(record.get("repair_rounds", 0)),
+        repair_energy=int(record.get("repair_energy", 0)),
+        mis_violation_window=int(record.get("mis_violation_window", 0)),
+        time_to_stabilize=None if stabilize is None else int(stabilize),
     )
 
 
@@ -159,6 +182,31 @@ class TrialSummary:
                 f"\n  mean-energy {self.mean_energy_summary()}"
                 f"\n  rounds      {self.rounds_summary()}"
             )
+            restarted = [
+                outcome
+                for outcome in self.outcomes
+                if outcome.time_to_stabilize is None
+                or outcome.time_to_stabilize > 0
+            ]
+            if restarted:
+                # "—" marks runs that never restabilized (satellite of
+                # the churn work: None must not render as a number).
+                settle = ", ".join(
+                    "—"
+                    if outcome.time_to_stabilize is None
+                    else str(outcome.time_to_stabilize)
+                    for outcome in restarted
+                )
+                report += f"\n  stabilize   {settle}"
+            repair = sum(outcome.repair_rounds for outcome in self.outcomes)
+            violation = sum(
+                outcome.mis_violation_window for outcome in self.outcomes
+            )
+            if repair or violation:
+                report += (
+                    f"\n  churn       repair-rounds {repair}, "
+                    f"violation-window {violation}"
+                )
         if self.quarantined:
             lines = "\n".join(
                 f"    {trial.record.describe()}"
@@ -170,6 +218,50 @@ class TrialSummary:
                 f"{'s' if len(self.quarantined) != 1 else ''}:\n{lines}"
             )
         return report
+
+
+def _result_to_outcome(
+    seed: int, report: "ValidationReport", result: RunResult
+) -> TrialOutcome:
+    """Fold one validated run into its headline outcome."""
+    return TrialOutcome(
+        seed=seed,
+        valid=report.valid,
+        mis_size=report.mis_size,
+        rounds=result.rounds,
+        max_energy=result.max_energy,
+        mean_energy=result.mean_energy,
+        failure_kinds=tuple(report.failure_kinds),
+        repair_rounds=result.repair_rounds,
+        repair_energy=result.repair_energy,
+        mis_violation_window=result.mis_violation_window,
+        time_to_stabilize=result.time_to_stabilize(),
+    )
+
+
+def _publish_churn_counters(registry, result: RunResult) -> None:
+    """Publish ``faults.churn.*`` counters for one churned run.
+
+    No-op for static runs (no churn events) and when telemetry is off,
+    so fault-free batteries record nothing new.
+    """
+    if not registry.enabled or not result.churn_events:
+        return
+    for kind, count in result.churn_events:
+        registry.counter(f"faults.churn.events.{kind}").inc(count)
+    registry.counter("faults.churn.repair_rounds").inc(result.repair_rounds)
+    registry.counter("faults.churn.repair_energy").inc(result.repair_energy)
+    registry.counter("faults.churn.violation_window").inc(
+        result.mis_violation_window
+    )
+    restarted = sum(1 for stats in result.node_stats if stats.restarts)
+    if restarted:
+        registry.counter("faults.churn.restarted_nodes").inc(restarted)
+    unresolved = sum(
+        1 for _, settle in result.time_to_restabilize if settle is None
+    )
+    if unresolved:
+        registry.counter("faults.churn.unresolved_events").inc(unresolved)
 
 
 def _trial_seeds(
@@ -471,15 +563,8 @@ def run_trials(
             result.telemetry.publish(registry)
             if not report.valid:
                 registry.counter("trials.invalid").inc()
-        return TrialOutcome(
-            seed=seed,
-            valid=report.valid,
-            mis_size=report.mis_size,
-            rounds=result.rounds,
-            max_energy=result.max_energy,
-            mean_energy=result.mean_energy,
-            failure_kinds=tuple(report.failure_kinds),
-        )
+        _publish_churn_counters(registry, result)
+        return _result_to_outcome(seed, report, result)
 
     # Resolve the human-readable graph name (and, for fixed graphs, the
     # cache spec) up front; a factory builds one sample topology for it.
@@ -508,7 +593,10 @@ def run_trials(
         if keep_results:
             reason = "keep-results"
         elif faults is not None:
-            reason = "faults"
+            # Churny plans get their own named reason so operators can
+            # tell "batching skipped because of topology churn" apart
+            # from plain channel/crash faults in `obs summarize`.
+            reason = "churn" if faults.has_churn else "faults"
         elif policy is not None and policy.active:
             reason = "retry-policy"
         elif getattr(model, "sender_side_detection", False):
@@ -582,17 +670,8 @@ def run_trials(
                 result.telemetry.publish(registry)
                 if not report.valid:
                     registry.counter("trials.invalid").inc()
-            outcomes.append(
-                TrialOutcome(
-                    seed=seed,
-                    valid=report.valid,
-                    mis_size=report.mis_size,
-                    rounds=result.rounds,
-                    max_energy=result.max_energy,
-                    mean_energy=result.mean_energy,
-                    failure_kinds=tuple(report.failure_kinds),
-                )
-            )
+            _publish_churn_counters(registry, result)
+            outcomes.append(_result_to_outcome(seed, report, result))
             kept.append(result)
         return TrialSummary(
             protocol_name=protocol.name,

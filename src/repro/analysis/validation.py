@@ -55,12 +55,21 @@ class ValidationReport:
         return "INVALID: " + ", ".join(parts)
 
 
-def validate_mis(graph: Graph, mis, undecided=()) -> ValidationReport:
-    """Validate a candidate MIS set against ``graph``."""
+def validate_mis(graph: Graph, mis, undecided=(), exempt=()) -> ValidationReport:
+    """Validate a candidate MIS set against ``graph``.
+
+    ``exempt`` nodes (e.g. departed under topology churn) need no
+    domination: they are no longer part of the network's output.
+    """
     mis_set = set(mis)
+    exempt_set = set(exempt)
     undecided_tuple = tuple(sorted(undecided))
     independence = tuple(independence_violations(graph, mis_set))
-    domination = tuple(domination_violations(graph, mis_set))
+    domination = tuple(
+        node
+        for node in domination_violations(graph, mis_set)
+        if node not in exempt_set
+    )
     return ValidationReport(
         valid=not undecided_tuple and not independence and not domination,
         mis_size=len(mis_set),
@@ -73,10 +82,17 @@ def validate_mis(graph: Graph, mis, undecided=()) -> ValidationReport:
 def validate_run(result: RunResult, strict: bool = False) -> ValidationReport:
     """Validate a :class:`~repro.radio.metrics.RunResult`.
 
+    Churned runs validate against ``result.final_graph`` (the topology
+    after the last event) with departed nodes exempt from domination;
+    static runs validate against ``result.graph`` as before.
+
     With ``strict=True`` an invalid output raises
     :class:`~repro.errors.ValidationError` instead of returning.
     """
-    report = validate_mis(result.graph, result.mis, result.undecided)
+    graph = result.final_graph if result.final_graph is not None else result.graph
+    report = validate_mis(
+        graph, result.mis, result.undecided, exempt=result.left_nodes
+    )
     if strict and not report.valid:
         raise ValidationError(
             f"{result.protocol_name} on {result.graph.name} "

@@ -34,6 +34,8 @@ from .spec import (
     BudgetWorkload,
     CeilingPredicate,
     CellRateBounds,
+    CellTrend,
+    ChurnWorkload,
     Claim,
     ExponentBand,
     ExponentGap,
@@ -141,6 +143,18 @@ def registered_claims(
         "energy-breakdown", n=96 if quick else 192, graphs=1,
         seeds=2 if quick else 3,
     )
+    # Trial counts are sized so an all-valid cell *decides* its Wilson
+    # bound within the batch cap: 10 zero-failure trials put the lower
+    # endpoint at 0.722 (> 0.7), 40 put it at 0.912 (> 0.9).
+    churn = ChurnWorkload(
+        protocol="cd-mis",
+        n=48 if quick else 96,
+        rates=(0.0, 0.05, 0.2) if quick else (0.0, 0.02, 0.08, 0.2),
+        trials=4 if quick else 16,
+        batch=3 if quick else 12,
+        max_batches=3,
+    )
+    restab_bound = 0.7 if quick else 0.9
 
     claims = [
         # ------------------------------------------------------- Thm 2
@@ -642,6 +656,87 @@ def registered_claims(
                 "E12's Lemma 14 finding as a verdict: the strict whp "
                 "rate decidedly fails for the printed pseudocode, the "
                 "shape predicates hold, so the claim lands shape-only."
+            ),
+        ),
+        # -------------------------------------------- churn (dynamic)
+        Claim(
+            claim_id="churn-repair-cost",
+            title="MIS repair cost grows with the topology-churn rate",
+            ref=PaperRef(
+                statement="dynamic extension",
+                section="§1 (model)",
+                experiments=("CHURN",),
+                summary=(
+                    "Under per-round edge churn at rate p, the rounds "
+                    "spent inside MIS violation windows and the energy "
+                    "charged to repair restarts both grow with p."
+                ),
+            ),
+            workload=churn,
+            strict=(
+                CellTrend(
+                    name="repair-rounds-grow-with-rate",
+                    prefix="churn/",
+                    order_key="rate_p",
+                    metric="repair_rounds",
+                    tolerance=0.3,
+                    min_trials=3,
+                ),
+                CellTrend(
+                    name="repair-energy-grows-with-rate",
+                    prefix="churn/",
+                    order_key="rate_p",
+                    metric="repair_energy",
+                    tolerance=0.3,
+                    min_trials=3,
+                ),
+            ),
+            shape=(
+                CellTrend(
+                    name="repair-rounds-grow-overall",
+                    prefix="churn/",
+                    order_key="rate_p",
+                    metric="repair_rounds",
+                    tolerance=0.0,
+                    min_trials=3,
+                ),
+            ),
+            notes=(
+                "No paper statement covers dynamic graphs; this encodes "
+                "the expected shape of the repair layer's cost curve."
+            ),
+        ),
+        Claim(
+            claim_id="churn-restabilize",
+            title="Post-churn outputs re-derive as valid MIS whp",
+            ref=PaperRef(
+                statement="dynamic extension",
+                section="§1 (model)",
+                experiments=("CHURN",),
+                summary=(
+                    "After the last churn event, local repair converges: "
+                    "the decided set is a valid MIS of the final graph "
+                    "(checked by re-derivation) in almost every run."
+                ),
+            ),
+            workload=churn,
+            strict=tuple(
+                RateBound(
+                    name=f"churn-valid-final-mis-p{rate:g}",
+                    cell=f"churn/p={rate:g}",
+                    bound=restab_bound,
+                    direction="at_least",
+                )
+                for rate in churn.rates
+            ),
+            shape=tuple(
+                RateBound(
+                    name=f"churn-valid-final-mis-loose-p{rate:g}",
+                    cell=f"churn/p={rate:g}",
+                    bound=0.5,
+                    direction="at_least",
+                )
+                for rate in churn.rates
             ),
         ),
     ]

@@ -32,6 +32,7 @@ from ..radio.models import model_by_name
 from .spec import (
     BackoffWorkload,
     BudgetWorkload,
+    ChurnWorkload,
     Claim,
     EvalContext,
     HarnessWorkload,
@@ -292,6 +293,108 @@ def _collect_backoff_batch(
     return added
 
 
+def _collect_churn_batch(
+    workload: ChurnWorkload,
+    measurements: Measurements,
+    batch_index: int,
+    config: SamplerConfig,
+) -> int:
+    """One batch of churned trials per rate cell.
+
+    Plans are built per trial seed (not per battery), so every trial
+    draws its own churn event stream; records cache under keys carrying
+    the full churn identity in the graph spec.  ``events`` counts runs
+    whose output re-derives as a valid MIS of the final graph, so
+    :class:`~repro.claims.spec.RateBound` cells read the restabilization
+    rate directly.
+    """
+    from ..errors import SimulationError
+    from ..faults import ChurnPlan, FaultPlan
+    from ..radio.engine import run_protocol
+
+    start, stop = _batch_range(workload.trials, workload.batch, batch_index)
+    executor = make_executor(config.jobs)
+    protocol, model_name = _protocol(workload.protocol, config.constants)
+    measurements.models[workload.protocol] = model_name
+    model = model_by_name(model_name)
+    added = 0
+    for rate in workload.rates:
+        label = (
+            f"churn/{workload.topology}/{workload.protocol}"
+            f"/n={workload.n}/p={rate:g}"
+        )
+
+        def run_one(seed, rate=rate):
+            graph = build_workload(workload.topology, workload.n, seed)
+            plan = FaultPlan(
+                seed=seed,
+                churn=ChurnPlan(
+                    edge_p=rate, start=workload.start, stop=workload.stop
+                ),
+            )
+            try:
+                result = run_protocol(
+                    graph, protocol, model, seed=seed, faults=plan
+                )
+            except SimulationError:
+                return {
+                    "valid": False,
+                    "restabilized": False,
+                    "repair_rounds": 0,
+                    "repair_energy": 0,
+                    "violation": 0,
+                    "churn_events": 0,
+                }
+            return {
+                "valid": result.is_valid_mis(),
+                "restabilized": result.time_to_stabilize() is not None,
+                "repair_rounds": result.repair_rounds,
+                "repair_energy": result.repair_energy,
+                "violation": result.mis_violation_window,
+                "churn_events": sum(c for _, c in result.churn_events),
+            }
+
+        seeds = _cell_seeds(config, label, start, stop)
+        if not seeds:
+            continue
+        records = executor.execute(
+            run_one,
+            seeds,
+            cache=config.cache,
+            key_for=lambda seed, rate=rate: trial_key(
+                protocol=protocol,
+                model_name=model_name,
+                graph_spec=(
+                    f"claims:churn/{workload.topology}/n={workload.n}"
+                    f"/p={rate:g}/w={workload.start}..{workload.stop}"
+                ),
+                seed=seed,
+            ),
+            encode=lambda record: dict(record),
+            decode=lambda record: dict(record),
+            progress=config.progress,
+        )
+        records = [r for r in records if isinstance(r, dict)]
+        cell = measurements.cell(f"churn/p={rate:g}")
+        cell["rate_p"] = rate
+        cell["events"] = cell.get("events", 0) + sum(
+            1 for r in records if r["valid"] and r["restabilized"]
+        )
+        cell["trials"] = cell.get("trials", 0) + len(records)
+        for field_name in (
+            "repair_rounds",
+            "repair_energy",
+            "violation",
+            "churn_events",
+        ):
+            cell[field_name] = cell.get(field_name, 0) + sum(
+                r.get(field_name, 0) for r in records
+            )
+        measurements.trials_used += len(records)
+        added += len(records)
+    return added
+
+
 def _collect_paired_batch(
     workload: PairedWorkload,
     measurements: Measurements,
@@ -435,6 +538,7 @@ _COLLECTORS = {
     RateWorkload: _collect_rate_batch,
     BudgetWorkload: _collect_budget_batch,
     BackoffWorkload: _collect_backoff_batch,
+    ChurnWorkload: _collect_churn_batch,
     PairedWorkload: _collect_paired_batch,
     HarnessWorkload: _collect_harness,
 }

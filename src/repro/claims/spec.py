@@ -37,6 +37,7 @@ __all__ = [
     "BackoffWorkload",
     "PairedWorkload",
     "HarnessWorkload",
+    "ChurnWorkload",
     "Measurements",
     "EvalContext",
     "PredicateResult",
@@ -47,6 +48,7 @@ __all__ = [
     "CeilingPredicate",
     "RateBound",
     "CellRateBounds",
+    "CellTrend",
     "LowerBoundConsistency",
     "BackoffEnergyBounds",
     "PairedBitIdentity",
@@ -153,6 +155,30 @@ class HarnessWorkload:
     seeds: int = 2
 
     kind = "harness"
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """Edge-churn rate sweep with MIS repair (dynamic topology).
+
+    Each cell runs one protocol under a :class:`~repro.faults.churn.
+    ChurnPlan` with edge-toggle probability ``rate`` per round over the
+    ``[start, stop)`` window, and records repair cost (violation-window
+    rounds, repair restart energy) plus whether the run converged to a
+    valid MIS of the *final* graph.
+    """
+
+    protocol: str
+    n: int
+    rates: Tuple[float, ...]
+    start: int = 8
+    stop: int = 128
+    topology: str = "gnp"
+    trials: int = 6
+    batch: int = 4
+    max_batches: int = 3
+
+    kind = "churn"
 
 
 # ----------------------------------------------------------------------
@@ -750,6 +776,83 @@ class LowerBoundConsistency(Predicate):
             decided=decided and bool(rows),
             detail=detail,
             data={"prefix": self.prefix, "cells": rows},
+        )
+
+
+@dataclass(frozen=True)
+class CellTrend(Predicate):
+    """Per-cell mean of ``metric`` grows along cells ordered by a key.
+
+    Cells under ``prefix`` are ordered by their ``order_key`` field
+    (e.g. the churn rate); each cell's per-trial mean
+    (``metric / trials``) must end strictly above where it starts, and
+    no consecutive step may dip below ``tolerance`` times its
+    predecessor (a noise allowance — set 0 to require only overall
+    growth).  Decided once every cell holds ``min_trials`` trials.
+    """
+
+    name: str
+    prefix: str
+    order_key: str
+    metric: str
+    tolerance: float = 0.5
+    min_trials: int = 3
+
+    kind = "cell-trend"
+
+    def evaluate(self, measurements, context):
+        cells = measurements.cells_with_prefix(self.prefix)
+        rows = []
+        decided = True
+        for label, cell in cells.items():
+            if self.order_key not in cell or self.metric not in cell:
+                continue
+            trials = int(cell.get("trials", 0))
+            if trials <= 0:
+                decided = False
+                continue
+            if trials < self.min_trials:
+                decided = False
+            rows.append(
+                (
+                    float(cell[self.order_key]),
+                    label,
+                    float(cell[self.metric]) / trials,
+                )
+            )
+        if len(rows) < 2:
+            return _insufficient(
+                self.name,
+                self.kind,
+                f"fewer than two ordered cells under {self.prefix!r}",
+            )
+        rows.sort()
+        means = [mean for _, _, mean in rows]
+        grows = means[-1] > means[0]
+        no_big_dips = all(
+            later >= self.tolerance * earlier
+            for earlier, later in zip(means, means[1:])
+        )
+        passed = grows and no_big_dips
+        detail = (
+            f"{self.metric} per-trial mean over {self.order_key}: "
+            + " -> ".join(f"{mean:.2f}" for mean in means)
+            + (" (growing)" if passed else " (not growing)")
+        )
+        return PredicateResult(
+            name=self.name,
+            kind=self.kind,
+            passed=passed,
+            decided=decided,
+            detail=detail,
+            data={
+                "prefix": self.prefix,
+                "order_key": self.order_key,
+                "metric": self.metric,
+                "cells": [label for _, label, _ in rows],
+                "means": [round(mean, 4) for mean in means],
+                "tolerance": self.tolerance,
+            },
         )
 
 

@@ -138,7 +138,12 @@ def trial_key(
         "seed_mode": seed_mode,
     }
     if faults is not None:
-        payload["faults"] = _canonical(faults)
+        fault_payload = _canonical(faults)
+        # A churn-free plan drops the key entirely so every fault-plan
+        # key minted before the churn field existed stays valid.
+        if isinstance(fault_payload, dict) and fault_payload.get("churn") is None:
+            fault_payload.pop("churn", None)
+        payload["faults"] = fault_payload
     if engine != "scalar":
         payload["engine"] = engine
     if sparsify is not None:

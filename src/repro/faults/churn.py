@@ -1,0 +1,667 @@
+"""Dynamic-topology churn: plans, event materialization, and the
+per-run repair runtime shared by both scalar engines.
+
+A :class:`ChurnPlan` extends the fault layer from a *static* adversary
+(channel noise, crashes, wake skew — see :class:`~repro.faults.plan.
+FaultPlan`) to a *dynamic graph*: the topology itself changes while the
+protocol runs.  Three event kinds compose:
+
+* **edge churn** — in every round of ``[start, stop)`` an edge toggle
+  fires with probability ``edge_p``: a uniformly random live pair gets
+  its edge flipped (inserted when absent, deleted when present);
+* **node join** — ``join=(round, count)`` entries add fresh nodes with
+  fresh protocol state; a joiner wakes at its join round and attaches to
+  ``join_degree`` uniformly chosen live nodes;
+* **node leave** — distinct from a crash: the node stops executing *and*
+  its incident edges are removed, so neighbors' adjacency actually
+  changes.  Leaves come as explicit ``(node, round)`` pairs or a
+  ``leave_fraction`` sampled at ``leave_round``.
+
+Every event is materialized at compile time from a dedicated sub-seed of
+the owning :class:`FaultPlan`'s seed (``derive_seed(seed,
+"faults:churn")``), never from the protocol's coins — so both engines,
+handed the same plan, replay the identical event sequence and stay
+bit-identical (the golden/fuzz suites assert this for churned runs).
+
+The :class:`ChurnRuntime` applies events as the engine's clock passes
+them and drives **local MIS repair**: when an event breaks a finished
+node's decision — two adjacent ``IN_MIS`` nodes after an insert, an
+``OUT_MIS`` node left undominated after a delete or leave — the broken
+nodes restart their protocol from scratch (fresh incarnation RNG, same
+machinery as crash recovery).  Cascades are handled by repeated global
+scans while a *violation window* is open, capped at
+:data:`ChurnRuntime.max_waves` waves; a final scan after the last event
+guarantees the run converges to a valid MIS of the final graph (asserted
+by re-derivation in the acceptance tests).
+
+Degradation metrics (surfaced on :class:`~repro.radio.metrics.
+RunResult`):
+
+* ``repair_rounds`` — processed rounds while a violation window was
+  open;
+* ``repair_energy`` — awake rounds charged to churn-restarted nodes
+  after their first repair restart;
+* ``mis_violation_window`` — total rounds covered by violation windows;
+* ``time_to_restabilize`` — per event round, the rounds from the event
+  to the close of the repair window that covered it (0 when the event
+  broke nothing; ``None`` when the window never closed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..exec.seeds import derive_seed
+from ..graphs.graph import Graph
+
+__all__ = ["ChurnPlan", "ChurnRuntime"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _is_int(value: object) -> bool:
+    # bool is an int subclass but never a sensible round number.
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """Deterministic description of every scheduled topology change.
+
+    Frozen and hashable, like :class:`~repro.faults.plan.FaultPlan`
+    (which carries one in its ``churn`` field): a plan participates in
+    the content-addressed trial cache key, and a default-constructed
+    plan changes nothing (``ChurnPlan().is_noop`` is true), so static
+    plans normalize to the engines' ``faults=None`` fast path.
+
+    ``joins`` holds ``(round, count)`` pairs; joined nodes get the next
+    free identifiers (``n``, ``n+1``, ...) in round order.  ``leaves``
+    holds explicit ``(node, round)`` pairs over the base graph's nodes;
+    ``leave_fraction`` removes a random fraction at ``leave_round``.
+    """
+
+    edge_p: float = 0.0
+    start: int = 0
+    stop: int = 0
+    joins: Tuple[Tuple[int, int], ...] = ()
+    leaves: Tuple[Tuple[int, int], ...] = ()
+    leave_fraction: float = 0.0
+    leave_round: int = 0
+    join_degree: int = 2
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.edge_p <= 1.0,
+            f"churn edge probability must be in [0, 1], got {self.edge_p!r}",
+        )
+        _require(
+            _is_int(self.start) and self.start >= 0,
+            f"churn start round must be a non-negative int, got {self.start!r}",
+        )
+        _require(
+            _is_int(self.stop) and self.stop >= self.start,
+            f"churn stop round must be an int >= start ({self.start}), "
+            f"got {self.stop!r}",
+        )
+        joins = tuple(tuple(entry) for entry in self.joins)
+        for entry in joins:
+            _require(
+                len(entry) == 2
+                and _is_int(entry[0])
+                and entry[0] >= 0
+                and _is_int(entry[1])
+                and entry[1] >= 1,
+                f"join entries must be (round, count) pairs with round >= 0 "
+                f"and count >= 1, got {entry!r}",
+            )
+        object.__setattr__(self, "joins", joins)
+        leaves = tuple(tuple(entry) for entry in self.leaves)
+        for entry in leaves:
+            _require(
+                len(entry) == 2
+                and _is_int(entry[0])
+                and entry[0] >= 0
+                and _is_int(entry[1])
+                and entry[1] >= 0,
+                f"leave entries must be (node, round) pairs of non-negative "
+                f"ints, got {entry!r}",
+            )
+        object.__setattr__(self, "leaves", leaves)
+        _require(
+            0.0 <= self.leave_fraction <= 1.0,
+            f"leave fraction must be in [0, 1], got {self.leave_fraction!r}",
+        )
+        _require(
+            _is_int(self.leave_round) and self.leave_round >= 0,
+            f"leave round must be a non-negative int, got {self.leave_round!r}",
+        )
+        _require(
+            _is_int(self.join_degree) and self.join_degree >= 0,
+            f"join degree must be a non-negative int, got {self.join_degree!r}",
+        )
+
+    @property
+    def has_edge_churn(self) -> bool:
+        return self.edge_p > 0.0 and self.stop > self.start
+
+    @property
+    def is_noop(self) -> bool:
+        """True iff this plan changes nothing (the engines then keep the
+        static topology fast path, bit-identical to a churn-free run)."""
+        return (
+            not self.has_edge_churn
+            and not self.joins
+            and not self.leaves
+            and self.leave_fraction == 0.0
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary, in ``--faults`` grammar style."""
+        parts: List[str] = []
+        if self.has_edge_churn:
+            parts.append(f"churn={self.edge_p:g}@{self.start}..{self.stop}")
+        for round_, count in self.joins:
+            parts.append(f"join={count}@{round_}")
+        for node, round_ in self.leaves:
+            parts.append(f"leave={node}:{round_}")
+        if self.leave_fraction:
+            parts.append(f"leave={self.leave_fraction:g}@{self.leave_round}")
+        if not parts:
+            return "no churn"
+        return " ".join(parts)
+
+
+def _materialize(
+    plan: ChurnPlan, seed: int, graph: Graph
+) -> Tuple[List[tuple], int, Dict[int, int]]:
+    """Expand a plan into its concrete event list for one base graph.
+
+    Returns ``(events, total_nodes, leave_rounds)`` where ``events`` is
+    round-sorted and each entry is ``("toggle", round, u, v)``,
+    ``("join", round, node, targets)``, or ``("leave", round, node)``.
+    The expansion is a pure function of ``(plan, seed, base graph
+    size)`` — it consumes a dedicated ``random.Random`` stream derived
+    from the fault seed, so identical plans replay identically in both
+    engines and across processes.
+    """
+    rng = random.Random(derive_seed(seed, "faults:churn"))
+    base_n = graph.num_nodes
+
+    # Leave schedule: explicit pairs (earliest round wins) plus the
+    # sampled fraction.  Leaves only apply to base nodes.
+    leave_rounds: Dict[int, int] = {}
+    for node, round_ in plan.leaves:
+        if node < base_n and (
+            node not in leave_rounds or round_ < leave_rounds[node]
+        ):
+            leave_rounds[node] = round_
+    if plan.leave_fraction > 0.0:
+        count = int(plan.leave_fraction * base_n)
+        if count:
+            for node in rng.sample(range(base_n), count):
+                if (
+                    node not in leave_rounds
+                    or plan.leave_round < leave_rounds[node]
+                ):
+                    leave_rounds[node] = plan.leave_round
+
+    # Join schedule: identifiers assigned in round order (stable for
+    # equal rounds, following the plan's tuple order).
+    joins_by_round: Dict[int, List[int]] = {}
+    next_id = base_n
+    for round_, count in sorted(plan.joins, key=lambda entry: entry[0]):
+        bucket = joins_by_round.setdefault(round_, [])
+        for _ in range(count):
+            bucket.append(next_id)
+            next_id += 1
+    total_nodes = next_id
+
+    leaves_by_round: Dict[int, List[int]] = {}
+    for node, round_ in leave_rounds.items():
+        leaves_by_round.setdefault(round_, []).append(node)
+    for bucket in leaves_by_round.values():
+        bucket.sort()
+
+    event_rounds = set(joins_by_round) | set(leaves_by_round)
+    if plan.has_edge_churn:
+        event_rounds.update(range(plan.start, plan.stop))
+
+    events: List[tuple] = []
+    live = list(range(base_n))
+    for round_ in sorted(event_rounds):
+        # Within one round: leaves first, then joins, then the toggle —
+        # the runtime applies them in this same order.
+        for node in leaves_by_round.get(round_, ()):
+            events.append(("leave", round_, node))
+            live.remove(node)
+        for node in joins_by_round.get(round_, ()):
+            k = min(plan.join_degree, len(live))
+            targets = tuple(sorted(rng.sample(live, k))) if k else ()
+            events.append(("join", round_, node, targets))
+            live.append(node)
+        if (
+            plan.has_edge_churn
+            and plan.start <= round_ < plan.stop
+            and len(live) >= 2
+            and rng.random() < plan.edge_p
+        ):
+            u, v = rng.sample(live, 2)
+            if u > v:
+                u, v = v, u
+            events.append(("toggle", round_, u, v))
+    return events, total_nodes, leave_rounds
+
+
+# Decision names compared as strings to avoid importing repro.radio
+# (which imports the engines, which import this package) at module load.
+_IN = "IN_MIS"
+_OUT = "OUT_MIS"
+
+
+class ChurnRuntime:
+    """Mutable topology view plus MIS-repair bookkeeping for one run.
+
+    Both engines construct their own instance (via
+    :func:`~repro.faults.injector.compile_fault_plan`) from the same
+    plan, call :meth:`on_round` once per processed round and
+    :meth:`drain` whenever their calendar empties, and perform the
+    restarts those methods return.  All repair decisions live here, in
+    shared code driven only by engine-agnostic runner attributes
+    (``done`` / ``crashed`` / ``finish_round`` / ``ctx.decision`` /
+    ``ctx.energy_by_component``), which is what keeps the two engines
+    bit-identical under churn.
+
+    The ``adjacency`` / ``neighbor_sets`` lists are mutated *per index*
+    (never rebound), so engines may cache ``adjacency.__getitem__`` once
+    and still observe every topology change.
+    """
+
+    #: Cascade bound: repair waves per violation window before the
+    #: runtime gives up and reports the window unresolved (``None``
+    #: time_to_restabilize).  Generous — real cascades settle in 2-3.
+    max_waves = 32
+
+    def __init__(self, plan: ChurnPlan, seed: int, graph: Graph):
+        self.plan = plan
+        events, total_nodes, leave_rounds = _materialize(plan, seed, graph)
+        self.events = events
+        self.total_nodes = total_nodes
+        self.base_nodes = graph.num_nodes
+        self.adjacency: List[Tuple[int, ...]] = list(graph.adjacency) + [
+            ()
+        ] * (total_nodes - graph.num_nodes)
+        self.neighbor_sets: List[frozenset] = list(graph.neighbor_sets) + [
+            frozenset()
+        ] * (total_nodes - graph.num_nodes)
+        n_toggles = sum(1 for event in events if event[0] == "toggle")
+        n_joins = total_nodes - graph.num_nodes
+        #: Upper bound on any node's degree at any point of the run;
+        #: handed to every NodeContext as the shared Delta bound.
+        self.delta_bound = (
+            max(graph.max_degree(), plan.join_degree) + n_toggles + n_joins
+        )
+        self.last_event_round = events[-1][1] if events else 0
+        #: ``{joined node: join round}`` — merged into the wake schedule.
+        self.join_wake = {
+            event[2]: event[1] for event in events if event[0] == "join"
+        }
+        #: ``(node, leave round)`` pairs — merged into the crash timeline
+        #: as crash-stops so leavers stop executing via the existing
+        #: machinery (their stats are re-labelled ``left`` at collection).
+        self.leave_crashes = sorted(leave_rounds.items())
+
+        # --- runtime state ---
+        self._next = 0
+        self.left: Set[int] = set()
+        self.window_open: Optional[int] = None
+        self.repairing: Set[int] = set()
+        self.watch: Set[int] = set()
+        self.waves = 0
+        self.restart_count = 0
+        self.repair_rounds = 0
+        self.violation_window = 0
+        self.ttr: List[Tuple[int, Optional[int]]] = []
+        self._pending_events: List[int] = []
+        self._energy_base: Dict[int, int] = {}
+        self.events_applied: Dict[str, int] = {}
+        self._final_scan_done = False
+
+    # ------------------------------------------------------------------
+    # Topology mutation
+    # ------------------------------------------------------------------
+
+    def _add_edge(self, u: int, v: int) -> None:
+        self.adjacency[u] = tuple(sorted(self.adjacency[u] + (v,)))
+        self.adjacency[v] = tuple(sorted(self.adjacency[v] + (u,)))
+        self.neighbor_sets[u] = self.neighbor_sets[u] | {v}
+        self.neighbor_sets[v] = self.neighbor_sets[v] | {u}
+
+    def _remove_edge(self, u: int, v: int) -> None:
+        self.adjacency[u] = tuple(x for x in self.adjacency[u] if x != v)
+        self.adjacency[v] = tuple(x for x in self.adjacency[v] if x != u)
+        self.neighbor_sets[u] = self.neighbor_sets[u] - {v}
+        self.neighbor_sets[v] = self.neighbor_sets[v] - {u}
+
+    def _apply(self, event: tuple, runners: Sequence) -> List[int]:
+        """Mutate the topology for one event; return broken finished
+        nodes (running affected nodes go on the re-check watch list)."""
+        kind = event[0]
+        self.events_applied[kind] = self.events_applied.get(kind, 0) + 1
+        affected: List[int] = []
+        if kind == "toggle":
+            _, _, u, v = event
+            if v in self.neighbor_sets[u]:
+                self._remove_edge(u, v)
+            else:
+                self._add_edge(u, v)
+            affected = [u, v]
+        elif kind == "join":
+            _, _, node, targets = event
+            for target in targets:
+                if target not in self.left and target not in self.neighbor_sets[node]:
+                    self._add_edge(node, target)
+            # The joiner runs fresh and its targets only gained an
+            # undecided neighbor — neither is broken by the join itself.
+            affected = []
+        else:  # leave
+            _, _, node = event
+            self.left.add(node)
+            for neighbor in tuple(self.adjacency[node]):
+                self._remove_edge(node, neighbor)
+                affected.append(neighbor)
+        broken: List[int] = []
+        for v in affected:
+            if v in self.left:
+                continue
+            runner = runners[v]
+            if runner.crashed:
+                continue
+            if not runner.done:
+                self.watch.add(v)
+            elif self._check_node(v, runners):
+                broken.append(v)
+        return broken
+
+    # ------------------------------------------------------------------
+    # Repair predicate
+    # ------------------------------------------------------------------
+
+    def _check_node(self, v: int, runners: Sequence) -> bool:
+        """Is finished node ``v``'s decision broken on the current graph?
+
+        ``IN_MIS`` breaks beside another live finished ``IN_MIS``
+        neighbor; ``OUT_MIS`` breaks when no live neighbor dominates it
+        and none is still running (a running neighbor may yet join the
+        MIS, so restarting would be premature — the final scan settles
+        those).  Crashed and departed nodes are out of scope.
+        """
+        runner = runners[v]
+        if not runner.done or runner.crashed or v in self.left:
+            return False
+        decision = runner.ctx.decision.name
+        if decision == _IN:
+            for u in self.adjacency[v]:
+                other = runners[u]
+                if u in self.left or other.crashed or not other.done:
+                    continue
+                if other.ctx.decision.name == _IN:
+                    return True
+            return False
+        if decision == _OUT:
+            for u in self.adjacency[v]:
+                other = runners[u]
+                if u in self.left or other.crashed:
+                    continue
+                if not other.done or other.ctx.decision.name == _IN:
+                    return False
+            return True
+        return False
+
+    def _scan(self, runners: Sequence) -> List[int]:
+        """Global pass over every finished node; returns the broken set."""
+        return [
+            v
+            for v in range(self.total_nodes)
+            if v not in self.repairing and self._check_node(v, runners)
+        ]
+
+    # ------------------------------------------------------------------
+    # Window / restart bookkeeping
+    # ------------------------------------------------------------------
+
+    def _open_window(self, round_: int) -> None:
+        if self.window_open is None:
+            self.window_open = round_
+
+    def _close_window(self, round_: int, unresolved: bool) -> None:
+        self.violation_window += max(0, round_ - self.window_open)
+        for event_round in self._pending_events:
+            self.ttr.append(
+                (event_round, None if unresolved else max(0, round_ - event_round))
+            )
+        self._pending_events.clear()
+        self.window_open = None
+        self.repairing.clear()
+        self.waves = 0
+
+    def _maybe_restart(
+        self, v: int, restart_round: int, runners: Sequence
+    ) -> Optional[Tuple[int, int]]:
+        runner = runners[v]
+        if not runner.done or runner.crashed or v in self.left:
+            return None
+        if v not in self._energy_base:
+            self._energy_base[v] = sum(
+                runner.ctx.energy_by_component.values()
+            )
+        self.repairing.add(v)
+        self.restart_count += 1
+        return (v, restart_round)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+
+    def on_round(
+        self, round_: int, runners: Sequence
+    ) -> List[Tuple[int, int]]:
+        """Apply every event due at or before ``round_``; run repair.
+
+        Returns ``(node, restart_round)`` pairs the engine must restart
+        *before* processing ``round_`` (it should then re-read its
+        calendar, since restarts may park earlier actions).  An empty
+        list means: process the round normally.
+        """
+        restarts: List[Tuple[int, int]] = []
+        scheduled: Set[int] = set()
+        events = self.events
+        while self._next < len(events) and events[self._next][1] <= round_:
+            event = events[self._next]
+            self._next += 1
+            event_round = event[1]
+            broken = self._apply(event, runners)
+            if broken:
+                self._open_window(event_round)
+                for v in broken:
+                    # One restart per node per batch: the engine executes
+                    # these only after we return, so ``runner.done`` stays
+                    # True throughout the event loop and a node broken by
+                    # two events in the same batch would otherwise be
+                    # scheduled twice, leaving its first incarnation's
+                    # parked action stale in the engine calendar.
+                    if v in scheduled:
+                        continue
+                    restart = self._maybe_restart(v, event_round + 1, runners)
+                    if restart is not None:
+                        scheduled.add(v)
+                        restarts.append(restart)
+                self._pending_events.append(event_round)
+            elif self.window_open is None:
+                self.ttr.append((event_round, 0))
+            else:
+                self._pending_events.append(event_round)
+        if restarts:
+            return restarts
+        restarts = self._maintain(round_, runners)
+        if not restarts and self.window_open is not None:
+            self.repair_rounds += 1
+        return restarts
+
+    def _maintain(
+        self, round_: int, runners: Sequence
+    ) -> List[Tuple[int, int]]:
+        """Watch-list re-checks and violation-window advancement."""
+        restarts: List[Tuple[int, int]] = []
+        if self.watch:
+            resolved = []
+            for v in sorted(self.watch):
+                runner = runners[v]
+                if not runner.done:
+                    continue
+                if any(
+                    not runners[u].done
+                    and u not in self.left
+                    and not runners[u].crashed
+                    for u in self.adjacency[v]
+                ):
+                    continue
+                resolved.append(v)
+            for v in resolved:
+                self.watch.discard(v)
+                if self._check_node(v, runners):
+                    self._open_window(round_)
+                    restart = self._maybe_restart(v, round_ + 1, runners)
+                    if restart is not None:
+                        restarts.append(restart)
+            if restarts:
+                return restarts
+        if self.window_open is not None and all(
+            runners[v].done for v in self.repairing
+        ):
+            newly = self._scan(runners)
+            if newly and self.waves < self.max_waves:
+                self.waves += 1
+                for v in newly:
+                    restart = self._maybe_restart(v, round_ + 1, runners)
+                    if restart is not None:
+                        restarts.append(restart)
+                if restarts:
+                    return restarts
+            self._close_window(round_, unresolved=bool(newly))
+        return restarts
+
+    def drain(self, runners: Sequence) -> List[Tuple[int, int]]:
+        """Called whenever the engine's calendar empties.
+
+        Applies any events beyond the last processed round, finishes
+        open violation windows, and runs one final global scan so the
+        run converges to a valid MIS of the final graph.  Returns
+        restarts (the engine re-enters its main loop) or an empty list
+        (the run is complete).
+        """
+        while True:
+            events = self.events
+            if self._next < len(events):
+                # Advance the virtual clock to the next event round and
+                # process everything due there via the shared path.
+                restarts = self.on_round(events[self._next][1], runners)
+                if restarts:
+                    return restarts
+                continue
+            if self.window_open is not None:
+                # Calendar empty => every runner is done; settle the
+                # window at the latest repair finish round.
+                close_round = max(
+                    (
+                        runners[v].finish_round
+                        for v in self.repairing
+                        if runners[v].finish_round >= 0
+                    ),
+                    default=self.window_open,
+                )
+                restarts = self._maintain(close_round, runners)
+                if restarts:
+                    return restarts
+                if self.window_open is not None:
+                    # Wave cap without a clean scan: give up, unresolved.
+                    self._close_window(close_round, unresolved=True)
+                continue
+            if not self._final_scan_done and not self.watch:
+                self._final_scan_done = True
+                newly = self._scan(runners)
+                if newly:
+                    base_round = max(
+                        max(
+                            (
+                                runners[v].finish_round
+                                for v in range(self.total_nodes)
+                                if runners[v].finish_round >= 0
+                            ),
+                            default=0,
+                        ),
+                        self.last_event_round,
+                    )
+                    self._open_window(base_round)
+                    restarts = []
+                    for v in newly:
+                        restart = self._maybe_restart(
+                            v, base_round + 1, runners
+                        )
+                        if restart is not None:
+                            restarts.append(restart)
+                    if restarts:
+                        return restarts
+                    self._close_window(base_round, unresolved=True)
+                continue
+            if self.watch:
+                # Watched nodes can only resolve via _maintain; with an
+                # empty calendar everything is done, so one pass settles
+                # them (possibly returning restarts).
+                last_finish = max(
+                    (
+                        runners[v].finish_round
+                        for v in range(self.total_nodes)
+                        if runners[v].finish_round >= 0
+                    ),
+                    default=0,
+                )
+                restarts = self._maintain(last_finish, runners)
+                if restarts:
+                    return restarts
+                self.watch.clear()
+                continue
+            return []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def final_graph(self, base: Graph) -> Graph:
+        """The topology after the last event (departed nodes isolated)."""
+        edges = [
+            (u, v)
+            for u in range(self.total_nodes)
+            for v in self.adjacency[u]
+            if u < v
+        ]
+        return Graph(self.total_nodes, edges, name=f"{base.name}+churn")
+
+    def repair_energy(self, runners: Sequence) -> int:
+        """Awake rounds charged to repair-restarted nodes after their
+        first churn restart."""
+        return sum(
+            sum(runners[v].ctx.energy_by_component.values()) - base
+            for v, base in self._energy_base.items()
+        )
+
+    def events_by_kind(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self.events_applied.items()))
+
+    def time_to_restabilize(self) -> Tuple[Tuple[int, Optional[int]], ...]:
+        return tuple(sorted(self.ttr, key=lambda entry: entry[0]))

@@ -12,7 +12,13 @@ The engines know nothing about plan structure: they call
   ``crash_schedule`` entries (``None`` when empty);
 * ``wake`` — the effective wake schedule: plan-generated skew offsets
   overridden by any explicit ``wake_schedule`` entries (``None`` when
-  both are absent).
+  both are absent);
+* ``churn`` — a per-run :class:`~repro.faults.churn.ChurnRuntime` when
+  the plan schedules topology events (``None`` otherwise).  Leaves are
+  merged into the crash timeline as crash-stops (the leaver must stop
+  executing) and joins into the wake schedule (the joiner starts at its
+  join round); the runtime itself handles the adjacency mutations and
+  MIS repair.
 
 Both engines compile the same plan to the same hooks, which is what the
 golden bit-identity suite leans on for faulty runs.
@@ -25,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
+from .churn import ChurnRuntime
 from .plan import DROP_SALT, JAM_SALT, FaultPlan, fault_roll
 
 __all__ = [
@@ -75,6 +82,7 @@ class CompiledFaultPlan:
     channel: Optional[Callable[[int, int, object], object]]
     crashes: Optional[Dict[int, List[Tuple[int, Optional[int]]]]]
     wake: Optional[Dict[int, int]]
+    churn: Optional[ChurnRuntime] = None
 
 
 def _make_channel(plan: FaultPlan, model) -> Callable[[int, int, object], object]:
@@ -118,21 +126,36 @@ def compile_fault_plan(
     num_nodes: int,
     crash_schedule: Optional[Mapping[int, int]] = None,
     wake_schedule: Optional[Mapping[int, int]] = None,
+    graph=None,
 ) -> CompiledFaultPlan:
     """Materialize ``plan`` for one run, merging the legacy schedules.
 
     ``crash_schedule`` entries become crash-stop events alongside the
     plan's own; explicit ``wake_schedule`` entries override the plan's
-    generated skew offsets node by node.
+    generated skew offsets node by node.  When the plan schedules churn,
+    ``graph`` (the run's base topology) is required to materialize the
+    event sequence; leaves join the crash timeline as crash-stops and
+    joins enter the wake schedule at their join round.
     """
     channel = _make_channel(plan, model) if plan.has_channel_faults else None
+
+    churn = None
+    if plan.has_churn:
+        if graph is None:
+            raise ConfigurationError(
+                "fault plans with churn need the run's graph to compile"
+            )
+        churn = ChurnRuntime(plan.churn, plan.seed, graph)
 
     crashes = plan.crash_events_for(num_nodes)
     if crash_schedule:
         for node, crash_round in crash_schedule.items():
             crashes.setdefault(node, []).append((crash_round, None))
-        for events in crashes.values():
-            events.sort(key=lambda event: event[0])
+    if churn is not None:
+        for node, leave_round in churn.leave_crashes:
+            crashes.setdefault(node, []).append((leave_round, None))
+    for events in crashes.values():
+        events.sort(key=lambda event: event[0])
     if not crashes:
         crashes = None
 
@@ -142,7 +165,14 @@ def compile_fault_plan(
             wake = dict(wake_schedule)
         else:
             wake.update(wake_schedule)
+    if churn is not None and churn.join_wake:
+        if wake is None:
+            wake = dict(churn.join_wake)
+        else:
+            wake.update(churn.join_wake)
     if not wake:
         wake = None
 
-    return CompiledFaultPlan(channel=channel, crashes=crashes, wake=wake)
+    return CompiledFaultPlan(
+        channel=channel, crashes=crashes, wake=wake, churn=churn
+    )

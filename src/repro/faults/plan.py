@@ -34,6 +34,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Un
 
 from ..errors import ConfigurationError
 from ..exec.seeds import derive_seed
+from .churn import ChurnPlan
 
 __all__ = ["CrashEvent", "JamWindow", "FaultPlan", "fault_roll"]
 
@@ -163,6 +164,9 @@ class FaultPlan:
     ``seed``) at ``crash_round``, recovering after ``crash_recovery``
     rounds (``None`` = crash-stop).  ``max_wake_skew`` delays each
     node's start by a deterministic offset in ``[0, max_wake_skew]``.
+    ``churn`` attaches a :class:`~repro.faults.churn.ChurnPlan` of
+    dynamic-topology events (edge churn, node join/leave), seeded from
+    this plan's ``seed`` and composable with every other token.
 
     The default plan injects nothing; the engines treat it exactly like
     ``faults=None`` (the zero-overhead fast path).
@@ -176,6 +180,7 @@ class FaultPlan:
     crash_round: int = 0
     crash_recovery: Optional[int] = None
     max_wake_skew: int = 0
+    churn: Optional[ChurnPlan] = None
 
     def __post_init__(self) -> None:
         _require(
@@ -213,6 +218,11 @@ class FaultPlan:
             f"max wake skew must be a non-negative int, "
             f"got {self.max_wake_skew!r}",
         )
+        if self.churn is not None:
+            _require(
+                isinstance(self.churn, ChurnPlan),
+                f"churn must be a ChurnPlan or None, got {self.churn!r}",
+            )
 
     @staticmethod
     def _normalize_crashes(
@@ -263,6 +273,10 @@ class FaultPlan:
         return bool(self.crashes) or self.crash_fraction > 0.0
 
     @property
+    def has_churn(self) -> bool:
+        return self.churn is not None and not self.churn.is_noop
+
+    @property
     def is_noop(self) -> bool:
         """True iff this plan injects nothing (the engines then take the
         ``faults=None`` fast path, bit-identical to a fault-free run)."""
@@ -270,6 +284,7 @@ class FaultPlan:
             not self.has_channel_faults
             and not self.has_crashes
             and self.max_wake_skew == 0
+            and not self.has_churn
         )
 
     def crash_events_for(
@@ -332,6 +347,8 @@ class FaultPlan:
             )
         if self.max_wake_skew:
             parts.append(f"wake<={self.max_wake_skew}")
+        if self.has_churn:
+            parts.append(self.churn.describe())
         if not parts:
             return "no faults"
         return f"seed={self.seed} " + " ".join(parts)

@@ -21,16 +21,30 @@ A spec is a comma-separated list of ``key=value`` fragments:
 ``wake=SKEW``
     Deterministic per-node wake offsets in ``[0, SKEW]`` rounds.
 
+``churn=EDGEP@START..STOP``
+    Edge churn: in every round of ``[START, STOP)`` a uniformly random
+    live pair has its edge toggled (inserted/deleted) with probability
+    ``EDGEP``.
+
+``join=N@ROUND``
+    ``N`` fresh nodes join at ``ROUND`` with fresh protocol state,
+    attaching to random live nodes (repeat the key for more waves).
+
+``leave=NODE:ROUND`` / ``leave=FRAC@ROUND``
+    Node departure — unlike a crash, the leaver's incident edges are
+    removed from the topology.  Either one explicit node (repeatable) or
+    a random fraction at ``ROUND``.
+
 ``seed=K``
     Fault-plan seed separating the fault coins from the protocol coins
     (default 0).
 
 Example::
 
-    --faults "drop=0.05,jam=10..20,crash=0.2@64+32,wake=8,seed=3"
+    --faults "drop=0.05,jam=10..20,churn=0.01@10..200,join=4@50,seed=3"
 
 Errors raise :class:`~repro.errors.ConfigurationError` naming the
-offending fragment.
+offending fragment and echoing the accepted grammar.
 """
 
 from __future__ import annotations
@@ -38,13 +52,31 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from .churn import ChurnPlan
 from .plan import CrashEvent, FaultPlan, JamWindow
 
-__all__ = ["parse_fault_spec"]
+__all__ = ["parse_fault_spec", "FAULT_SPEC_GRAMMAR"]
+
+#: One-line-per-token summary of the accepted grammar, echoed in every
+#: parse error so a bad --faults string is self-diagnosing.
+FAULT_SPEC_GRAMMAR = """\
+accepted --faults grammar (comma-separated key=value fragments):
+  drop=P                   message-loss probability in [0, 1]
+  jam=START..STOP[@P]      jamming window over [START, STOP), prob P (default 1)
+  crash=FRAC@ROUND[+DELAY] crash a random fraction (recover after DELAY rounds)
+  crash=NODE:ROUND[+DELAY] crash one explicit node
+  wake=SKEW                per-node wake offsets in [0, SKEW] rounds
+  churn=EDGEP@START..STOP  per-round edge toggle probability over [START, STOP)
+  leave=NODE:ROUND         one node leaves (edges removed, unlike a crash)
+  leave=FRAC@ROUND         a random fraction of nodes leaves at ROUND
+  join=N@ROUND             N fresh nodes join at ROUND
+  seed=K                   fault-plan seed (default 0)"""
 
 
 def _fail(fragment: str, detail: str) -> None:
-    raise ConfigurationError(f"bad --faults fragment {fragment!r}: {detail}")
+    raise ConfigurationError(
+        f"bad --faults fragment {fragment!r}: {detail}\n{FAULT_SPEC_GRAMMAR}"
+    )
 
 
 def _parse_float(fragment: str, text: str, what: str) -> float:
@@ -87,6 +119,18 @@ def _parse_jam(fragment: str, value: str) -> List[JamWindow]:
     return windows
 
 
+def _parse_churn(fragment: str, value: str) -> Tuple[float, int, int]:
+    rate_text, separator, rounds_text = value.partition("@")
+    if not separator or ".." not in rounds_text:
+        _fail(fragment, "expected EDGEP@START..STOP")
+    start_text, _, stop_text = rounds_text.partition("..")
+    return (
+        _parse_float(fragment, rate_text, "churn edge probability"),
+        _parse_int(fragment, start_text, "churn start"),
+        _parse_int(fragment, stop_text, "churn stop"),
+    )
+
+
 def parse_fault_spec(text: str) -> FaultPlan:
     """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
 
@@ -102,6 +146,13 @@ def parse_fault_spec(text: str) -> FaultPlan:
     crash_recovery: Optional[int] = None
     max_wake_skew = 0
     seed = 0
+    churn_edge_p = 0.0
+    churn_start = 0
+    churn_stop = 0
+    joins: List[Tuple[int, int]] = []
+    explicit_leaves: List[Tuple[int, int]] = []
+    leave_fraction = 0.0
+    leave_round = 0
 
     for fragment in text.split(","):
         fragment = fragment.strip()
@@ -137,11 +188,55 @@ def parse_fault_spec(text: str) -> FaultPlan:
                 _fail(fragment, "expected FRAC@ROUND[+DELAY] or NODE:ROUND[+DELAY]")
         elif key == "wake":
             max_wake_skew = _parse_int(fragment, value, "wake skew")
+        elif key == "churn":
+            churn_edge_p, churn_start, churn_stop = _parse_churn(fragment, value)
+        elif key == "join":
+            count_text, separator, round_text = value.partition("@")
+            if not separator:
+                _fail(fragment, "expected N@ROUND")
+            joins.append(
+                (
+                    _parse_int(fragment, round_text, "join round"),
+                    _parse_int(fragment, count_text, "join count"),
+                )
+            )
+        elif key == "leave":
+            if ":" in value:
+                node_text, _, round_text = value.partition(":")
+                explicit_leaves.append(
+                    (
+                        _parse_int(fragment, node_text, "leave node"),
+                        _parse_int(fragment, round_text, "leave round"),
+                    )
+                )
+            elif "@" in value:
+                fraction_text, _, round_text = value.partition("@")
+                leave_fraction = _parse_float(
+                    fragment, fraction_text, "leave fraction"
+                )
+                leave_round = _parse_int(fragment, round_text, "leave round")
+            else:
+                _fail(fragment, "expected NODE:ROUND or FRAC@ROUND")
         elif key == "seed":
             seed = _parse_int(fragment, value, "seed")
         else:
-            _fail(fragment, f"unknown key {key!r} "
-                            "(expected drop/jam/crash/wake/seed)")
+            _fail(
+                fragment,
+                f"unknown key {key!r} "
+                "(expected drop/jam/crash/wake/churn/join/leave/seed)",
+            )
+
+    churn: Optional[ChurnPlan] = None
+    if churn_edge_p or joins or explicit_leaves or leave_fraction:
+        churn = ChurnPlan(
+            edge_p=churn_edge_p,
+            start=churn_start,
+            stop=churn_stop,
+            joins=tuple(joins),
+            leaves=tuple(explicit_leaves),
+            leave_fraction=leave_fraction,
+            leave_round=leave_round,
+        )
 
     return FaultPlan(
         seed=seed,
@@ -152,4 +247,5 @@ def parse_fault_spec(text: str) -> FaultPlan:
         crash_round=crash_round,
         crash_recovery=crash_recovery,
         max_wake_skew=max_wake_skew,
+        churn=churn,
     )

@@ -167,6 +167,37 @@ def _cache_section(records: List[Dict[str, Any]]) -> Optional[str]:
     )
 
 
+def _faults_section(counters: Dict[str, int]) -> Optional[str]:
+    """Fault/churn report: event mix, repair cost, batch fallbacks."""
+    churn = {
+        name[len("faults.churn.") :]: value
+        for name, value in sorted(counters.items())
+        if name.startswith("faults.churn.")
+    }
+    fallback_churn = counters.get("engine.batch.fallback.churn", 0)
+    fallback_faults = counters.get("engine.batch.fallback.faults", 0)
+    if not churn and not fallback_churn and not fallback_faults:
+        return None
+    rows = []
+    for kind, value in sorted(churn.items()):
+        if kind.startswith("events."):
+            rows.append([f"{kind[len('events.') :]} events", value])
+    for key, label in (
+        ("repair_rounds", "repair rounds"),
+        ("repair_energy", "repair energy"),
+        ("violation_window", "violation-window rounds"),
+        ("restarted_nodes", "repair-restarted nodes"),
+        ("unresolved_events", "unresolved events"),
+    ):
+        if key in churn:
+            rows.append([label, churn[key]])
+    if fallback_churn:
+        rows.append(["batch fallbacks (churn)", fallback_churn])
+    if fallback_faults:
+        rows.append(["batch fallbacks (faults)", fallback_faults])
+    return "faults & churn\n" + _format_table(["metric", "value"], rows)
+
+
 def _service_section(counters: Dict[str, int]) -> Optional[str]:
     service = {
         name: value
@@ -231,6 +262,7 @@ def summarize_records(
         _exec_section(counters, histograms),
         _cache_section(records),
         _service_section(counters),
+        _faults_section(counters),
         _engine_section(counters),
         _energy_section(counters),
         _histogram_section(histograms),
@@ -244,7 +276,9 @@ def summarize_records(
         other = {
             name: value
             for name, value in counters.items()
-            if not name.startswith(("engine.", "exec.", "trials.", "service."))
+            if not name.startswith(
+                ("engine.", "exec.", "trials.", "service.", "faults.")
+            )
         }
         if other:
             sections.append(

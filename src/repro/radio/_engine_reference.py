@@ -154,7 +154,8 @@ def run_protocol_reference(
         )
     if crash_schedule is not None:
         validate_crash_schedule(crash_schedule)
-    if max_rounds is None:
+    auto_max_rounds = max_rounds is None
+    if auto_max_rounds:
         hint = protocol.max_rounds_hint(graph.num_nodes, graph.max_degree())
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
 
@@ -165,6 +166,7 @@ def run_protocol_reference(
     # wake_schedule.
     fault_channel = None
     crash_events: Optional[Dict[int, List[Tuple[int, Optional[int]]]]] = None
+    churn_rt = None
     if faults is not None and not faults.is_noop:
         compiled = compile_fault_plan(
             faults,
@@ -172,15 +174,35 @@ def run_protocol_reference(
             graph.num_nodes,
             crash_schedule=crash_schedule,
             wake_schedule=wake_schedule,
+            graph=graph,
         )
         fault_channel = compiled.channel
         crash_events = compiled.crashes
         wake_schedule = compiled.wake
+        churn_rt = compiled.churn
     elif crash_schedule is not None:
         crash_events = {
             node: [(crash_round, None)]
             for node, crash_round in crash_schedule.items()
         }
+
+    # Dynamic-topology churn, mirroring the optimized engine exactly:
+    # contexts are sized for the final population with the run-wide
+    # degree bound, perceivers resolve against the runtime's mutable
+    # neighbor sets, and an auto-derived round budget stretches to cover
+    # the event horizon plus repair.  Static runs bind the same values
+    # the pre-churn code computed.
+    ctx_n = graph.num_nodes
+    ctx_delta = graph.max_degree()
+    boot_nodes = graph.nodes
+    neighbor_set_of = graph.neighbor_set
+    if churn_rt is not None:
+        ctx_n = churn_rt.total_nodes
+        ctx_delta = churn_rt.delta_bound
+        boot_nodes = range(ctx_n)
+        neighbor_set_of = churn_rt.neighbor_sets.__getitem__
+        if auto_max_rounds:
+            max_rounds = churn_rt.last_event_round + 1 + 4 * max_rounds
 
     runners: List[_NodeRunner] = []
     # (round, tiebreak, node); tiebreak keeps heap comparisons total.
@@ -190,9 +212,9 @@ def run_protocol_reference(
     # ------------------------------------------------------------------
     # Boot every node: build its context, pull the first action.
     # ------------------------------------------------------------------
-    for node in graph.nodes:
+    for node in boot_nodes:
         node_rng = random.Random((seed * 0x9E3779B9 + node * 0x85EBCA6B) & 0xFFFFFFFF)
-        ctx = NodeContext(node, node_rng, n=graph.num_nodes, delta=graph.max_degree())
+        ctx = NodeContext(node, node_rng, n=ctx_n, delta=ctx_delta)
         if wake_schedule is not None:
             wake_round = wake_schedule.get(node, 0)
             if wake_round < 0:
@@ -200,6 +222,11 @@ def run_protocol_reference(
                     f"wake round for node {node} must be non-negative, got {wake_round}"
                 )
             ctx._now = wake_round
+            if churn_rt is not None and node >= churn_rt.base_nodes:
+                # A churn joiner anchors any phase-synchronized calendar
+                # at its join round, exactly like a crash-recovered node
+                # (protocols read ctx.restart_round for their base).
+                ctx.restart_round = wake_round
         generator = protocol.run(ctx)
         runner = _NodeRunner(node, generator, ctx)
         runners.append(runner)
@@ -263,8 +290,8 @@ def run_protocol_reference(
                         ctx = NodeContext(
                             runner.node,
                             restart_rng(seed, runner.node, runner.restarts),
-                            n=graph.num_nodes,
-                            delta=graph.max_degree(),
+                            n=ctx_n,
+                            delta=ctx_delta,
                         )
                         ctx.energy_by_component = ledger
                         ctx._now = restart_round
@@ -289,6 +316,30 @@ def run_protocol_reference(
             )
 
     _BOOT = object()
+
+    def churn_restart(node: int, restart_round: int) -> None:
+        """Restart a finished node's protocol for MIS repair, with the
+        same reincarnation recipe as the optimized engine (see
+        repro.faults.churn)."""
+        runner = runners[node]
+        runner.restarts += 1
+        runner.last_restart_round = restart_round
+        runner.done = False
+        runner.finish_round = -1
+        ledger = runner.ctx.energy_by_component
+        ctx = NodeContext(
+            node,
+            restart_rng(seed, node, runner.restarts),
+            n=ctx_n,
+            delta=ctx_delta,
+        )
+        ctx.energy_by_component = ledger
+        ctx._now = restart_round
+        ctx.restart_round = restart_round
+        runner.ctx = ctx
+        runner.generator = protocol.run(ctx)
+        advance(runner, _BOOT)
+
     for runner in runners:
         advance(runner, _BOOT)
 
@@ -298,8 +349,28 @@ def run_protocol_reference(
     record_trace = trace is not None and trace.enabled
     sink = trace if trace is not None else _NULL_TRACE
 
-    while ready:
+    while True:
+        if not ready:
+            if churn_rt is None:
+                break
+            # Post-quiescence churn: remaining events and repair
+            # restarts (including the final convergence scan) can
+            # repopulate the heap (see ChurnRuntime.drain).
+            restarts = churn_rt.drain(runners)
+            if not restarts:
+                break
+            for repair_node, repair_round in restarts:
+                churn_restart(repair_node, repair_round)
+            continue
         current_round = ready[0][0]
+        if churn_rt is not None:
+            restarts = churn_rt.on_round(current_round, runners)
+            if restarts:
+                # Restarts may park actions before the current heap
+                # top; re-read the heap before processing.
+                for repair_node, repair_round in restarts:
+                    churn_restart(repair_node, repair_round)
+                continue
         if current_round >= max_rounds:
             awake = sorted({entry[2] for entry in ready})
             raise SimulationError(
@@ -331,7 +402,7 @@ def run_protocol_reference(
         )
         observations: Dict[int, Any] = {}
         for node in perceivers:
-            neighbor_set = graph.neighbor_set(node)
+            neighbor_set = neighbor_set_of(node)
             if len(transmitters) <= len(neighbor_set):
                 talking = [t for t in transmitters if t in neighbor_set]
             else:
@@ -382,6 +453,7 @@ def run_protocol_reference(
     # ------------------------------------------------------------------
     # Collect results.
     # ------------------------------------------------------------------
+    left_nodes = churn_rt.left if churn_rt is not None else frozenset()
     stats = tuple(
         NodeStats(
             node=runner.node,
@@ -390,13 +462,26 @@ def run_protocol_reference(
             finish_round=runner.finish_round,
             decision=runner.ctx.decision,
             energy_by_component=dict(runner.ctx.energy_by_component),
-            crashed=runner.crashed,
+            # A leaver's crash-stop is just how the runtime halts it;
+            # report it as departed, not crashed.
+            crashed=runner.crashed and runner.node not in left_nodes,
             restarts=runner.restarts,
             last_restart_round=runner.last_restart_round,
+            left=runner.node in left_nodes,
         )
         for runner in runners
     )
     rounds = max((runner.finish_round for runner in runners), default=0)
+    churn_kwargs = {}
+    if churn_rt is not None:
+        churn_kwargs = dict(
+            final_graph=churn_rt.final_graph(graph),
+            repair_rounds=churn_rt.repair_rounds,
+            repair_energy=churn_rt.repair_energy(runners),
+            mis_violation_window=churn_rt.violation_window,
+            time_to_restabilize=churn_rt.time_to_restabilize(),
+            churn_events=churn_rt.events_by_kind(),
+        )
     return RunResult(
         graph=graph,
         protocol_name=protocol.name,
@@ -405,4 +490,5 @@ def run_protocol_reference(
         rounds=rounds,
         node_stats=stats,
         node_info=tuple(runner.ctx.info for runner in runners),
+        **churn_kwargs,
     )

@@ -240,7 +240,8 @@ def run_protocol(
     delta = graph.max_degree()
     adjacency = graph.adjacency
     neighbor_sets = graph.neighbor_sets
-    if max_rounds is None:
+    auto_max_rounds = max_rounds is None
+    if auto_max_rounds:
         hint = protocol.max_rounds_hint(num_nodes, delta)
         max_rounds = _HINT_SLACK * hint if hint else DEFAULT_MAX_ROUNDS
 
@@ -251,6 +252,7 @@ def run_protocol(
     # on the fault-free path, so no per-round cost is added.
     fault_channel = None
     crash_events: Optional[Dict[int, List[Tuple[int, Optional[int]]]]] = None
+    churn_rt = None
     if faults is not None and not faults.is_noop:
         compiled = compile_fault_plan(
             faults,
@@ -258,15 +260,36 @@ def run_protocol(
             num_nodes,
             crash_schedule=crash_schedule,
             wake_schedule=wake_schedule,
+            graph=graph,
         )
         fault_channel = compiled.channel
         crash_events = compiled.crashes
         wake_schedule = compiled.wake
+        churn_rt = compiled.churn
     elif crash_schedule is not None:
         crash_events = {
             node: [(crash_round, None)]
             for node, crash_round in crash_schedule.items()
         }
+
+    # Dynamic-topology churn (see repro.faults.churn): bind the
+    # runtime's *mutable* adjacency view in place of the graph's frozen
+    # one (the runtime mutates per index, so the bound views below stay
+    # live), size contexts for the final population with the run-wide
+    # degree bound, and stretch an auto-derived round budget to cover
+    # the event horizon plus repair.  Churn-free runs touch none of
+    # this — every binding stays exactly what the static path computed.
+    ctx_n = num_nodes
+    ctx_delta = delta
+    boot_nodes = graph.nodes
+    if churn_rt is not None:
+        ctx_n = churn_rt.total_nodes
+        ctx_delta = churn_rt.delta_bound
+        boot_nodes = range(ctx_n)
+        adjacency = churn_rt.adjacency
+        neighbor_sets = churn_rt.neighbor_sets
+        if auto_max_rounds:
+            max_rounds = churn_rt.last_event_round + 1 + 4 * max_rounds
 
     runners: List[_NodeRunner] = []
 
@@ -307,7 +330,10 @@ def run_protocol(
     # numpy-less installs, keep the exact dict scatter; both produce the
     # same integer tallies, so results are bit-identical either way.
     total_directed = sum(degrees)
-    use_np_scatter = _np is not None
+    # Churned runs keep the exact dict scatter: the bincount path reads
+    # CSR edge arrays frozen at build time, which a mutating topology
+    # would silently invalidate.
+    use_np_scatter = _np is not None and churn_rt is None
     np_scatter_threshold = 400 + (total_directed + 2 * num_nodes) // 10
     scatter_arrays = None  # (targets, sources, tx_vector), built lazily
 
@@ -329,9 +355,9 @@ def run_protocol(
     # ------------------------------------------------------------------
     # Boot every node: build its context, pull the first action.
     # ------------------------------------------------------------------
-    for node in graph.nodes:
+    for node in boot_nodes:
         node_rng = random.Random((seed * 0x9E3779B9 + node * 0x85EBCA6B) & 0xFFFFFFFF)
-        ctx = NodeContext(node, node_rng, n=num_nodes, delta=delta)
+        ctx = NodeContext(node, node_rng, n=ctx_n, delta=ctx_delta)
         if wake_schedule is not None:
             wake_round = wake_schedule.get(node, 0)
             if wake_round < 0:
@@ -339,6 +365,11 @@ def run_protocol(
                     f"wake round for node {node} must be non-negative, got {wake_round}"
                 )
             ctx._now = wake_round
+            if churn_rt is not None and node >= churn_rt.base_nodes:
+                # A churn joiner anchors any phase-synchronized calendar
+                # at its join round, exactly like a crash-recovered node
+                # (protocols read ctx.restart_round for their base).
+                ctx.restart_round = wake_round
         generator = protocol.run(ctx)
         runner = _NodeRunner(node, generator, ctx)
         runners.append(runner)
@@ -389,8 +420,8 @@ def run_protocol(
                         ctx = NodeContext(
                             runner.node,
                             restart_rng(seed, runner.node, runner.restarts),
-                            n=num_nodes,
-                            delta=delta,
+                            n=ctx_n,
+                            delta=ctx_delta,
                         )
                         ctx.energy_by_component = ledger
                         ctx._now = restart_round
@@ -464,6 +495,34 @@ def run_protocol(
             return
         advance_action(runner, action)
 
+    def churn_restart(node: int, restart_round: int) -> None:
+        """Restart a finished node's protocol for MIS repair.
+
+        Same reincarnation recipe as crash recovery — fresh
+        incarnation-salted RNG, fresh decision/info state, carried-over
+        energy ledger — so repair restarts are seed-deterministic and
+        identical across engines (see repro.faults.churn).
+        """
+        runner = runners[node]
+        runner.restarts += 1
+        runner.last_restart_round = restart_round
+        runner.done = False
+        runner.finish_round = -1
+        ledger = runner.ctx.energy_by_component
+        ctx = NodeContext(
+            node,
+            restart_rng(seed, node, runner.restarts),
+            n=ctx_n,
+            delta=ctx_delta,
+        )
+        ctx.energy_by_component = ledger
+        ctx._now = restart_round
+        ctx.restart_round = restart_round
+        runner.ctx = ctx
+        runner.generator = protocol.run(ctx)
+        runner.send = runner.generator.send
+        advance(runner, None)
+
     for runner in runners:
         advance(runner, None)
 
@@ -489,8 +548,29 @@ def run_protocol(
     first_round = round_heap[0] if round_heap else 0
     last_round = first_round
 
-    while round_heap:
+    while True:
+        if not round_heap:
+            if churn_rt is None:
+                break
+            # Post-quiescence churn: events past the last awake round
+            # and repair restarts (including the final convergence scan)
+            # can repopulate the calendar; loop until the runtime agrees
+            # the run is settled (see ChurnRuntime.drain).
+            restarts = churn_rt.drain(runners)
+            if not restarts:
+                break
+            for repair_node, repair_round in restarts:
+                churn_restart(repair_node, repair_round)
+            continue
         current_round = round_heap[0]
+        if churn_rt is not None:
+            restarts = churn_rt.on_round(current_round, runners)
+            if restarts:
+                # Repair restarts may park actions before the current
+                # heap top; re-read the calendar before processing.
+                for repair_node, repair_round in restarts:
+                    churn_restart(repair_node, repair_round)
+                continue
         if current_round >= max_rounds:
             awake = sorted(
                 {entry[0].node for slot in calendar.values() for entry in slot[0]}
@@ -778,6 +858,7 @@ def run_protocol(
             wall_s=perf_counter() - tel_start,
             energy_by_component=energy_totals,
         )
+    left_nodes = churn_rt.left if churn_rt is not None else frozenset()
     stats = tuple(
         NodeStats(
             node=runner.node,
@@ -786,13 +867,26 @@ def run_protocol(
             finish_round=runner.finish_round,
             decision=runner.ctx.decision,
             energy_by_component=dict(runner.ctx.energy_by_component),
-            crashed=runner.crashed,
+            # A leaver's crash-stop is just how the runtime halts it;
+            # report it as departed, not crashed.
+            crashed=runner.crashed and runner.node not in left_nodes,
             restarts=runner.restarts,
             last_restart_round=runner.last_restart_round,
+            left=runner.node in left_nodes,
         )
         for runner in runners
     )
     rounds = max((runner.finish_round for runner in runners), default=0)
+    churn_kwargs = {}
+    if churn_rt is not None:
+        churn_kwargs = dict(
+            final_graph=churn_rt.final_graph(graph),
+            repair_rounds=churn_rt.repair_rounds,
+            repair_energy=churn_rt.repair_energy(runners),
+            mis_violation_window=churn_rt.violation_window,
+            time_to_restabilize=churn_rt.time_to_restabilize(),
+            churn_events=churn_rt.events_by_kind(),
+        )
     return RunResult(
         graph=graph,
         protocol_name=protocol.name,
@@ -802,4 +896,5 @@ def run_protocol(
         node_stats=stats,
         node_info=tuple(runner.ctx.info for runner in runners),
         telemetry=run_telemetry,
+        **churn_kwargs,
     )

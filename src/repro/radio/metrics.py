@@ -70,6 +70,9 @@ class NodeStats:
     restarts: int = 0
     #: Round at which the node's latest restart began (-1 = never).
     last_restart_round: int = -1
+    #: True iff the node departed the network under topology churn
+    #: (distinct from a crash: its incident edges were removed too).
+    left: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.energy_by_component, FrozenLedger):
@@ -113,6 +116,24 @@ class RunResult:
     telemetry: Optional[EngineTelemetry] = field(
         default=None, compare=False, repr=False
     )
+    #: Topology after the last churn event (``None`` for static runs).
+    #: Excluded from equality — the bit-identity suites compare the
+    #: final graphs explicitly via their edge lists instead.
+    final_graph: Optional[Graph] = field(default=None, compare=False, repr=False)
+    #: Rounds processed while a churn violation window was open.
+    repair_rounds: int = 0
+    #: Awake rounds charged to churn-restarted nodes after their first
+    #: repair restart.
+    repair_energy: int = 0
+    #: Total rounds during which the decided set was (detectably) not a
+    #: valid MIS of the then-current graph.
+    mis_violation_window: int = 0
+    #: Per churn event: ``(event_round, rounds_to_restabilize)`` —
+    #: 0 when the event broke nothing, ``None`` when the repair window
+    #: covering it never closed.
+    time_to_restabilize: Tuple[Tuple[int, Optional[int]], ...] = ()
+    #: Applied churn events by kind, e.g. ``(("join", 2), ("toggle", 5))``.
+    churn_events: Tuple[Tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------
     # MIS output
@@ -120,23 +141,52 @@ class RunResult:
 
     @property
     def mis(self) -> FrozenSet[int]:
-        """Nodes that decided ``IN_MIS``."""
+        """Nodes that decided ``IN_MIS`` (departed nodes excluded — a
+        leaver is no longer part of the network's output)."""
         return frozenset(
-            stats.node for stats in self.node_stats if stats.decision is Decision.IN_MIS
+            stats.node
+            for stats in self.node_stats
+            if stats.decision is Decision.IN_MIS and not stats.left
         )
 
     @property
     def undecided(self) -> FrozenSet[int]:
-        """Nodes that never decided (should be empty on success)."""
+        """Nodes that never decided (should be empty on success).
+        Departed nodes are excluded: a leaver owes no decision."""
         return frozenset(
             stats.node
             for stats in self.node_stats
-            if stats.decision is Decision.UNDECIDED
+            if stats.decision is Decision.UNDECIDED and not stats.left
         )
 
+    @property
+    def left_nodes(self) -> FrozenSet[int]:
+        """Nodes that departed the network under topology churn."""
+        return frozenset(stats.node for stats in self.node_stats if stats.left)
+
     def is_valid_mis(self) -> bool:
-        """True iff every node decided and the IN_MIS set is an MIS."""
-        return not self.undecided and self.graph.is_maximal_independent_set(self.mis)
+        """True iff every node decided and the IN_MIS set is an MIS.
+
+        For churned runs the check runs against ``final_graph`` (the
+        topology after the last event), with departed nodes out of
+        scope: they neither need domination nor may veto maximality.
+        """
+        if self.undecided:
+            return False
+        graph = self.final_graph if self.final_graph is not None else self.graph
+        left = self.left_nodes
+        if not left:
+            return graph.is_maximal_independent_set(self.mis)
+        mis = self.mis
+        for node in mis:
+            if graph.neighbor_set(node) & mis:
+                return False
+        for node in graph.nodes:
+            if node in left or node in mis:
+                continue
+            if not graph.neighbor_set(node) & mis:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Fault-injection views
@@ -193,16 +243,20 @@ class RunResult:
         )
         return violating / len(mis)
 
-    def time_to_stabilize(self) -> int:
+    def time_to_stabilize(self) -> Optional[int]:
         """Rounds the last restarted node needed to re-terminate.
 
         Maximum of ``finish_round - last_restart_round`` over restarted
         nodes (0 without restarts): how long recovery took to settle
-        after the final crash–recovery event.
+        after the final crash–recovery event.  Returns ``None`` when the
+        run never restabilized — some restarted node never re-finished —
+        instead of silently reporting a finite settle time.
         """
         settle = 0
         for stats in self.node_stats:
-            if stats.restarts and stats.finish_round >= 0:
+            if stats.restarts:
+                if stats.finish_round < 0:
+                    return None
                 settle = max(settle, stats.finish_round - stats.last_restart_round)
         return settle
 

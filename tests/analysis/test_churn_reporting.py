@@ -1,0 +1,151 @@
+"""Churn degradation metrics through the analysis layer: outcome cache
+records, summary rendering, validation against the final graph, and the
+``faults.churn.*`` telemetry counters."""
+
+from repro.analysis.runner import (
+    TrialOutcome,
+    TrialSummary,
+    _outcome_from_record,
+    _outcome_to_record,
+    run_trials,
+)
+from repro.analysis.validation import validate_run
+from repro.constants import ConstantsProfile
+from repro.core import CDMISProtocol
+from repro.faults import ChurnPlan, FaultPlan
+from repro.graphs import Graph, gnp_random_graph
+from repro.obs.registry import Registry, recording
+from repro.radio import CD, run_protocol
+
+FAST = ConstantsProfile.fast()
+
+
+def outcome(**overrides):
+    base = dict(
+        seed=0,
+        valid=True,
+        mis_size=4,
+        rounds=20,
+        max_energy=6,
+        mean_energy=3.5,
+        failure_kinds=(),
+    )
+    base.update(overrides)
+    return TrialOutcome(**base)
+
+
+class TestOutcomeRecords:
+    def test_round_trip_preserves_churn_fields(self):
+        original = outcome(
+            repair_rounds=7,
+            repair_energy=11,
+            mis_violation_window=9,
+            time_to_stabilize=5,
+        )
+        assert _outcome_from_record(_outcome_to_record(original)) == original
+
+    def test_none_time_to_stabilize_survives_json(self):
+        import json
+
+        original = outcome(time_to_stabilize=None)
+        record = json.loads(json.dumps(_outcome_to_record(original)))
+        assert record["time_to_stabilize"] is None
+        assert _outcome_from_record(record).time_to_stabilize is None
+
+    def test_pre_churn_records_still_load(self):
+        # Cache entries written before the churn fields existed decode
+        # with zero defaults instead of KeyError.
+        record = _outcome_to_record(outcome())
+        for key in (
+            "repair_rounds",
+            "repair_energy",
+            "mis_violation_window",
+            "time_to_stabilize",
+        ):
+            del record[key]
+        decoded = _outcome_from_record(record)
+        assert decoded == outcome()
+
+
+class TestSummaryRendering:
+    def summary(self, outcomes):
+        return TrialSummary(
+            protocol_name="cd-mis",
+            model_name="cd",
+            graph_name="gnp",
+            outcomes=outcomes,
+        )
+
+    def test_never_restabilized_renders_em_dash(self):
+        report = self.summary(
+            [outcome(time_to_stabilize=None), outcome(seed=1, time_to_stabilize=12)]
+        ).describe()
+        assert "stabilize   —, 12" in report
+
+    def test_stable_runs_omit_stabilize_line(self):
+        report = self.summary([outcome(), outcome(seed=1)]).describe()
+        assert "stabilize" not in report
+        assert "churn" not in report
+
+    def test_churn_line_sums_repair_and_violation(self):
+        report = self.summary(
+            [
+                outcome(repair_rounds=4, mis_violation_window=6),
+                outcome(seed=1, repair_rounds=1, mis_violation_window=2),
+            ]
+        ).describe()
+        assert "churn       repair-rounds 5, violation-window 8" in report
+
+
+class TestValidation:
+    def test_validate_run_scores_against_final_graph(self):
+        # Departed MIS node: the static graph would call its orphaned
+        # neighbors undominated unless validation follows the final
+        # topology and exempts the leaver.
+        graph = Graph(3, [(0, 1), (1, 2)], name="path")
+        plan = FaultPlan(seed=4, churn=ChurnPlan(leaves=((1, 50),)))
+        result = run_protocol(
+            graph, CDMISProtocol(constants=FAST), CD, seed=4, faults=plan
+        )
+        report = validate_run(result)
+        assert report.valid, report.failure_kinds
+
+
+class TestChurnTelemetry:
+    def test_run_trials_publishes_churn_counters(self):
+        plan = FaultPlan(seed=1, churn=ChurnPlan(edge_p=1.0, start=30, stop=32))
+        with recording(Registry()) as registry:
+            summary = run_trials(
+                gnp_random_graph(12, 0.25, seed=1),
+                CDMISProtocol(constants=FAST),
+                CD,
+                seeds=[0, 1],
+                cache=False,
+                faults=plan,
+                jobs=1,
+            )
+        assert summary.trials == 2
+        counters = registry.counter_values()
+        events = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("faults.churn.events.")
+        }
+        assert sum(events.values()) == 2 * 2  # two toggles per trial
+        assert "faults.churn.repair_rounds" in counters
+        assert "faults.churn.violation_window" in counters
+
+    def test_static_battery_publishes_nothing(self):
+        with recording(Registry()) as registry:
+            run_trials(
+                gnp_random_graph(12, 0.25, seed=1),
+                CDMISProtocol(constants=FAST),
+                CD,
+                seeds=[0],
+                cache=False,
+                jobs=1,
+            )
+        assert not any(
+            name.startswith("faults.churn.")
+            for name in registry.counter_values()
+        )

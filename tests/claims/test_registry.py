@@ -6,6 +6,7 @@ from repro.claims.registry import TIERS, registered_claims
 from repro.claims.spec import (
     BackoffWorkload,
     BudgetWorkload,
+    ChurnWorkload,
     HarnessWorkload,
     PairedWorkload,
     RateWorkload,
@@ -27,6 +28,8 @@ EXPECTED_IDS = {
     "lemma5-residual-shrinkage",
     "sec5-energy-classes",
     "lemma14-15-competition",
+    "churn-repair-cost",
+    "churn-restabilize",
 }
 
 
@@ -42,7 +45,10 @@ class TestRegistryStructure:
             assert claim.claim_id == claim_id
             assert claim.strict, f"{claim_id} has no strict predicates"
             assert claim.ref.experiments, f"{claim_id} names no experiment"
-            assert all(e.startswith("E") for e in claim.ref.experiments)
+            assert all(
+                e.startswith("E") or e == "CHURN"
+                for e in claim.ref.experiments
+            )
 
     def test_unknown_tier_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -85,6 +91,7 @@ class TestWorkloadSharing:
             "lemma8-backoff-energy": BackoffWorkload,
             "thm2-thm10-failure-rate": RateWorkload,
             "lemma5-residual-shrinkage": HarnessWorkload,
+            "churn-repair-cost": ChurnWorkload,
         }
         for claim_id, workload_type in kinds.items():
             assert isinstance(registry[claim_id].workload, workload_type)

@@ -1,0 +1,161 @@
+"""Deterministic churn fuzz: random ChurnPlans × static faults × both
+engines.
+
+Extends the fault-fuzz contract (:mod:`tests.faults.test_fault_fuzz`)
+to dynamic topologies:
+
+1. **bit identity** — optimized and reference engines produce equal
+   results (including the churn degradation metrics) and the same final
+   topology for every churn plan, alone or composed with
+   drop/jam/crash/wake faults;
+2. **final-graph MIS validity via re-derivation** — for churn-only
+   plans, the test independently replays the materialized event list
+   into an edge set, checks it matches the engine's ``final_graph``,
+   and verifies the decided MIS is a maximal independent set of *that*
+   re-derived graph (departed nodes exempt from domination).
+
+Runs under the ``repro-ci`` Hypothesis profile (derandomized) in CI.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import ConstantsProfile
+from repro.core import CDMISProtocol
+from repro.errors import SimulationError
+from repro.faults import ChurnPlan, CrashEvent, FaultPlan
+from repro.faults.churn import _materialize
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, run_protocol
+from repro.radio._engine_reference import run_protocol_reference
+
+FAST = ConstantsProfile.fast()
+
+churn_plans = st.builds(
+    ChurnPlan,
+    edge_p=st.sampled_from([0.0, 0.05, 0.3]),
+    start=st.integers(0, 20),
+    stop=st.integers(21, 70),
+    joins=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 3)), max_size=2
+    ).map(tuple),
+    leaves=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 50)), max_size=2
+    ).map(tuple),
+    leave_fraction=st.sampled_from([0.0, 0.15]),
+    leave_round=st.integers(0, 40),
+)
+
+composed_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**32),
+    drop_p=st.sampled_from([0.0, 0.05]),
+    crashes=st.dictionaries(
+        st.integers(min_value=0, max_value=20),
+        st.lists(
+            st.builds(CrashEvent, round=st.integers(0, 40)),
+            min_size=1,
+            max_size=1,
+        ),
+        max_size=2,
+    ),
+    max_wake_skew=st.integers(0, 2),
+    churn=churn_plans,
+)
+
+graphs = st.builds(
+    gnp_random_graph,
+    st.integers(min_value=6, max_value=20),
+    st.sampled_from([0.15, 0.3]),
+    seed=st.integers(0, 1000),
+)
+
+
+def run_or_watchdog(engine, graph, protocol, seed, plan, budget):
+    try:
+        return engine(
+            graph, protocol, CD, seed=seed, max_rounds=budget, faults=plan
+        )
+    except SimulationError:
+        return "watchdog"
+
+
+def final_edges(result):
+    graph = result.final_graph if result.final_graph is not None else result.graph
+    return {tuple(sorted(edge)) for edge in graph.edges}
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs, plan=composed_plans, seed=st.integers(0, 50))
+def test_churned_plans_bit_identical(graph, plan, seed):
+    protocol = CDMISProtocol(constants=FAST)
+    hint = protocol.max_rounds_hint(graph.num_nodes, max(graph.max_degree(), 1))
+    budget = 8 * (hint or 200) + 400
+    reference = run_or_watchdog(
+        run_protocol_reference, graph, protocol, seed, plan, budget
+    )
+    optimized = run_or_watchdog(run_protocol, graph, protocol, seed, plan, budget)
+    assert optimized == reference, plan.describe()
+    if optimized != "watchdog":
+        # final_graph is excluded from RunResult equality; compare the
+        # topologies explicitly.
+        assert final_edges(optimized) == final_edges(reference)
+        assert optimized.churn_events == reference.churn_events
+        assert optimized.time_to_restabilize == reference.time_to_restabilize
+
+
+def rederive_final_graph(plan, graph):
+    """Replay the materialized event list into (total, edges, left)."""
+    events, total, _ = _materialize(plan.churn, plan.seed, graph)
+    edges = {tuple(sorted(edge)) for edge in graph.edges}
+    left = set()
+    for event in events:
+        if event[0] == "toggle":
+            _, _, u, v = event
+            if (u, v) in edges:
+                edges.remove((u, v))
+            else:
+                edges.add((u, v))
+        elif event[0] == "join":
+            _, _, node, targets = event
+            for target in targets:
+                if target not in left:
+                    edges.add(tuple(sorted((node, target))))
+        else:  # leave
+            _, _, node = event
+            left.add(node)
+            edges = {edge for edge in edges if node not in edge}
+    return total, edges, left
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=graphs, churn=churn_plans, seed=st.integers(0, 50))
+def test_final_graph_mis_valid_by_rederivation(graph, churn, seed):
+    plan = FaultPlan(seed=seed, churn=churn)
+    protocol = CDMISProtocol(constants=FAST)
+    hint = protocol.max_rounds_hint(graph.num_nodes, max(graph.max_degree(), 1))
+    result = run_or_watchdog(
+        run_protocol, graph, protocol, seed, plan, 8 * (hint or 200) + 400
+    )
+    if result == "watchdog":
+        return
+    total, edges, left = rederive_final_graph(plan, graph)
+    assert final_edges(result) == edges, churn.describe()
+    assert result.left_nodes == frozenset(left)
+    assert result.is_valid_mis(), churn.describe()
+
+    # Re-derive validity from scratch, trusting only the replayed edge
+    # set: the decided MIS must be independent, and every live non-MIS
+    # node must be dominated.
+    mis = result.mis
+    adjacency = {node: set() for node in range(total)}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    assert not (mis & left)
+    for u, v in edges:
+        assert not (u in mis and v in mis), churn.describe()
+    for node in range(total):
+        if node in left or node in mis:
+            continue
+        assert adjacency[node] & mis, churn.describe()

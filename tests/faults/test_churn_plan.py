@@ -1,0 +1,199 @@
+"""ChurnPlan construction, noop normalization, deterministic event
+materialization, and the churn/join/leave ``--faults`` grammar."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ChurnPlan, FaultPlan, parse_fault_spec
+from repro.faults.churn import _materialize
+from repro.faults.spec import FAULT_SPEC_GRAMMAR
+from repro.graphs import gnp_random_graph
+
+
+class TestValidation:
+    @pytest.mark.parametrize("edge_p", [-0.1, 1.5])
+    def test_edge_probability_range(self, edge_p):
+        with pytest.raises(ConfigurationError, match="edge probability"):
+            ChurnPlan(edge_p=edge_p)
+
+    @pytest.mark.parametrize("start", [-1, 2.5, True])
+    def test_start_round_nonnegative_int(self, start):
+        with pytest.raises(ConfigurationError, match="start round"):
+            ChurnPlan(start=start)
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(ConfigurationError, match="stop round"):
+            ChurnPlan(start=10, stop=5)
+
+    @pytest.mark.parametrize("entry", [(5,), (-1, 3), (5, 0), (2.5, 1)])
+    def test_join_entries_validated(self, entry):
+        with pytest.raises(ConfigurationError, match="join entries"):
+            ChurnPlan(joins=(entry,))
+
+    @pytest.mark.parametrize("entry", [(5,), (-1, 3), (2, -4)])
+    def test_leave_entries_validated(self, entry):
+        with pytest.raises(ConfigurationError, match="leave entries"):
+            ChurnPlan(leaves=(entry,))
+
+    def test_leave_fraction_range(self):
+        with pytest.raises(ConfigurationError, match="leave fraction"):
+            ChurnPlan(leave_fraction=1.2)
+
+    def test_join_degree_nonnegative(self):
+        with pytest.raises(ConfigurationError, match="join degree"):
+            ChurnPlan(join_degree=-1)
+
+
+class TestNormalization:
+    def test_default_plan_is_noop(self):
+        assert ChurnPlan().is_noop
+        assert FaultPlan(churn=ChurnPlan()).is_noop
+        assert not FaultPlan(churn=ChurnPlan()).has_churn
+
+    def test_zero_rate_window_is_noop(self):
+        # edge_p=0 over a real window schedules nothing.
+        assert ChurnPlan(edge_p=0.0, start=5, stop=50).is_noop
+
+    def test_empty_window_is_noop(self):
+        assert ChurnPlan(edge_p=0.5, start=10, stop=10).is_noop
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            ChurnPlan(edge_p=0.1, stop=20),
+            ChurnPlan(joins=((5, 2),)),
+            ChurnPlan(leaves=((0, 5),)),
+            ChurnPlan(leave_fraction=0.25, leave_round=8),
+        ],
+    )
+    def test_any_churn_defeats_noop(self, plan):
+        assert not plan.is_noop
+        assert FaultPlan(churn=plan).has_churn
+
+    def test_describe_mentions_every_event_kind(self):
+        plan = ChurnPlan(
+            edge_p=0.01,
+            start=10,
+            stop=200,
+            joins=((50, 4),),
+            leaves=((3, 60),),
+            leave_fraction=0.1,
+            leave_round=70,
+        )
+        text = plan.describe()
+        assert "churn=0.01@10..200" in text
+        assert "join=4@50" in text
+        assert "leave=3:60" in text
+        assert "leave=0.1@70" in text
+        assert ChurnPlan().describe() == "no churn"
+
+    def test_plans_hashable(self):
+        plan = ChurnPlan(edge_p=0.1, stop=20, joins=((5, 2),))
+        assert hash(plan) == hash(
+            ChurnPlan(edge_p=0.1, stop=20, joins=((5, 2),))
+        )
+
+
+class TestMaterialization:
+    def test_deterministic_in_plan_and_seed(self):
+        graph = gnp_random_graph(24, 0.2, seed=1)
+        plan = ChurnPlan(edge_p=0.3, start=0, stop=60, joins=((10, 2),))
+        first = _materialize(plan, 7, graph)
+        again = _materialize(plan, 7, graph)
+        assert first == again
+        other_seed = _materialize(plan, 8, graph)
+        assert first != other_seed
+
+    def test_events_sorted_with_leaves_before_joins(self):
+        graph = gnp_random_graph(16, 0.3, seed=2)
+        plan = ChurnPlan(joins=((5, 1),), leaves=((3, 5),))
+        events, total, leave_rounds = _materialize(plan, 0, graph)
+        assert [event[0] for event in events] == ["leave", "join"]
+        assert total == 17  # one joiner gets the next free id
+        assert events[1][2] == 16
+        assert leave_rounds == {3: 5}
+
+    def test_earliest_explicit_leave_wins(self):
+        graph = gnp_random_graph(10, 0.3, seed=3)
+        plan = ChurnPlan(leaves=((4, 20), (4, 6)))
+        _, _, leave_rounds = _materialize(plan, 0, graph)
+        assert leave_rounds == {4: 6}
+
+    def test_leave_fraction_samples_expected_count(self):
+        graph = gnp_random_graph(20, 0.2, seed=4)
+        plan = ChurnPlan(leave_fraction=0.25, leave_round=9)
+        _, _, leave_rounds = _materialize(plan, 1, graph)
+        assert len(leave_rounds) == 5
+        assert set(leave_rounds.values()) == {9}
+
+    def test_toggle_endpoints_are_live_ordered_pairs(self):
+        graph = gnp_random_graph(12, 0.3, seed=5)
+        plan = ChurnPlan(edge_p=1.0, start=0, stop=40, leaves=((0, 0),))
+        events, _, _ = _materialize(plan, 2, graph)
+        toggles = [event for event in events if event[0] == "toggle"]
+        assert toggles  # p=1 over 40 rounds must fire
+        for _, _, u, v in toggles:
+            assert u < v
+            assert 0 not in (u, v)  # node 0 left in round 0
+
+
+class TestSpecGrammar:
+    def test_churn_spec_round_trip(self):
+        plan = parse_fault_spec("churn=0.01@10..200,join=4@50,leave=3:60,seed=7")
+        assert plan == FaultPlan(
+            seed=7,
+            churn=ChurnPlan(
+                edge_p=0.01, start=10, stop=200, joins=((50, 4),), leaves=((3, 60),)
+            ),
+        )
+
+    def test_leave_fraction_spec(self):
+        plan = parse_fault_spec("leave=0.2@30")
+        assert plan.churn == ChurnPlan(leave_fraction=0.2, leave_round=30)
+
+    def test_join_waves_accumulate(self):
+        plan = parse_fault_spec("join=2@10,join=3@40")
+        assert plan.churn.joins == ((10, 2), (40, 3))
+
+    def test_churn_composes_with_static_faults(self):
+        plan = parse_fault_spec("drop=0.05,churn=0.02@0..50,wake=4")
+        assert plan.drop_p == 0.05
+        assert plan.max_wake_skew == 4
+        assert plan.churn.edge_p == 0.02
+
+    def test_no_churn_keys_leaves_churn_none(self):
+        # Pre-churn specs still parse to churn=None, keeping their
+        # canonical cache keys (trial_key drops a None churn field).
+        assert parse_fault_spec("drop=0.1,crash=0.2@30").churn is None
+
+    @pytest.mark.parametrize(
+        "spec, detail",
+        [
+            ("churn=0.01", "EDGEP@START..STOP"),
+            ("churn=0.01@50", "EDGEP@START..STOP"),
+            ("churn=lots@0..50", "churn edge probability"),
+            ("churn=0.01@x..50", "churn start"),
+            ("churn=0.01@0..y", "churn stop"),
+            ("join=4", "N@ROUND"),
+            ("join=many@50", "join count"),
+            ("join=4@soon", "join round"),
+            ("leave=5", "NODE:ROUND or FRAC@ROUND"),
+            ("leave=a:10", "leave node"),
+            ("leave=0.5@never", "leave round"),
+        ],
+    )
+    def test_errors_name_the_fragment_and_echo_grammar(self, spec, detail):
+        with pytest.raises(ConfigurationError, match=detail) as excinfo:
+            parse_fault_spec(spec)
+        message = str(excinfo.value)
+        # The offending fragment is quoted verbatim...
+        assert f"bad --faults fragment {spec!r}" in message
+        # ...and the full grammar rides along, so the error is
+        # self-diagnosing without docs at hand.
+        assert FAULT_SPEC_GRAMMAR in message
+
+    def test_parsed_values_hit_plan_validation(self):
+        with pytest.raises(ConfigurationError, match="stop round"):
+            parse_fault_spec("churn=0.01@50..10")
+        with pytest.raises(ConfigurationError, match="edge probability"):
+            parse_fault_spec("churn=1.5@0..10")

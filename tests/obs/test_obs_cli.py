@@ -103,6 +103,28 @@ class TestObsSummarize:
         out = capsys.readouterr().out
         assert "hit rate: 0.0000 (n/a)" in out
 
+    def test_churned_run_renders_faults_section(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        records = run_with_telemetry(
+            path, ("--faults", "churn=1.0@30..32,seed=1")
+        )
+        counters = records[-1]["counters"]
+        assert counters["faults.churn.events.toggle"] >= 1
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "faults & churn" in out
+        assert "toggle events" in out
+        assert "repair rounds" in out
+        assert "violation-window rounds" in out
+
+    def test_static_run_omits_faults_section(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_with_telemetry(path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        assert "faults & churn" not in capsys.readouterr().out
+
     def test_multiple_files(self, tmp_path, capsys):
         one, two = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
         run_with_telemetry(one)
