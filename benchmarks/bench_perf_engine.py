@@ -54,7 +54,9 @@ DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_engine.json"
 #:    phase-based batch path, gated on wall time and peak RSS per node).
 #: /6 adds the ``churn_overhead`` section (no-op ChurnPlan static-path
 #:    cost: the dynamic-topology layer must not slow churn-free runs).
-SCHEMA = "bench-engine/6"
+#: /7 adds the ``multichannel_overhead`` section (a C=1
+#:    MultichannelModel wrapper must keep the single-channel fast path).
+SCHEMA = "bench-engine/7"
 
 #: Re-measurable report sections (--section re-runs exactly one of these
 #: and splices it into the existing report, leaving the rest untouched).
@@ -63,9 +65,17 @@ SECTIONS = (
     "telemetry_overhead",
     "fault_overhead",
     "churn_overhead",
+    "multichannel_overhead",
     "batch_throughput",
     "large_n",
 )
+
+#: Ceiling on what the channel dimension may cost single-channel runs:
+#: a C=1 :class:`~repro.radio.models.MultichannelModel` wrapper (and,
+#: transitively, the channel plumbing in the round loop) must stay
+#: within this fraction of the bare single-channel time.  Gated under
+#: ``--check`` as an absolute budget, like the large-n limits.
+MULTICHANNEL_OVERHEAD_LIMIT = 0.05
 
 #: Acceptance floor for the batched backend: >= 10x single-thread
 #: throughput over the scalar engine on the dense same-cell battery
@@ -217,6 +227,20 @@ def test_perf_noop_churn_plan(benchmark):
     assert result == run_protocol(graph, protocol, model, seed=seed)
 
 
+def test_perf_multichannel_single_channel(benchmark):
+    """Dense traffic through a C=1 MultichannelModel wrapper — the
+    channel layer promises single-channel transparency: same result,
+    and near-zero cost (the CLI bench gates the measured fraction)."""
+    from repro.radio.models import MultichannelModel
+
+    graph, protocol, model, seed, _ = _dense_scenario()
+    wrapped = MultichannelModel(model, 1)
+
+    result = benchmark(lambda: run_protocol(graph, protocol, wrapped, seed=seed))
+    assert result.rounds == 50
+    assert result == run_protocol(graph, protocol, model, seed=seed)
+
+
 def test_perf_telemetry_enabled(benchmark):
     """Dense traffic with telemetry on — compare against the plain
     dense scenario to see the instrumentation cost (the CLI bench gates
@@ -293,6 +317,10 @@ def measure(quick=False, sections=None):
         report["fault_overhead"] = measure_fault_overhead(repetitions)
     if "churn_overhead" in chosen:
         report["churn_overhead"] = measure_churn_overhead(repetitions)
+    if "multichannel_overhead" in chosen:
+        report["multichannel_overhead"] = measure_multichannel_overhead(
+            repetitions
+        )
     if "batch_throughput" in chosen:
         report["batch_throughput"] = measure_batch_throughput(quick=quick)
     if "large_n" in chosen:
@@ -379,6 +407,38 @@ def measure_churn_overhead(repetitions):
         "no_plan_s": round(no_plan_s, 6),
         "noop_churn_s": round(noop_churn_s, 6),
         "overhead_frac": round(noop_churn_s / no_plan_s - 1.0, 4),
+    }
+
+
+def measure_multichannel_overhead(repetitions):
+    """Cost of a C=1 :class:`MultichannelModel` wrapper on the dense
+    scenario.
+
+    The channel subsystem's contract is single-channel transparency:
+    wrapping a model at ``channels=1`` keeps the run bit-identical and
+    the round loop on its single-channel fast paths (the per-channel
+    calendar stays empty, so collision resolution never forks).  The
+    measured fraction is gated in CI as an absolute budget at
+    :data:`MULTICHANNEL_OVERHEAD_LIMIT` under ``--check``.
+    """
+    from repro.radio.models import MultichannelModel
+
+    graph, protocol, model, seed, _ = _dense_scenario()
+    wrapped = MultichannelModel(model, 1)
+    run_protocol(graph, protocol, wrapped, seed=seed)  # warm
+    bare_s = _best_of(
+        lambda: run_protocol(graph, protocol, model, seed=seed), repetitions
+    )
+    wrapped_s = _best_of(
+        lambda: run_protocol(graph, protocol, wrapped, seed=seed), repetitions
+    )
+    return {
+        "scenario": HEADLINE_SCENARIO,
+        "repetitions": repetitions,
+        "bare_s": round(bare_s, 6),
+        "wrapped_c1_s": round(wrapped_s, 6),
+        "overhead_frac": round(wrapped_s / bare_s - 1.0, 4),
+        "overhead_limit": MULTICHANNEL_OVERHEAD_LIMIT,
     }
 
 
@@ -636,6 +696,14 @@ def main(argv=None):
             f"noop churn {churn_overhead['noop_churn_s'] * 1e3:.2f}ms  "
             f"overhead {churn_overhead['overhead_frac']:+.1%}"
         )
+    mc_overhead = report.get("multichannel_overhead")
+    if mc_overhead is not None:
+        print(
+            f"c1-wrapper overhead: bare {mc_overhead['bare_s'] * 1e3:.2f}ms  "
+            f"wrapped {mc_overhead['wrapped_c1_s'] * 1e3:.2f}ms  "
+            f"overhead {mc_overhead['overhead_frac']:+.1%} "
+            f"(limit {mc_overhead['overhead_limit']:.0%})"
+        )
     batch = report.get("batch_throughput")
     if batch is not None and "speedup" in batch:
         print(
@@ -687,6 +755,16 @@ def main(argv=None):
                     f"noop churn-plan overhead "
                     f"{churn_overhead['overhead_frac']:.1%} exceeds "
                     f"--max-fault-overhead {args.max_fault_overhead:.1%}"
+                )
+        if mc_overhead is not None:
+            # An absolute budget (like the large-n limits): the channel
+            # subsystem shipped with a <= 5% single-channel promise, so
+            # the gate doesn't depend on a post-/7 baseline existing.
+            if mc_overhead["overhead_frac"] > MULTICHANNEL_OVERHEAD_LIMIT:
+                failures.append(
+                    f"multichannel_overhead: C=1 wrapper costs "
+                    f"{mc_overhead['overhead_frac']:.1%}, over the "
+                    f"{MULTICHANNEL_OVERHEAD_LIMIT:.0%} budget"
                 )
         if batch is not None and "speedup" in batch:
             # An absolute floor, not a baseline delta: the batched

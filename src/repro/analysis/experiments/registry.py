@@ -259,6 +259,14 @@ def _run_churn() -> str:
     return run_churn_study(n=48, trials=3, constants=_constants()).to_table()
 
 
+def _run_channels() -> str:
+    from .channels import run_channel_sweep_study
+
+    return run_channel_sweep_study(
+        n=48, trials=3, constants=_constants()
+    ).to_table()
+
+
 def _run_a7() -> str:
     import random as _random
 
@@ -306,6 +314,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "CHURN",
         "MIS repair cost & restabilization under topology churn",
         _run_churn,
+    ),
+    "CHANNELS": ExperimentSpec(
+        "CHANNELS",
+        "multichannel energy/round tradeoff (channel-count sweep)",
+        _run_channels,
     ),
 }
 

@@ -39,7 +39,7 @@ from ..graphs.graph import Graph
 from ..obs.registry import get_registry
 from ..radio.engine import run_protocol
 from ..radio.metrics import RunResult
-from ..radio.models import CollisionModel
+from ..radio.models import CollisionModel, MultichannelModel
 from ..radio.node import Protocol
 from .stats import Summary, summarize, wilson_interval
 from .validation import ValidationReport, validate_run
@@ -441,6 +441,7 @@ def run_trials(
     policy: Union[RetryPolicy, None, bool] = None,
     engine: Optional[str] = None,
     sparsify: Optional[int] = None,
+    channels: Optional[int] = None,
 ) -> TrialSummary:
     """Run ``protocol`` for every seed and aggregate.
 
@@ -503,6 +504,14 @@ def run_trials(
         a scalar fallback raises
         :class:`~repro.errors.ConfigurationError` instead of silently
         computing something else — and joins the cache key.
+    channels:
+        Radio channel count (``None`` inherits the process-wide default,
+        normally 1).  Above 1 the collision model is lifted with
+        :class:`~repro.radio.models.MultichannelModel`, which suffixes
+        the model name (``cd@c4``) so multichannel batteries cache under
+        their own keys; at 1 the model — and every cache key — is
+        untouched.  Multichannel batteries always run the scalar engine
+        (the batch backend's transition tables are single-channel).
     """
     defaults = get_execution_defaults()
     if jobs is None:
@@ -539,6 +548,15 @@ def run_trials(
                 "sparsify requires the batch engine; engine='scalar' "
                 "cannot honor it"
             )
+    if channels is None:
+        channels = defaults.channels
+    if not isinstance(channels, int) or channels < 1:
+        raise ConfigurationError(
+            f"channel count must be a positive int, got {channels!r}"
+        )
+    if channels > 1 and not isinstance(model, MultichannelModel):
+        model = MultichannelModel(model, channels)
+    multichannel = getattr(model, "channels", 1) > 1
     seeds = list(seeds)
     model_name = model.name
 
@@ -599,6 +617,10 @@ def run_trials(
             reason = "churn" if faults.has_churn else "faults"
         elif policy is not None and policy.active:
             reason = "retry-policy"
+        elif multichannel:
+            # The batch backend's transition tables encode a single
+            # shared medium; multichannel batteries stay scalar.
+            reason = "multichannel"
         elif getattr(model, "sender_side_detection", False):
             reason = "model"
         elif (

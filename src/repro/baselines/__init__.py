@@ -10,6 +10,9 @@ Radio baselines (energy-oblivious):
 * :class:`~repro.core.low_degree_mis.LowDegreeMISProtocol` (re-exported)
   with ``degree_bound=Delta`` — our stand-in for the improved Davies
   algorithm of Section 4.2: round-efficient, energy-oblivious.
+* :class:`MultichannelMISProtocol` — Daum–Kuhn-style channel hopping:
+  C parallel rank tournaments plus a serialized announce block; the
+  C=1 instance is bit-identical to :class:`NaiveCDLubyProtocol`.
 
 Idealized (message-passing) references:
 
@@ -27,6 +30,7 @@ from .backoff_sim_mis import NaiveBackoffMISProtocol
 from .beep_sender_cd_mis import SenderCDBeepingMISProtocol
 from .ghaffari import GhaffariResult, ghaffari_mis
 from .luby import LubyResult, luby_mis
+from .multichannel_mis import MultichannelMISProtocol
 from .naive_cd_luby import NaiveCDLubyProtocol
 
 __all__ = [
@@ -38,5 +42,6 @@ __all__ = [
     "ghaffari_mis",
     "LubyResult",
     "luby_mis",
+    "MultichannelMISProtocol",
     "NaiveCDLubyProtocol",
 ]

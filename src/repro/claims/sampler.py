@@ -32,6 +32,7 @@ from ..radio.models import model_by_name
 from .spec import (
     BackoffWorkload,
     BudgetWorkload,
+    ChannelSweepWorkload,
     ChurnWorkload,
     Claim,
     EvalContext,
@@ -395,6 +396,51 @@ def _collect_churn_batch(
     return added
 
 
+def _collect_channels_batch(
+    workload: ChannelSweepWorkload,
+    measurements: Measurements,
+    batch_index: int,
+    config: SamplerConfig,
+) -> int:
+    """One batch of channel-sweep trials per (C, n) cell.
+
+    Cells fold into the sweeps container under per-C labels
+    (``mc-luby@c4``); ``run_trials`` receives ``channels=C``, which
+    lifts the CD model per cell and keys the cache under the suffixed
+    model name — single- and multichannel cells never collide.
+    """
+    from ..baselines import MultichannelMISProtocol
+    from ..radio.models import CD
+
+    start, stop = _batch_range(workload.trials, workload.batch, batch_index)
+    added = 0
+    for channels in workload.channel_counts:
+        protocol = MultichannelMISProtocol(
+            constants=config.constants, channels=channels
+        )
+        name = f"mc-luby@c{channels}"
+        for n in workload.sizes:
+            label = f"channels/{workload.topology}/c={channels}/n={n}"
+            seeds = _cell_seeds(config, label, start, stop)
+            if not seeds:
+                continue
+            summary = run_trials(
+                lambda seed, n=n: build_workload(workload.topology, n, seed),
+                protocol,
+                CD,
+                seeds,
+                jobs=config.jobs,
+                cache=config.cache,
+                channels=channels,
+                graph_spec=f"claims:{workload.topology}/n={n}",
+                progress=config.progress,
+            )
+            measurements.models[name] = summary.model_name
+            _fold_sweep_summary(measurements, name, n, summary)
+            added += len(summary.outcomes)
+    return added
+
+
 def _collect_paired_batch(
     workload: PairedWorkload,
     measurements: Measurements,
@@ -539,6 +585,7 @@ _COLLECTORS = {
     BudgetWorkload: _collect_budget_batch,
     BackoffWorkload: _collect_backoff_batch,
     ChurnWorkload: _collect_churn_batch,
+    ChannelSweepWorkload: _collect_channels_batch,
     PairedWorkload: _collect_paired_batch,
     HarnessWorkload: _collect_harness,
 }

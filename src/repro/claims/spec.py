@@ -38,6 +38,7 @@ __all__ = [
     "PairedWorkload",
     "HarnessWorkload",
     "ChurnWorkload",
+    "ChannelSweepWorkload",
     "Measurements",
     "EvalContext",
     "PredicateResult",
@@ -179,6 +180,27 @@ class ChurnWorkload:
     max_batches: int = 3
 
     kind = "churn"
+
+
+@dataclass(frozen=True)
+class ChannelSweepWorkload:
+    """Channel-count sweep of the channel-hopping MIS protocol.
+
+    Each cell runs ``mc-luby`` lifted onto ``C`` radio channels over a
+    size sweep on ``topology``.  Measurements land in the sweeps
+    container under per-C pseudo-protocol labels (``mc-luby@c4``), so
+    the ordinary sweep predicates — :class:`MeanDominance` across
+    channel counts, :class:`ExponentBand` per count — apply unchanged.
+    """
+
+    channel_counts: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+    topology: str = "gnp-dense"
+    trials: int = 3
+    batch: int = 2
+    max_batches: int = 3
+
+    kind = "channels"
 
 
 # ----------------------------------------------------------------------

@@ -41,6 +41,7 @@ from .analysis.runner import run_trials
 from .analysis.sweep import run_size_sweep
 from .baselines import (
     LowDegreeMISProtocol,
+    MultichannelMISProtocol,
     NaiveBackoffMISProtocol,
     NaiveCDLubyProtocol,
     SenderCDBeepingMISProtocol,
@@ -59,22 +60,36 @@ from .radio.node import Protocol
 
 __all__ = ["main", "build_parser", "make_protocol", "make_graph"]
 
-_PROTOCOLS: Dict[str, Callable[[ConstantsProfile], Protocol]] = {
-    "cd-mis": lambda constants: CDMISProtocol(constants=constants),
-    "beeping-mis": lambda constants: BeepingMISProtocol(constants=constants),
-    "naive-cd-luby": lambda constants: NaiveCDLubyProtocol(constants=constants),
-    "nocd-energy-mis": lambda constants: NoCDEnergyMISProtocol(constants=constants),
-    "davies-low-degree-mis": lambda constants: LowDegreeMISProtocol(
+# Factories take (constants, channels=1); only the channel-hopping
+# protocol consumes the channel count — for everything else --channels
+# merely lifts the collision model (see run_trials).  The default keeps
+# single-argument callers (service job normalization, campaigns,
+# claims) on the single-channel path.
+_PROTOCOLS: Dict[str, Callable[[ConstantsProfile, int], Protocol]] = {
+    "cd-mis": lambda constants, channels=1: CDMISProtocol(constants=constants),
+    "beeping-mis": lambda constants, channels=1: BeepingMISProtocol(
         constants=constants
     ),
-    "naive-backoff-mis": lambda constants: NaiveBackoffMISProtocol(
+    "naive-cd-luby": lambda constants, channels=1: NaiveCDLubyProtocol(
         constants=constants
     ),
-    "unknown-delta-mis": lambda constants: UnknownDeltaMISProtocol(
+    "nocd-energy-mis": lambda constants, channels=1: NoCDEnergyMISProtocol(
         constants=constants
     ),
-    "sender-cd-beep-mis": lambda constants: SenderCDBeepingMISProtocol(
+    "davies-low-degree-mis": lambda constants, channels=1: LowDegreeMISProtocol(
         constants=constants
+    ),
+    "naive-backoff-mis": lambda constants, channels=1: NaiveBackoffMISProtocol(
+        constants=constants
+    ),
+    "unknown-delta-mis": lambda constants, channels=1: UnknownDeltaMISProtocol(
+        constants=constants
+    ),
+    "sender-cd-beep-mis": lambda constants, channels=1: SenderCDBeepingMISProtocol(
+        constants=constants
+    ),
+    "mc-luby": lambda constants, channels=1: MultichannelMISProtocol(
+        constants=constants, channels=channels
     ),
 }
 
@@ -87,6 +102,7 @@ _DEFAULT_MODEL = {
     "naive-backoff-mis": "no-cd",
     "unknown-delta-mis": "no-cd",
     "sender-cd-beep-mis": "beep-sender-cd",
+    "mc-luby": "cd",
 }
 
 _PROFILES = {
@@ -96,10 +112,12 @@ _PROFILES = {
 }
 
 
-def make_protocol(name: str, constants: ConstantsProfile) -> Protocol:
+def make_protocol(
+    name: str, constants: ConstantsProfile, channels: int = 1
+) -> Protocol:
     """Instantiate a protocol by CLI name."""
     try:
-        return _PROTOCOLS[name](constants)
+        return _PROTOCOLS[name](constants, channels)
     except KeyError:
         raise SystemExit(
             f"unknown algorithm {name!r}; choose from {sorted(_PROTOCOLS)}"
@@ -169,6 +187,16 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         "batteries through the batched numpy engine, 'scalar' forces the "
         "coroutine engine, 'batch' forces batching and errors on "
         "unbatchable batteries",
+    )
+    parser.add_argument(
+        "--channels",
+        type=_positive_int,
+        default=None,
+        metavar="C",
+        help="radio channel count: lifts the collision model onto C "
+        "frequencies with per-channel collision resolution (the 'mc-luby' "
+        "algorithm hops channels to exploit them; default: 1, the classic "
+        "single-channel network)",
     )
     parser.add_argument(
         "--sparsify",
@@ -491,7 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_run(args, constants: ConstantsProfile) -> int:
     from .obs.session import current_progress
 
-    protocol = make_protocol(args.algorithm, constants)
+    protocol = make_protocol(
+        args.algorithm, constants, getattr(args, "channels", None) or 1
+    )
     model = model_by_name(args.model or _DEFAULT_MODEL[args.algorithm])
     graph_factory = lambda seed: make_graph(args.topology, args.n, seed)  # noqa: E731
     seeds = [args.seed + trial for trial in range(args.trials)]
@@ -517,7 +547,9 @@ def _command_sweep(args, constants: ConstantsProfile) -> int:
     result = run_size_sweep(
         args.sizes,
         lambda n, seed: make_graph(args.topology, n, seed),
-        lambda n: make_protocol(protocol_name, constants),
+        lambda n: make_protocol(
+            protocol_name, constants, getattr(args, "channels", None) or 1
+        ),
         model,
         trials=args.trials,
         base_seed=args.seed,
@@ -794,23 +826,29 @@ def main(argv: Optional[list] = None) -> int:
     policy = _policy_from_args(args)
     engine = getattr(args, "engine", None)
     sparsify = getattr(args, "sparsify", None)
+    channels = getattr(args, "channels", None)
     if (
         faults is not None
         or policy is not None
         or engine is not None
         or sparsify is not None
+        or channels is not None
     ):
         # run_trials consults the process-wide execution defaults for
-        # faults/retry policy/engine/sparsify, so installing them here
-        # covers run, sweep, experiment, and campaign without
-        # per-handler plumbing.
+        # faults/retry policy/engine/sparsify/channels, so installing
+        # them here covers run, sweep, experiment, campaign, and claims
+        # verify without per-handler plumbing.
         from .exec.executor import execution_defaults
 
         base_handler = handler
 
         def handler(args, constants, _inner=base_handler):
             with execution_defaults(
-                faults=faults, policy=policy, engine=engine, sparsify=sparsify
+                faults=faults,
+                policy=policy,
+                engine=engine,
+                sparsify=sparsify,
+                channels=channels,
             ):
                 return _inner(args, constants)
 

@@ -347,6 +347,9 @@ class ExecutionDefaults:
     #: Batch-engine fan-out cap for no-CD competition rounds (None runs
     #: exact counts).  Setting it implies the batch engine.
     sparsify: Optional[int] = None
+    #: Radio channel count: ``run_trials`` lifts the collision model with
+    #: :class:`~repro.radio.models.MultichannelModel` when this exceeds 1.
+    channels: int = 1
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -365,6 +368,7 @@ def execution_defaults(
     faults: Union["FaultPlan", None, bool] = None,
     engine: Optional[str] = None,
     sparsify: Union[int, None, bool] = None,
+    channels: Optional[int] = None,
 ):
     """Temporarily install execution defaults for a code region.
 
@@ -391,6 +395,7 @@ def execution_defaults(
         faults=resolve(faults, previous.faults),
         engine=previous.engine if engine is None else engine,
         sparsify=resolve(sparsify, previous.sparsify),
+        channels=previous.channels if channels is None else channels,
     )
     try:
         yield _DEFAULTS

@@ -4,9 +4,12 @@ The engines know nothing about plan structure: they call
 :func:`compile_fault_plan` once per run and receive a
 :class:`CompiledFaultPlan` with exactly three hooks —
 
-* ``channel(round, node, observation)`` — the collision-resolution hook,
-  applied to every perceived observation (``None`` when the plan has no
-  channel faults, so fault-free runs never pay a call);
+* ``channel(round, node, observation, channel=0)`` — the
+  collision-resolution hook, applied to every perceived observation
+  (``None`` when the plan has no channel faults, so fault-free runs
+  never pay a call); the trailing argument is the perceiver's radio
+  channel, passed by the engines on multichannel rounds so per-channel
+  jam windows can filter on it;
 * ``crashes`` — merged ``node -> [(round, recovery_delay), ...]``
   timeline combining the plan's crash events with any legacy
   ``crash_schedule`` entries (``None`` when empty);
@@ -31,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.registry import get_registry
 from .churn import ChurnRuntime
 from .plan import DROP_SALT, JAM_SALT, FaultPlan, fault_roll
 
@@ -79,13 +83,13 @@ def restart_rng(seed: int, node: int, incarnation: int) -> random.Random:
 class CompiledFaultPlan:
     """A plan materialized against one (model, graph size, schedules)."""
 
-    channel: Optional[Callable[[int, int, object], object]]
+    channel: Optional[Callable[..., object]]
     crashes: Optional[Dict[int, List[Tuple[int, Optional[int]]]]]
     wake: Optional[Dict[int, int]]
     churn: Optional[ChurnRuntime] = None
 
 
-def _make_channel(plan: FaultPlan, model) -> Callable[[int, int, object], object]:
+def _make_channel(plan: FaultPlan, model) -> Callable[..., object]:
     """Build the per-observation perturbation closure.
 
     Jamming wins over message loss: a jammed round reads the model's
@@ -93,22 +97,47 @@ def _make_channel(plan: FaultPlan, model) -> Callable[[int, int, object], object
     under no-CD, collision under CD, beep under beeping).  Message loss
     only erases observations that heard something — silence cannot be
     dropped into anything quieter.
+
+    ``channel`` is the perceiver's tuned frequency (0 for every
+    single-channel run, which is why it defaults): a jam window with a
+    ``channel`` of its own only fires on matching perceivers, while
+    all-channel windows (``channel=None``) and message loss ignore it.
+    The probability roll is a pure function of ``(round, node)`` either
+    way, so channel filtering never shifts any other draw.  Applied
+    jams tick ``faults.jam.applied.<channel>`` counters when telemetry
+    records, so `obs summarize` can break jamming down per channel.
     """
     seed = plan.seed
     drop_p = plan.drop_p
     jams = tuple(
-        (window.start, window.stop, window.probability, window.nodes)
+        (
+            window.start,
+            window.stop,
+            window.probability,
+            window.nodes,
+            window.channel,
+        )
         for window in plan.jams
     )
     obs_zero = model.observation_zero
     obs_many = model.observation_many
+    registry = get_registry()
+    count_jams = registry.enabled and bool(jams)
 
-    def perturb(round_: int, node: int, observation):
-        for start, stop, probability, nodes in jams:
-            if start <= round_ < stop and (nodes is None or node in nodes):
+    def perturb(round_: int, node: int, observation, channel: int = 0):
+        for start, stop, probability, nodes, jam_channel in jams:
+            if (
+                start <= round_ < stop
+                and (nodes is None or node in nodes)
+                and (jam_channel is None or jam_channel == channel)
+            ):
                 if probability >= 1.0 or fault_roll(
                     seed, round_, node, JAM_SALT
                 ) < probability:
+                    if count_jams:
+                        registry.counter(
+                            f"faults.jam.applied.{channel}"
+                        ).inc()
                     return obs_many
         if drop_p and observation is not obs_zero:
             if drop_p >= 1.0 or fault_roll(

@@ -119,12 +119,18 @@ class JamWindow:
     with probability ``probability`` per round: a collision under CD, a
     beep under beeping, and — faithfully to the model — silence under
     no-CD, where collisions are indistinguishable from a quiet channel.
+
+    ``channel`` narrows the jammer to one frequency of a multichannel
+    network (see :mod:`repro.radio.models`): only perceivers tuned to
+    that channel are affected.  ``None`` (the default, and the only
+    sensible setting for single-channel runs) jams every channel.
     """
 
     start: int
     stop: int
     probability: float = 1.0
     nodes: Optional[FrozenSet[int]] = None
+    channel: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(
@@ -142,12 +148,20 @@ class JamWindow:
         )
         if self.nodes is not None and not isinstance(self.nodes, frozenset):
             object.__setattr__(self, "nodes", frozenset(self.nodes))
+        if self.channel is not None:
+            _require(
+                _is_int(self.channel) and self.channel >= 0,
+                f"jam channel must be a non-negative int or None, "
+                f"got {self.channel!r}",
+            )
 
-    def covers(self, round_: int, node: int) -> bool:
-        """Whether this window targets ``node`` at ``round_`` (before the
-        probability roll)."""
-        return self.start <= round_ < self.stop and (
-            self.nodes is None or node in self.nodes
+    def covers(self, round_: int, node: int, channel: int = 0) -> bool:
+        """Whether this window targets ``node`` at ``round_`` on
+        ``channel`` (before the probability roll)."""
+        return (
+            self.start <= round_ < self.stop
+            and (self.nodes is None or node in self.nodes)
+            and (self.channel is None or self.channel == channel)
         )
 
 
@@ -333,8 +347,10 @@ class FaultPlan:
             parts.append(f"drop={self.drop_p:g}")
         for window in self.jams:
             scope = "" if window.nodes is None else f"/{len(window.nodes)} nodes"
+            target = "" if window.channel is None else f":{window.channel}"
             parts.append(
-                f"jam={window.start}..{window.stop}@{window.probability:g}{scope}"
+                f"jam={window.start}..{window.stop}"
+                f"@{window.probability:g}{target}{scope}"
             )
         if self.crashes:
             parts.append(f"crashes={len(self.crashes)} nodes")

@@ -5,10 +5,12 @@ A spec is a comma-separated list of ``key=value`` fragments:
 ``drop=P``
     Per-round message-loss probability in ``[0, 1]``.
 
-``jam=START..STOP[@P]``
+``jam=START..STOP[@P][:CH]``
     Jamming window over rounds ``[START, STOP)``, active with per-round
     probability ``P`` (default 1).  Repeat the key, or join windows with
-    ``+``, for multiple windows: ``jam=0..8+20..24@0.5``.
+    ``+``, for multiple windows: ``jam=0..8+20..24@0.5``.  A ``:CH``
+    suffix narrows the jammer to radio channel ``CH`` of a multichannel
+    run (``jam=10..20@0.5:2``); the default jams every channel.
 
 ``crash=FRAC@ROUND[+DELAY]``
     Crash a random fraction ``FRAC`` of nodes at ``ROUND``; with
@@ -62,7 +64,8 @@ __all__ = ["parse_fault_spec", "FAULT_SPEC_GRAMMAR"]
 FAULT_SPEC_GRAMMAR = """\
 accepted --faults grammar (comma-separated key=value fragments):
   drop=P                   message-loss probability in [0, 1]
-  jam=START..STOP[@P]      jamming window over [START, STOP), prob P (default 1)
+  jam=START..STOP[@P][:CH] jamming window over [START, STOP), prob P (default 1),
+                           only on radio channel CH (default: all channels)
   crash=FRAC@ROUND[+DELAY] crash a random fraction (recover after DELAY rounds)
   crash=NODE:ROUND[+DELAY] crash one explicit node
   wake=SKEW                per-node wake offsets in [0, SKEW] rounds
@@ -105,8 +108,19 @@ def _parse_jam(fragment: str, value: str) -> List[JamWindow]:
     windows = []
     for window_text in value.split("+"):
         rounds_text, _, probability_text = window_text.partition("@")
+        # The optional :CH channel suffix trails the probability when
+        # one is given (S..E@P:CH), else the round range (S..E:CH).
+        channel: Optional[int] = None
+        if probability_text:
+            probability_text, has_channel, channel_text = (
+                probability_text.partition(":")
+            )
+        else:
+            rounds_text, has_channel, channel_text = rounds_text.partition(":")
+        if has_channel:
+            channel = _parse_int(fragment, channel_text, "jam channel")
         if ".." not in rounds_text:
-            _fail(fragment, "expected START..STOP[@P]")
+            _fail(fragment, "expected START..STOP[@P][:CH]")
         start_text, _, stop_text = rounds_text.partition("..")
         start = _parse_int(fragment, start_text, "jam start")
         stop = _parse_int(fragment, stop_text, "jam stop")
@@ -115,7 +129,7 @@ def _parse_jam(fragment: str, value: str) -> List[JamWindow]:
             if probability_text
             else 1.0
         )
-        windows.append(JamWindow(start, stop, probability))
+        windows.append(JamWindow(start, stop, probability, channel=channel))
     return windows
 
 

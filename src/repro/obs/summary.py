@@ -174,9 +174,14 @@ def _faults_section(counters: Dict[str, int]) -> Optional[str]:
         for name, value in sorted(counters.items())
         if name.startswith("faults.churn.")
     }
+    jams = {
+        name[len("faults.jam.applied.") :]: value
+        for name, value in sorted(counters.items())
+        if name.startswith("faults.jam.applied.")
+    }
     fallback_churn = counters.get("engine.batch.fallback.churn", 0)
     fallback_faults = counters.get("engine.batch.fallback.faults", 0)
-    if not churn and not fallback_churn and not fallback_faults:
+    if not churn and not jams and not fallback_churn and not fallback_faults:
         return None
     rows = []
     for kind, value in sorted(churn.items()):
@@ -191,11 +196,44 @@ def _faults_section(counters: Dict[str, int]) -> Optional[str]:
     ):
         if key in churn:
             rows.append([label, churn[key]])
+    for channel, value in sorted(jams.items(), key=lambda item: int(item[0])):
+        rows.append([f"jams applied (channel {channel})", value])
     if fallback_churn:
         rows.append(["batch fallbacks (churn)", fallback_churn])
     if fallback_faults:
         rows.append(["batch fallbacks (faults)", fallback_faults])
     return "faults & churn\n" + _format_table(["metric", "value"], rows)
+
+
+def _channels_section(counters: Dict[str, int]) -> Optional[str]:
+    """Multichannel report: active channels, per-channel traffic mix."""
+    mc_rounds = counters.get("engine.channels.rounds", 0)
+    tx = {
+        int(name[len("engine.channels.tx.") :]): value
+        for name, value in counters.items()
+        if name.startswith("engine.channels.tx.")
+    }
+    collisions = {
+        int(name[len("engine.channels.collisions.") :]): value
+        for name, value in counters.items()
+        if name.startswith("engine.channels.collisions.")
+    }
+    if not mc_rounds and not tx and not collisions:
+        return None
+    channels = sorted(set(tx) | set(collisions))
+    lines = [
+        "channels",
+        f"  multichannel rounds: {mc_rounds}, active channels: {len(channels)}",
+    ]
+    rows = [
+        [channel, tx.get(channel, 0), collisions.get(channel, 0)]
+        for channel in channels
+    ]
+    lines.append(_format_table(["channel", "tx rounds", "collisions"], rows))
+    fallback = counters.get("engine.batch.fallback.multichannel", 0)
+    if fallback:
+        lines.append(f"  batch fallbacks (multichannel): {fallback}")
+    return "\n".join(lines)
 
 
 def _service_section(counters: Dict[str, int]) -> Optional[str]:
@@ -263,6 +301,7 @@ def summarize_records(
         _cache_section(records),
         _service_section(counters),
         _faults_section(counters),
+        _channels_section(counters),
         _engine_section(counters),
         _energy_section(counters),
         _histogram_section(histograms),

@@ -56,6 +56,13 @@ class EngineTelemetry:
     wall_s: float = 0.0
     #: Aggregate energy ledger over all nodes, by protocol component.
     energy_by_component: Dict[str, int] = field(default_factory=dict)
+    #: Rounds routed through the per-channel resolver (any nonzero
+    #: channel active).  0 for every single-channel run.
+    multichannel_rounds: int = 0
+    #: Multichannel rounds each channel carried >= 1 transmitter.
+    channel_tx_rounds: Dict[int, int] = field(default_factory=dict)
+    #: Multichannel rounds each channel was contended (>= 2 transmitters).
+    channel_collision_rounds: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total_energy(self) -> int:
@@ -76,6 +83,15 @@ class EngineTelemetry:
             "slot_allocs": self.slot_allocs,
             "wall_s": self.wall_s,
             "energy_by_component": dict(self.energy_by_component),
+            "multichannel_rounds": self.multichannel_rounds,
+            # JSON keys are strings; stringify the channel indices.
+            "channel_tx_rounds": {
+                str(ch): count for ch, count in self.channel_tx_rounds.items()
+            },
+            "channel_collision_rounds": {
+                str(ch): count
+                for ch, count in self.channel_collision_rounds.items()
+            },
         }
 
     def publish(self, registry: Registry) -> None:
@@ -96,4 +112,14 @@ class EngineTelemetry:
         registry.counter("engine.calendar.slot_allocs").inc(self.slot_allocs)
         for component, rounds in sorted(self.energy_by_component.items()):
             registry.counter(f"engine.energy.{component}").inc(rounds)
+        if self.multichannel_rounds:
+            registry.counter("engine.channels.rounds").inc(
+                self.multichannel_rounds
+            )
+            for ch, rounds in sorted(self.channel_tx_rounds.items()):
+                registry.counter(f"engine.channels.tx.{ch}").inc(rounds)
+            for ch, rounds in sorted(self.channel_collision_rounds.items()):
+                registry.counter(f"engine.channels.collisions.{ch}").inc(
+                    rounds
+                )
         registry.histogram("engine.wall_s").observe(self.wall_s)

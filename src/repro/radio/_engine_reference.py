@@ -15,6 +15,13 @@ Do not optimize or "clean up" this file; its value is that it does not
 change.  It is not part of the public API and is exercised only by
 tests and by ``benchmarks/bench_perf_engine.py`` (which reports the
 optimized engine's speedup over this one).
+
+The one semantic extension since the freeze is the multichannel
+dimension: actions carry a channel index and perceivers resolve against
+same-channel transmitters only (mirroring the optimized engine, which
+the channels property tests compare against).  Rounds where every
+action sits on channel 0 — all pre-channels workloads — take the
+historical resolution path verbatim.
 """
 
 
@@ -147,10 +154,13 @@ def run_protocol_reference(
         semantics to the optimized engine's parameter so the golden
         suite can compare faulty runs too.
     """
-    if check_model_compatibility and model.name not in protocol.compatible_models:
+    # Multichannel wrappers are judged by their base model's name,
+    # matching the optimized engine.
+    compat_name = getattr(model, "base", model).name
+    if check_model_compatibility and compat_name not in protocol.compatible_models:
         raise SimulationError(
             f"protocol {protocol.name!r} supports models "
-            f"{protocol.compatible_models}, not {model.name!r}"
+            f"{protocol.compatible_models}, not {compat_name!r}"
         )
     if crash_schedule is not None:
         validate_crash_schedule(crash_schedule)
@@ -385,8 +395,17 @@ def run_protocol_reference(
 
         transmitters: Dict[int, Any] = {}
         listeners: List[int] = []
+        # Channel of every acting node (multichannel extension; see
+        # repro.radio.actions).  All-zero rounds take the historical
+        # resolution path untouched, so single-channel runs stay
+        # bit-identical to the frozen seed behavior.
+        channel_of: Dict[int, int] = {}
+        multichannel = False
         for node in acting:
             action = pending_action.pop(node)
+            channel_of[node] = channel = action.channel
+            if channel:
+                multichannel = True
             if isinstance(action, Transmit):
                 transmitters[node] = action.payload
             else:
@@ -407,13 +426,19 @@ def run_protocol_reference(
                 talking = [t for t in transmitters if t in neighbor_set]
             else:
                 talking = [t for t in neighbor_set if t in transmitters]
+            if multichannel:
+                # Per-channel resolution: only same-channel neighbors
+                # reach this perceiver.  The filter preserves order, so
+                # the lone-payload pick below is unchanged.
+                channel = channel_of[node]
+                talking = [t for t in talking if channel_of[t] == channel]
             lone_payload = transmitters[talking[0]] if len(talking) == 1 else None
             observations[node] = model.resolve(len(talking), lone_payload)
             if fault_channel is not None:
                 # Collision-resolution hook: the fault channel perturbs
                 # what this perceiver reads (jam wins over drop).
                 observations[node] = fault_channel(
-                    current_round, node, observations[node]
+                    current_round, node, observations[node], channel_of[node]
                 )
 
         # Charge energy, trace, and resume everyone who acted.

@@ -50,18 +50,31 @@ class Transmit:
     The paper's algorithms perform unary communication — they only ever
     send the bit ``1`` — so ``payload`` defaults to ``1``.  The engine
     can enforce a RADIO-CONGEST size budget on payloads.
+
+    ``channel`` selects the frequency the transmission occupies in a
+    multichannel network (Daum–Kuhn).  Channel 0 is the single-channel
+    network of the source paper; the default keeps every pre-channels
+    protocol, golden trace, and cache key bit-identical.
     """
 
     tag: ClassVar[int] = TAG_TRANSMIT
 
     payload: Any = 1
+    channel: int = 0
 
 
 @dataclass(frozen=True)
 class Listen:
-    """Listen this round; the observation depends on the collision model."""
+    """Listen this round; the observation depends on the collision model.
+
+    ``channel`` selects the frequency the listener tunes to: only
+    transmissions on the same channel reach it.  Channel 0 (the
+    default) reproduces the single-channel radio model exactly.
+    """
 
     tag: ClassVar[int] = TAG_LISTEN
+
+    channel: int = 0
 
 
 @dataclass(frozen=True)

@@ -227,10 +227,14 @@ def run_protocol(
         fault-free fast path bit-identical to a run without the
         parameter.
     """
-    if check_model_compatibility and model.name not in protocol.compatible_models:
+    # A MultichannelModel lifts its base model without changing the
+    # per-channel collision semantics, so compatibility is decided by
+    # the base model's name.
+    compat_name = getattr(model, "base", model).name
+    if check_model_compatibility and compat_name not in protocol.compatible_models:
         raise SimulationError(
             f"protocol {protocol.name!r} supports models "
-            f"{protocol.compatible_models}, not {model.name!r}"
+            f"{protocol.compatible_models}, not {compat_name!r}"
         )
     if crash_schedule is not None:
         validate_crash_schedule(crash_schedule)
@@ -302,6 +306,12 @@ def run_protocol(
     # orders the distinct populated round numbers only.
     _Slot = Tuple[List[Tuple[_NodeRunner, Any]], List[int], List[Any]]
     calendar: Dict[int, _Slot] = {}
+    # Multichannel side calendar: ``round -> {node: channel}`` for
+    # actions parked on a nonzero channel (see repro.radio.channels in
+    # docs/API.md).  Single-channel protocols never populate it, the
+    # round loop then never consults it, and every pre-channels fast
+    # path runs bit-identically.
+    mc_calendar: Dict[int, Dict[int, int]] = {}
     round_heap: List[int] = []
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -350,6 +360,12 @@ def run_protocol(
     tel_slot_reuses = 0
     tel_slot_allocs = 0
     tel_rounds = 0
+    # Channel telemetry covers multichannel rounds only (single-channel
+    # rounds never consult the channel machinery): rounds each channel
+    # carried >= 1 transmitter, and rounds it was contended (>= 2).
+    tel_mc_rounds = 0
+    tel_channel_tx: Dict[int, int] = {}
+    tel_channel_collisions: Dict[int, int] = {}
     tel_start = perf_counter() if telemetry else 0.0
 
     # ------------------------------------------------------------------
@@ -462,6 +478,11 @@ def run_protocol(
                     slot[2].append(payload)
                 else:
                     slot[0].append((runner, _LISTEN))
+                if action.channel:
+                    mc_slot = mc_calendar.get(when)
+                    if mc_slot is None:
+                        mc_slot = mc_calendar[when] = {}
+                    mc_slot[runner.node] = action.channel
                 return
             if tag == TAG_SLEEP:
                 ctx._now += action.rounds
@@ -542,6 +563,128 @@ def run_protocol(
     # checks before scheduling.
     fast_schedule = crash_events is None and message_bits is None
 
+    def multichannel_round(
+        current_round: int,
+        bucket: List[Tuple[_NodeRunner, Any]],
+        tx_nodes: List[int],
+        tx_payloads: List[Any],
+        mc: Dict[int, int],
+    ) -> None:
+        """Resolve one round that has at least one nonzero-channel action.
+
+        Transmitters are grouped by channel and each group is tallied
+        with the same lone-neighborhood / dict-scatter machinery as the
+        single-channel paths; each perceiver then reads the outcome of
+        *its own* channel.  Energy, traces, fault perturbation, and
+        resume order all match the generic loop (tick order), so a
+        multichannel run is deterministic and engine-portable.  This
+        path never runs for single-channel protocols.
+        """
+        nonlocal tel_mc_rounds
+        tel_mc_rounds += 1
+        mc_get = mc.get
+        payload_of = dict(zip(tx_nodes, tx_payloads))
+        tx_by_channel: Dict[int, List[int]] = {}
+        for node in tx_nodes:
+            ch = mc_get(node, 0)
+            group = tx_by_channel.get(ch)
+            if group is None:
+                tx_by_channel[ch] = [node]
+            else:
+                group.append(node)
+        # Per-channel resolution state: ``(lone_set, lone_obs, None,
+        # None)`` for a lone transmitter, ``(None, None, counts,
+        # tx_set)`` for a contended channel.  Channels nobody transmits
+        # on resolve to silence via the .get(None) miss below.
+        resolved: Dict[int, Tuple] = {}
+        for ch, group in tx_by_channel.items():
+            tel_channel_tx[ch] = tel_channel_tx.get(ch, 0) + 1
+            if len(group) == 1:
+                lone = group[0]
+                lone_obs = (
+                    message(payload_of[lone]) if obs_one is None else obs_one
+                )
+                resolved[ch] = (neighbor_sets[lone], lone_obs, None, None)
+            else:
+                tel_channel_collisions[ch] = (
+                    tel_channel_collisions.get(ch, 0) + 1
+                )
+                ch_counts: Dict[int, int] = {}
+                _count_elements(
+                    ch_counts, chain_from_iterable(map(adjacency_at, group))
+                )
+                resolved[ch] = (None, None, ch_counts, set(group))
+        resolved_get = resolved.get
+        next_round = current_round + 1
+        for runner, payload in bucket:
+            node = runner.node
+            listening = payload is _LISTEN
+            ctx = runner.ctx
+            ledger = ctx.energy_by_component
+            component = ctx._component
+            try:
+                ledger[component] += 1
+            except KeyError:
+                ledger[component] = 1
+            if listening or sender_side:
+                ch = mc_get(node, 0)
+                info = resolved_get(ch)
+                if info is None:
+                    observation = obs_zero
+                else:
+                    lone_set, lone_obs, ch_counts, ch_tx = info
+                    if ch_counts is None:
+                        observation = (
+                            lone_obs if node in lone_set else obs_zero
+                        )
+                    else:
+                        count = ch_counts.get(node, 0)
+                        if count >= 2:
+                            observation = obs_many
+                        elif not count:
+                            observation = obs_zero
+                        elif obs_one is not None:
+                            observation = obs_one
+                        else:
+                            # The unique same-channel talking neighbor
+                            # (set on the left so the intersection is
+                            # poppable — neighbor_sets are frozensets).
+                            observation = message(
+                                payload_of[(ch_tx & neighbor_sets[node]).pop()]
+                            )
+                if fault_channel is not None:
+                    observation = fault_channel(
+                        current_round, node, observation, ch
+                    )
+            else:
+                observation = None
+            if listening:
+                runner.listen_rounds += 1
+                if record_trace:
+                    sink.record(
+                        TraceEvent(
+                            round=current_round,
+                            node=node,
+                            action="listen",
+                            observed=observation_label(observation, model),
+                        )
+                    )
+            else:
+                runner.transmit_rounds += 1
+                if record_trace:
+                    sink.record(
+                        TraceEvent(
+                            round=current_round,
+                            node=node,
+                            action="transmit",
+                            payload=payload,
+                        )
+                    )
+                if not sender_side:
+                    observation = None
+            ctx._now = next_round
+            advance(runner, observation)
+
     # Populated rounds are processed in increasing order, so the span
     # [first processed, last processed] minus the processed count is the
     # number of rounds the calendar clock jumped over.
@@ -585,6 +728,29 @@ def run_protocol(
         tx_count = len(tx_nodes)
         tel_rounds += 1
         last_round = current_round
+
+        # Rounds with any nonzero-channel action take the dedicated
+        # per-channel resolver; the (empty-dict) truth test is the only
+        # cost single-channel runs pay here.  Telemetry buckets the
+        # round by its total transmitter count so the fast-path
+        # breakdown invariant (processed == zero+one+dict+bincount)
+        # holds across channel counts.
+        if mc_calendar:
+            mc = mc_calendar.pop(current_round, None)
+            if mc is not None:
+                if tx_count == 1:
+                    tel_one_tx += 1
+                elif tx_count > 1:
+                    tel_scatter_dict += 1
+                multichannel_round(
+                    current_round, bucket, tx_nodes, tx_payloads, mc
+                )
+                if len(slot_pool) < 64:
+                    bucket.clear()
+                    tx_nodes.clear()
+                    tx_payloads.clear()
+                    slot_pool.append(current_slot)
+                continue
 
         # Collision resolution.  0- and 1-transmitter rounds need no
         # scatter: everyone hears silence, or membership in the lone
@@ -818,6 +984,11 @@ def run_protocol(
                         next_bucket.append((runner, payload))
                         next_txn.append(runner.node)
                         next_txp.append(payload)
+                    if action.channel:
+                        mc_slot = mc_calendar.get(next_round)
+                        if mc_slot is None:
+                            mc_slot = mc_calendar[next_round] = {}
+                        mc_slot[runner.node] = action.channel
                 else:
                     advance_action(runner, action)
 
@@ -857,6 +1028,9 @@ def run_protocol(
             slot_allocs=tel_slot_allocs,
             wall_s=perf_counter() - tel_start,
             energy_by_component=energy_totals,
+            multichannel_rounds=tel_mc_rounds,
+            channel_tx_rounds=tel_channel_tx,
+            channel_collision_rounds=tel_channel_collisions,
         )
     left_nodes = churn_rt.left if churn_rt is not None else frozenset()
     stats = tuple(

@@ -27,6 +27,7 @@ __all__ = [
     "NoCDModel",
     "BeepModel",
     "SenderCDBeepModel",
+    "MultichannelModel",
     "CD",
     "NO_CD",
     "BEEPING",
@@ -143,6 +144,51 @@ class SenderCDBeepModel(BeepModel):
 
     name = "beep-sender-cd"
     sender_side_detection = True
+
+
+class MultichannelModel(CollisionModel):
+    """Lift any single-channel model to ``channels`` parallel frequencies.
+
+    Collision resolution is *per channel*: a listener tuned to channel
+    ``c`` perceives only the transmitters on ``c`` among its neighbors,
+    resolved by the wrapped base model (CD, no-CD, or beeping).  The
+    wrapper itself is stateless — channel separation is enforced by the
+    engines, which tally transmitters per ``(neighborhood, channel)``
+    cell; the model only defines what each cell's count means.
+
+    ``channels=1`` is definitionally the base model: it keeps the base
+    model's ``name`` (and therefore its cache keys and report labels),
+    and delegates the interned observation table unchanged, so runs are
+    bit-identical to the unwrapped model.  For ``channels > 1`` the
+    name gains a ``@c{C}`` suffix, which flows into trial cache keys —
+    multichannel batteries never alias single-channel ones.
+    """
+
+    def __init__(self, base: CollisionModel, channels: int = 1) -> None:
+        if isinstance(base, MultichannelModel):
+            raise ValueError(
+                "MultichannelModel cannot wrap another MultichannelModel; "
+                "wrap the base model with the final channel count instead"
+            )
+        if not isinstance(channels, int) or channels < 1:
+            raise ValueError(
+                f"channel count must be a positive int, got {channels!r}"
+            )
+        self.base = base
+        self.channels = channels
+        self.name = base.name if channels == 1 else f"{base.name}@c{channels}"
+        self.detects_collisions = base.detects_collisions
+        self.carries_payloads = base.carries_payloads
+        self.sender_side_detection = base.sender_side_detection
+        self.observation_zero = base.observation_zero
+        self.observation_one = base.observation_one
+        self.observation_many = base.observation_many
+
+    def resolve(self, transmitter_count: int, lone_payload: Any) -> Observation:
+        return self.base.resolve(transmitter_count, lone_payload)
+
+    def __repr__(self) -> str:
+        return f"MultichannelModel({self.base!r}, channels={self.channels})"
 
 
 #: Shared stateless singletons — models carry no per-run state.

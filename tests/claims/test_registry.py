@@ -30,6 +30,7 @@ EXPECTED_IDS = {
     "lemma14-15-competition",
     "churn-repair-cost",
     "churn-restabilize",
+    "channel_sweep",
 }
 
 
@@ -46,7 +47,7 @@ class TestRegistryStructure:
             assert claim.strict, f"{claim_id} has no strict predicates"
             assert claim.ref.experiments, f"{claim_id} names no experiment"
             assert all(
-                e.startswith("E") or e == "CHURN"
+                e.startswith("E") or e in ("CHURN", "CHANNELS")
                 for e in claim.ref.experiments
             )
 

@@ -1,0 +1,122 @@
+"""Per-channel jamming: the ``:CH`` spec suffix, window semantics, and
+bit-identity of channel-targeted jams through both scalar engines."""
+
+import pytest
+
+from repro.baselines import MultichannelMISProtocol
+from repro.constants import ConstantsProfile
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, JamWindow, parse_fault_spec
+from repro.faults.spec import FAULT_SPEC_GRAMMAR
+from repro.graphs import gnp_random_graph
+from repro.radio import CD, run_protocol
+from repro.radio._engine_reference import run_protocol_reference
+from repro.radio.models import MultichannelModel
+
+FAST = ConstantsProfile.fast()
+
+
+class TestGrammar:
+    def test_channel_suffix_after_probability(self):
+        plan = parse_fault_spec("jam=10..20@0.5:2")
+        assert plan.jams == (JamWindow(10, 20, 0.5, channel=2),)
+
+    def test_channel_suffix_without_probability(self):
+        plan = parse_fault_spec("jam=10..20:3")
+        assert plan.jams == (JamWindow(10, 20, 1.0, channel=3),)
+
+    def test_legacy_spec_jams_all_channels(self):
+        # @P binds to its own window; the bare window keeps the default.
+        plan = parse_fault_spec("jam=0..8+20..24@0.5")
+        assert plan.jams == (
+            JamWindow(0, 8, 1.0, channel=None),
+            JamWindow(20, 24, 0.5, channel=None),
+        )
+
+    def test_channel_suffix_per_window(self):
+        plan = parse_fault_spec("jam=0..8@1:0+20..24@0.5:1")
+        assert plan.jams == (
+            JamWindow(0, 8, 1.0, channel=0),
+            JamWindow(20, 24, 0.5, channel=1),
+        )
+
+    def test_spec_round_trips_through_describe(self):
+        plan = parse_fault_spec("jam=10..20@0.5:2")
+        assert "jam=10..20@0.5:2" in plan.describe()
+
+    @pytest.mark.parametrize(
+        "spec, detail",
+        [
+            ("jam=10..20@0.5:x", "jam channel"),
+            ("jam=10..20:1.5", "jam channel"),
+            ("jam=10:2", "START..STOP"),
+        ],
+    )
+    def test_errors_echo_fragment_and_grammar(self, spec, detail):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_fault_spec(spec)
+        message = str(excinfo.value)
+        assert spec in message  # the offending fragment, verbatim
+        assert detail in message
+        assert FAULT_SPEC_GRAMMAR in message
+
+    def test_negative_channel_rejected(self):
+        with pytest.raises(ConfigurationError, match="jam channel"):
+            parse_fault_spec("jam=10..20:-1")
+
+
+class TestWindowSemantics:
+    def test_covers_respects_channel(self):
+        window = JamWindow(0, 10, channel=2)
+        assert window.covers(5, 0, channel=2)
+        assert not window.covers(5, 0, channel=1)
+        assert not window.covers(5, 0)  # single-channel perceiver
+
+    def test_all_channel_window_covers_everything(self):
+        window = JamWindow(0, 10)
+        for channel in (0, 1, 7):
+            assert window.covers(5, 0, channel=channel)
+
+    @pytest.mark.parametrize("channel", [-1, 1.5, True, "2"])
+    def test_bad_channel_rejected(self, channel):
+        with pytest.raises(ConfigurationError, match="jam channel"):
+            JamWindow(0, 10, channel=channel)
+
+
+class TestEngineBitIdentity:
+    """Channel-targeted jams perturb both engines identically."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(jams=(JamWindow(2, 30, 0.6, channel=1),)),
+            FaultPlan(jams=(JamWindow(0, 40, channel=0),), seed=3),
+            FaultPlan(
+                jams=(
+                    JamWindow(0, 20, 0.5, channel=2),
+                    JamWindow(10, 50, 0.3),
+                ),
+            ),
+        ],
+        ids=["one-channel", "channel-zero", "mixed"],
+    )
+    def test_jammed_multichannel_run_is_golden(self, plan, seed):
+        graph = gnp_random_graph(30, 0.25, seed=5)
+        protocol = MultichannelMISProtocol(constants=FAST, channels=4)
+        model = MultichannelModel(CD, 4)
+        reference = run_protocol_reference(
+            graph, protocol, model, seed=seed, faults=plan
+        )
+        optimized = run_protocol(graph, protocol, model, seed=seed, faults=plan)
+        assert optimized == reference
+
+    def test_off_channel_jam_is_inert(self):
+        # Jamming a channel nobody ever tunes to must not change the run.
+        graph = gnp_random_graph(30, 0.25, seed=5)
+        protocol = MultichannelMISProtocol(constants=FAST, channels=2)
+        model = MultichannelModel(CD, 2)
+        jammed = FaultPlan(jams=(JamWindow(0, 500, channel=9),))
+        baseline = run_protocol(graph, protocol, model, seed=0)
+        perturbed = run_protocol(graph, protocol, model, seed=0, faults=jammed)
+        assert perturbed == baseline

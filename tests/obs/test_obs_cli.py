@@ -147,6 +147,50 @@ class TestObsSummarize:
         assert main(["obs", "summarize", str(path)]) == 1
 
 
+class TestChannelsSummarize:
+    def run_multichannel(self, path, extra=()):
+        argv = [
+            "--profile", "fast", "run", "mc-luby", "--n", "12", "--trials", "2",
+            "--channels", "4", "--telemetry", str(path), *extra,
+        ]
+        assert main(argv) == 0
+        return read_jsonl(path, strict=True)
+
+    def test_multichannel_run_renders_channels_section(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        records = self.run_multichannel(path)
+        counters = records[-1]["counters"]
+        assert counters["engine.channels.rounds"] >= 1
+        assert counters["engine.batch.fallback.multichannel"] == 1
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "channels" in out
+        assert "multichannel rounds:" in out
+        assert "tx rounds" in out
+        assert "batch fallbacks (multichannel): 1" in out
+
+    def test_channel_jam_renders_per_channel_row(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        records = self.run_multichannel(
+            path, ("--faults", "jam=0..200@0.9:2,seed=1")
+        )
+        counters = records[-1]["counters"]
+        assert counters["faults.jam.applied.2"] >= 1
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "faults & churn" in out
+        assert "jams applied (channel 2)" in out
+
+    def test_single_channel_run_omits_channels_section(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        run_with_telemetry(path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        assert "multichannel rounds:" not in capsys.readouterr().out
+
+
 class TestCProfileOption:
     def test_writes_profile_table(self, tmp_path):
         out_dir = tmp_path / "profiles"

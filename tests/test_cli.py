@@ -43,6 +43,33 @@ class TestParser:
         args = build_parser().parse_args(["--profile", "fast", "list"])
         assert args.profile == "fast"
 
+    def test_channels_default_inherits(self):
+        args = build_parser().parse_args(["run", "mc-luby"])
+        assert args.channels is None
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            ["run", "mc-luby"],
+            ["sweep", "mc-luby"],
+            ["experiment", "CHANNELS"],
+            ["claims", "verify", "channel_sweep"],
+        ],
+        ids=["run", "sweep", "experiment", "claims-verify"],
+    )
+    def test_channels_flag_accepted(self, command):
+        args = build_parser().parse_args([*command, "--channels", "4"])
+        assert args.channels == 4
+
+    def test_channels_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mc-luby", "--channels", "0"])
+
+    def test_make_protocol_mc_luby_channels(self):
+        protocol = make_protocol("mc-luby", ConstantsProfile.fast(), channels=4)
+        assert protocol.name == "mc-luby"
+        assert protocol.channels == 4
+
 
 class TestCommands:
     def test_list(self, capsys):
